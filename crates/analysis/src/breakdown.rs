@@ -1,0 +1,458 @@
+//! Merging power states, the regression and activities into "where have all
+//! the joules gone" (Tables 3a–3d of the paper).
+//!
+//! The power-state log plus the regression give, for every interval, which
+//! energy sinks were active and how much power each one drew.  The activity
+//! log gives, for every tracked device, on behalf of which activity it was
+//! working.  Combining the two attributes every sink's energy in every
+//! interval to an activity, via the device that owns the sink.
+
+use crate::intervals::{
+    activity_segments, multi_segments, power_intervals, ActivitySegment, MultiSegment,
+    PowerInterval,
+};
+use crate::wls::{regress_intervals, RegressionError, RegressionOptions, RegressionResult};
+use hw_model::{Catalog, Energy, SimDuration, SimTime, SinkId, Voltage};
+use quanto_core::{ActivityLabel, DeviceId, LogEntry, Stamp};
+use std::collections::{BTreeMap, HashMap};
+
+/// Configuration for a full energy breakdown.
+#[derive(Debug, Clone)]
+pub struct BreakdownConfig {
+    /// Nominal energy per iCount pulse (8.33 µJ on HydroWatch).
+    pub energy_per_count: Energy,
+    /// Supply voltage, for converting power to current in reports.
+    pub supply: Voltage,
+    /// Resolve proxy-activity bindings onto the real activities.
+    pub resolve_bindings: bool,
+    /// Which tracked device "owns" each energy sink, e.g. the three LED sinks
+    /// map to the three LED devices and all radio sinks map to the radio
+    /// device.  Sinks without an owner contribute to
+    /// [`Breakdown::unattributed_energy`].
+    pub sink_owner: HashMap<SinkId, DeviceId>,
+    /// Devices that are multi-activity (their energy is split equally among
+    /// the concurrent activities, the paper's default policy).
+    pub multi_devices: Vec<DeviceId>,
+    /// Regression options.
+    pub regression: RegressionOptions,
+}
+
+impl BreakdownConfig {
+    /// A configuration with the given pulse energy and supply and no sink
+    /// ownership information (all energy will be unattributed by activity).
+    pub fn new(energy_per_count: Energy, supply: Voltage) -> Self {
+        BreakdownConfig {
+            energy_per_count,
+            supply,
+            resolve_bindings: true,
+            sink_owner: HashMap::new(),
+            multi_devices: Vec::new(),
+            regression: RegressionOptions::default(),
+        }
+    }
+
+    /// Declares that `device` owns `sink`.
+    pub fn own(mut self, sink: SinkId, device: DeviceId) -> Self {
+        self.sink_owner.insert(sink, device);
+        self
+    }
+
+    /// Declares a multi-activity device.
+    pub fn multi(mut self, device: DeviceId) -> Self {
+        self.multi_devices.push(device);
+        self
+    }
+}
+
+/// The complete energy/time breakdown of one node's log.
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    /// Time each device spent on each activity (Table 3a).
+    pub time_per_device_activity: BTreeMap<(DeviceId, ActivityLabel), SimDuration>,
+    /// The regression result (Table 3b).
+    pub regression: RegressionResult,
+    /// Reconstructed energy per energy sink (Table 3c).
+    pub energy_per_sink: BTreeMap<SinkId, Energy>,
+    /// Energy attributed to the regression constant (quiescent draw).
+    pub constant_energy: Energy,
+    /// Reconstructed energy per activity (Table 3d).
+    pub energy_per_activity: BTreeMap<ActivityLabel, Energy>,
+    /// Sink energy that could not be attributed to any activity because the
+    /// sink has no owning device.
+    pub unattributed_energy: Energy,
+    /// Total energy as metered (pulse count × energy per pulse).
+    pub total_measured: Energy,
+    /// Total energy as reconstructed from the regression.
+    pub total_reconstructed: Energy,
+    /// Total wall-clock time covered by the log.
+    pub total_time: SimDuration,
+}
+
+impl Breakdown {
+    /// Relative difference between measured and reconstructed total energy.
+    pub fn reconstruction_error(&self) -> f64 {
+        let measured = self.total_measured.as_micro_joules();
+        if measured == 0.0 {
+            return 0.0;
+        }
+        (self.total_reconstructed.as_micro_joules() - measured).abs() / measured
+    }
+
+    /// Time a given device spent on a given activity.
+    pub fn device_activity_time(&self, dev: DeviceId, label: ActivityLabel) -> SimDuration {
+        self.time_per_device_activity
+            .get(&(dev, label))
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Energy attributed to an activity.
+    pub fn activity_energy(&self, label: ActivityLabel) -> Energy {
+        self.energy_per_activity
+            .get(&label)
+            .copied()
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// Energy attributed to a sink.
+    pub fn sink_energy(&self, sink: SinkId) -> Energy {
+        self.energy_per_sink
+            .get(&sink)
+            .copied()
+            .unwrap_or(Energy::ZERO)
+    }
+}
+
+/// Computes the full breakdown from a node's log.
+///
+/// `final_stamp` closes the last interval (time and iCount at the end of the
+/// observation window).
+pub fn breakdown(
+    entries: &[LogEntry],
+    catalog: &Catalog,
+    config: &BreakdownConfig,
+    final_stamp: Option<Stamp>,
+) -> Result<Breakdown, RegressionError> {
+    let intervals = power_intervals(entries, catalog, final_stamp);
+    let regression = regress_intervals(
+        &intervals,
+        catalog,
+        config.energy_per_count,
+        config.regression,
+    )?;
+    Ok(breakdown_with_regression(
+        entries,
+        catalog,
+        config,
+        final_stamp,
+        intervals,
+        regression,
+    ))
+}
+
+/// Computes the breakdown given a pre-computed regression (used when the same
+/// regression is reused across reports).
+pub fn breakdown_with_regression(
+    entries: &[LogEntry],
+    catalog: &Catalog,
+    config: &BreakdownConfig,
+    final_stamp: Option<Stamp>,
+    intervals: Vec<PowerInterval>,
+    regression: RegressionResult,
+) -> Breakdown {
+    // Activity timelines for every owning device.
+    let mut single_segments: HashMap<DeviceId, Vec<ActivitySegment>> = HashMap::new();
+    let mut multi_segs: HashMap<DeviceId, Vec<MultiSegment>> = HashMap::new();
+    let mut devices: Vec<DeviceId> = config.sink_owner.values().copied().collect();
+    devices.sort();
+    devices.dedup();
+    for dev in &devices {
+        if config.multi_devices.contains(dev) {
+            multi_segs.insert(*dev, multi_segments(entries, *dev, final_stamp));
+        } else {
+            single_segments.insert(
+                *dev,
+                activity_segments(entries, *dev, config.resolve_bindings, final_stamp),
+            );
+        }
+    }
+
+    // Table 3a: time per (device, activity) — over every device that appears
+    // in the log, not only sink owners.
+    let mut time_per_device_activity: BTreeMap<(DeviceId, ActivityLabel), SimDuration> =
+        BTreeMap::new();
+    let mut all_devices: Vec<DeviceId> = entries.iter().filter_map(|e| e.device()).collect();
+    all_devices.sort();
+    all_devices.dedup();
+    for dev in &all_devices {
+        if config.multi_devices.contains(dev) {
+            for seg in multi_segments(entries, *dev, final_stamp) {
+                if seg.labels.is_empty() {
+                    continue;
+                }
+                let share = SimDuration::from_micros(
+                    seg.duration().as_micros() / seg.labels.len() as u64,
+                );
+                for l in &seg.labels {
+                    *time_per_device_activity
+                        .entry((*dev, *l))
+                        .or_insert(SimDuration::ZERO) += share;
+                }
+            }
+        } else {
+            for seg in activity_segments(entries, *dev, config.resolve_bindings, final_stamp) {
+                *time_per_device_activity
+                    .entry((*dev, seg.label))
+                    .or_insert(SimDuration::ZERO) += seg.duration();
+            }
+        }
+    }
+
+    // Walk the power intervals, splitting each active column's energy across
+    // the owning device's activities.
+    let mut energy_per_sink: BTreeMap<SinkId, Energy> = BTreeMap::new();
+    let mut energy_per_activity: BTreeMap<ActivityLabel, Energy> = BTreeMap::new();
+    let mut constant_energy = Energy::ZERO;
+    let mut unattributed = Energy::ZERO;
+    let mut total_reconstructed = Energy::ZERO;
+    let mut total_time = SimDuration::ZERO;
+    let mut total_counts: u64 = 0;
+
+    for iv in &intervals {
+        let dur = iv.duration();
+        total_time += dur;
+        total_counts += iv.counts as u64;
+
+        // Constant draw for this interval.
+        let const_e = regression.constant_power() * dur;
+        constant_energy += const_e;
+        total_reconstructed += const_e;
+
+        for (i, state) in iv.states.iter().enumerate() {
+            let sink = SinkId(i as u16);
+            let Some(power) = regression.state_power(catalog, sink, *state) else {
+                continue;
+            };
+            let e = power * dur;
+            if e == Energy::ZERO {
+                continue;
+            }
+            *energy_per_sink.entry(sink).or_insert(Energy::ZERO) += e;
+            total_reconstructed += e;
+
+            let Some(owner) = config.sink_owner.get(&sink) else {
+                unattributed += e;
+                continue;
+            };
+            if let Some(segs) = single_segments.get(owner) {
+                attribute_single(segs, iv.start, iv.end, e, &mut energy_per_activity);
+            } else if let Some(segs) = multi_segs.get(owner) {
+                attribute_multi(segs, iv.start, iv.end, e, &mut energy_per_activity);
+            } else {
+                unattributed += e;
+            }
+        }
+    }
+
+    Breakdown {
+        time_per_device_activity,
+        regression,
+        energy_per_sink,
+        constant_energy,
+        energy_per_activity,
+        unattributed_energy: unattributed,
+        total_measured: config.energy_per_count * total_counts as f64,
+        total_reconstructed,
+        total_time,
+    }
+}
+
+fn attribute_single(
+    segs: &[ActivitySegment],
+    start: SimTime,
+    end: SimTime,
+    energy: Energy,
+    out: &mut BTreeMap<ActivityLabel, Energy>,
+) {
+    let total = end.duration_since(start).as_micros() as f64;
+    if total == 0.0 {
+        return;
+    }
+    let mut covered = 0.0;
+    for seg in segs {
+        let ov = seg.overlap(start, end).as_micros() as f64;
+        if ov == 0.0 {
+            continue;
+        }
+        covered += ov;
+        *out.entry(seg.label).or_insert(Energy::ZERO) += energy * (ov / total);
+    }
+    // Any part of the interval not covered by segments (e.g. before the
+    // device's first activity entry) is charged to Idle.
+    if covered < total {
+        *out.entry(ActivityLabel::IDLE).or_insert(Energy::ZERO) +=
+            energy * ((total - covered) / total);
+    }
+}
+
+fn attribute_multi(
+    segs: &[MultiSegment],
+    start: SimTime,
+    end: SimTime,
+    energy: Energy,
+    out: &mut BTreeMap<ActivityLabel, Energy>,
+) {
+    let total = end.duration_since(start).as_micros() as f64;
+    if total == 0.0 {
+        return;
+    }
+    let mut covered = 0.0;
+    for seg in segs {
+        let ov = seg.overlap(start, end).as_micros() as f64;
+        if ov == 0.0 || seg.labels.is_empty() {
+            continue;
+        }
+        covered += ov;
+        let share = energy * (ov / total) / seg.labels.len() as f64;
+        for l in &seg.labels {
+            *out.entry(*l).or_insert(Energy::ZERO) += share;
+        }
+    }
+    if covered < total {
+        *out.entry(ActivityLabel::IDLE).or_insert(Energy::ZERO) +=
+            energy * ((total - covered) / total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hw_model::catalog::{blink_catalog, led_state};
+    use hw_model::{PowerModel, SimTime, StateVector};
+    use quanto_core::{ActivityId, EntryKind, NodeId};
+    use std::sync::Arc;
+
+    /// Builds a miniature Blink-style log by hand: the CPU paints each LED
+    /// with its own activity while toggling it through the 8 combinations.
+    fn synthetic_blink_log() -> (
+        Vec<LogEntry>,
+        Arc<Catalog>,
+        [SinkId; 3],
+        [DeviceId; 3],
+        [ActivityLabel; 3],
+        Stamp,
+    ) {
+        let (cat, _cpu, leds) = blink_catalog();
+        let cat = Arc::new(cat);
+        let model = PowerModel::ideal(cat.clone());
+        let led_devs = [DeviceId(1), DeviceId(2), DeviceId(3)];
+        let acts = [
+            ActivityLabel::new(NodeId(1), ActivityId(1)),
+            ActivityLabel::new(NodeId(1), ActivityId(2)),
+            ActivityLabel::new(NodeId(1), ActivityId(3)),
+        ];
+
+        let mut entries = Vec::new();
+        let mut sv = StateVector::baseline(&cat);
+        let mut cumulative_uj = 0.0f64;
+        let step = SimDuration::from_secs(1);
+        let mut t = SimTime::ZERO;
+        for mask in 0..8u8 {
+            // Charge energy for the previous second at the old state.
+            for (i, led) in leds.iter().enumerate() {
+                let want = mask & (1 << i) != 0;
+                let is_on = sv.state(*led) == led_state::ON;
+                if want != is_on {
+                    let new_state = if want { led_state::ON } else { led_state::OFF };
+                    sv.set_state(*led, new_state);
+                    let ic = cumulative_uj.floor() as u32;
+                    // Device activity change then power state change, the
+                    // order the instrumented driver produces.
+                    entries.push(LogEntry::activity(
+                        EntryKind::ActivityChange,
+                        t,
+                        ic,
+                        led_devs[i],
+                        if want { acts[i] } else { ActivityLabel::IDLE },
+                    ));
+                    entries.push(LogEntry::power_state(t, ic, *led, new_state.as_u8() as u16));
+                }
+            }
+            cumulative_uj += model.energy_over(&sv, step).as_micro_joules();
+            t = t + step;
+        }
+        let final_stamp = Stamp::new(t, cumulative_uj.floor() as u32);
+        (entries, cat, leds, led_devs, acts, final_stamp)
+    }
+
+    fn config(leds: [SinkId; 3], led_devs: [DeviceId; 3]) -> BreakdownConfig {
+        BreakdownConfig::new(Energy::from_micro_joules(1.0), Voltage::from_volts(3.0))
+            .own(leds[0], led_devs[0])
+            .own(leds[1], led_devs[1])
+            .own(leds[2], led_devs[2])
+    }
+
+    #[test]
+    fn blink_breakdown_attributes_leds_to_their_activities() {
+        let (entries, cat, leds, led_devs, acts, final_stamp) = synthetic_blink_log();
+        let bd = breakdown(&entries, &cat, &config(leds, led_devs), Some(final_stamp)).unwrap();
+
+        // Each LED is on for 4 of the 8 seconds.
+        for (i, led) in leds.iter().enumerate() {
+            let t_on = bd.device_activity_time(led_devs[i], acts[i]);
+            assert_eq!(t_on.as_micros(), 4_000_000, "led {i} on-time");
+            let e_sink = bd.sink_energy(*led).as_milli_joules();
+            let e_act = bd.activity_energy(acts[i]).as_milli_joules();
+            // LED energy should match its activity's energy closely (the LED
+            // is the only sink owned by that device).
+            assert!((e_sink - e_act).abs() < 0.2, "sink {e_sink} vs act {e_act}");
+        }
+
+        // Red (2.5 mA) > Green (2.23 mA) > Blue (0.83 mA), each on 4 s at 3 V.
+        let red = bd.activity_energy(acts[0]).as_milli_joules();
+        let green = bd.activity_energy(acts[1]).as_milli_joules();
+        let blue = bd.activity_energy(acts[2]).as_milli_joules();
+        assert!(red > green && green > blue);
+        assert!((red - 30.0).abs() < 1.5, "red {red} mJ");
+        assert!((blue - 9.96).abs() < 1.0, "blue {blue} mJ");
+
+        // Total reconstruction matches the metered total closely.
+        assert!(bd.reconstruction_error() < 0.02, "{}", bd.reconstruction_error());
+        assert_eq!(bd.total_time.as_micros(), 8_000_000);
+        assert_eq!(bd.unattributed_energy, Energy::ZERO);
+    }
+
+    #[test]
+    fn unowned_sinks_count_as_unattributed() {
+        let (entries, cat, leds, led_devs, _acts, final_stamp) = synthetic_blink_log();
+        // Only own LED0; the other two LEDs' energy becomes unattributed.
+        let cfg = BreakdownConfig::new(Energy::from_micro_joules(1.0), Voltage::from_volts(3.0))
+            .own(leds[0], led_devs[0]);
+        let bd = breakdown(&entries, &cat, &cfg, Some(final_stamp)).unwrap();
+        assert!(bd.unattributed_energy.as_milli_joules() > 10.0);
+    }
+
+    #[test]
+    fn energy_conservation_between_views() {
+        let (entries, cat, leds, led_devs, _acts, final_stamp) = synthetic_blink_log();
+        let bd = breakdown(&entries, &cat, &config(leds, led_devs), Some(final_stamp)).unwrap();
+        let by_sink: f64 = bd
+            .energy_per_sink
+            .values()
+            .map(|e| e.as_micro_joules())
+            .sum::<f64>()
+            + bd.constant_energy.as_micro_joules();
+        let by_activity: f64 = bd
+            .energy_per_activity
+            .values()
+            .map(|e| e.as_micro_joules())
+            .sum::<f64>()
+            + bd.constant_energy.as_micro_joules()
+            + bd.unattributed_energy.as_micro_joules();
+        assert!(
+            (by_sink - by_activity).abs() < 1.0,
+            "per-sink {by_sink} vs per-activity {by_activity}"
+        );
+        assert!((by_sink - bd.total_reconstructed.as_micro_joules()).abs() < 1.0);
+    }
+}

@@ -1,0 +1,428 @@
+//! Minimal dense matrix algebra for the regression.
+//!
+//! The paper solves `Π = (XᵀWX)⁻¹XᵀWY` with GNU Octave; here we implement the
+//! few operations that estimator needs — transpose, multiplication, and a
+//! linear solve via Gaussian elimination with partial pivoting — from
+//! scratch, with no third-party dependencies.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Errors produced by matrix operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixError {
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// The system is singular (or numerically close to singular) and cannot
+    /// be solved.  For the regression this happens when power states are
+    /// linearly dependent — e.g. two sinks that always switch together.
+    Singular {
+        /// The pivot column where elimination failed.
+        column: usize,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatrixError::Singular { column } => {
+                write!(f, "matrix is singular at pivot column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are empty or have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have the same length"
+        );
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Creates a column vector from a slice.
+    pub fn column(values: &[f64]) -> Self {
+        Matrix::from_rows(&values.iter().map(|v| vec![*v]).collect::<Vec<_>>())
+    }
+
+    /// Creates a diagonal matrix from a slice.
+    pub fn diagonal(values: &[f64]) -> Self {
+        let mut m = Matrix::zeros(values.len(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            m[(i, i)] = *v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Matrix multiplication `self × rhs`.
+    pub fn mul(&self, rhs: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::ShapeMismatch {
+                op: "mul",
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves `self · x = b` for `x` using Gaussian elimination with partial
+    /// pivoting.  `b` may have multiple columns.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.rows != self.cols {
+            return Err(MatrixError::ShapeMismatch {
+                op: "solve (square required)",
+                left: (self.rows, self.cols),
+                right: (b.rows, b.cols),
+            });
+        }
+        if b.rows != self.rows {
+            return Err(MatrixError::ShapeMismatch {
+                op: "solve",
+                left: (self.rows, self.cols),
+                right: (b.rows, b.cols),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x = b.clone();
+
+        for col in 0..n {
+            // Partial pivoting: pick the largest remaining entry in `col`.
+            let mut pivot_row = col;
+            let mut pivot_val = a[(col, col)].abs();
+            for r in (col + 1)..n {
+                if a[(r, col)].abs() > pivot_val {
+                    pivot_val = a[(r, col)].abs();
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-12 {
+                return Err(MatrixError::Singular { column: col });
+            }
+            if pivot_row != col {
+                a.swap_rows(col, pivot_row);
+                x.swap_rows(col, pivot_row);
+            }
+            // Eliminate below.
+            for r in (col + 1)..n {
+                let factor = a[(r, col)] / a[(col, col)];
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    let v = a[(col, c)];
+                    a[(r, c)] -= factor * v;
+                }
+                for c in 0..x.cols {
+                    let v = x[(col, c)];
+                    x[(r, c)] -= factor * v;
+                }
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            for c in 0..x.cols {
+                let mut sum = x[(col, c)];
+                for k in (col + 1)..n {
+                    sum -= a[(col, k)] * x[(k, c)];
+                }
+                x[(col, c)] = sum / a[(col, col)];
+            }
+        }
+        Ok(x)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(MatrixError::ShapeMismatch {
+                op: "sub",
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(rhs.data.iter()) {
+            *o -= r;
+        }
+        Ok(out)
+    }
+
+    /// The Euclidean (Frobenius) norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Flattens a single-column matrix into a `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has more than one column.
+    pub fn into_column_vec(self) -> Vec<f64> {
+        assert_eq!(self.cols, 1, "into_column_vec requires a column vector");
+        self.data
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:>10.4} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Solves the weighted least-squares problem `Π = (XᵀWX)⁻¹ XᵀWY`, where `W`
+/// is diagonal with entries `weights`.
+///
+/// Returns the coefficient vector, one entry per column of `X`.
+pub fn weighted_least_squares(
+    x: &Matrix,
+    y: &[f64],
+    weights: &[f64],
+) -> Result<Vec<f64>, MatrixError> {
+    if y.len() != x.rows() || weights.len() != x.rows() {
+        return Err(MatrixError::ShapeMismatch {
+            op: "weighted_least_squares",
+            left: (x.rows(), x.cols()),
+            right: (y.len(), weights.len()),
+        });
+    }
+    let w = Matrix::diagonal(weights);
+    let xt = x.transpose();
+    let xtw = xt.mul(&w)?;
+    let xtwx = xtw.mul(x)?;
+    let y_col = Matrix::column(y);
+    let xtwy = xtw.mul(&y_col)?;
+    Ok(xtwx.solve(&xtwy)?.into_column_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let i = Matrix::identity(3);
+        let b = Matrix::column(&[1.0, 2.0, 3.0]);
+        let x = i.solve(&b).unwrap();
+        assert_eq!(x.into_column_vec(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_small_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let b = Matrix::column(&[5.0, 10.0]);
+        let x = a.solve(&b).unwrap().into_column_vec();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let b = Matrix::column(&[7.0, 9.0]);
+        let x = a.solve(&b).unwrap().into_column_vec();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let b = Matrix::column(&[1.0, 2.0]);
+        assert!(matches!(a.solve(&b), Err(MatrixError::Singular { .. })));
+    }
+
+    #[test]
+    fn multiply_and_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let at = a.transpose();
+        assert_eq!(at.rows(), 3);
+        assert_eq!(at.cols(), 2);
+        let prod = a.mul(&at).unwrap();
+        assert_eq!(prod[(0, 0)], 14.0);
+        assert_eq!(prod[(0, 1)], 32.0);
+        assert_eq!(prod[(1, 1)], 77.0);
+        assert!(a.mul(&a).is_err());
+    }
+
+    #[test]
+    fn norm_and_sub() {
+        let a = Matrix::column(&[3.0, 4.0]);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+        let b = Matrix::column(&[1.0, 1.0]);
+        let d = a.sub(&b).unwrap();
+        assert_eq!(d.into_column_vec(), vec![2.0, 3.0]);
+        assert!(a.sub(&Matrix::identity(3)).is_err());
+    }
+
+    #[test]
+    fn ols_recovers_exact_coefficients() {
+        // y = 2*a + 3*b with binary design rows.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![1.0, 0.0],
+        ]);
+        let y = vec![2.0, 3.0, 5.0, 2.0];
+        let w = vec![1.0; 4];
+        let pi = weighted_least_squares(&x, &y, &w).unwrap();
+        assert!((pi[0] - 2.0).abs() < 1e-10);
+        assert!((pi[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn weights_tilt_the_fit_toward_heavy_observations() {
+        // Two inconsistent observations of a single coefficient.
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0]]);
+        let y = vec![1.0, 3.0];
+        let equal = weighted_least_squares(&x, &y, &[1.0, 1.0]).unwrap();
+        assert!((equal[0] - 2.0).abs() < 1e-12);
+        let tilted = weighted_least_squares(&x, &y, &[1.0, 9.0]).unwrap();
+        assert!((tilted[0] - 2.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wls_shape_errors() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0]]);
+        assert!(weighted_least_squares(&x, &[1.0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let m = Matrix::identity(2);
+        let s = format!("{m}");
+        assert_eq!(s.lines().count(), 2);
+    }
+}

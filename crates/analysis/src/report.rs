@@ -1,0 +1,198 @@
+//! Plain-text table rendering for the reproduction harnesses.
+//!
+//! The benchmark binaries print the same rows the paper's tables report; this
+//! module provides the small fixed-width table builder they share, so that
+//! output stays consistent and diffable across experiments.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: Option<String>,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers; all columns default to
+    /// right alignment except the first, which is left-aligned.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        TextTable {
+            title: None,
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets a title printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Overrides the column alignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of alignments differs from the number of columns.
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "one alignment per column");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has a different number of cells than there are
+    /// columns.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "one cell per column");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns true if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            let _ = writeln!(out, "== {title} ==");
+        }
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                match aligns[i] {
+                    Align::Left => {
+                        line.push_str(cell);
+                        line.push_str(&" ".repeat(widths[i] - cell.len()));
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(widths[i] - cell.len()));
+                        line.push_str(cell);
+                    }
+                }
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths, &self.aligns));
+        let total_width: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total_width));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths, &self.aligns));
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals, e.g. `"5.58 %"`.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2} %", fraction * 100.0)
+}
+
+/// Formats a value in engineering style with a unit, e.g. `si(0.00123, "A")`
+/// gives `"1.230 mA"`.
+pub fn si(value: f64, unit: &str) -> String {
+    let (scaled, prefix) = if value == 0.0 {
+        (0.0, "")
+    } else {
+        let abs = value.abs();
+        if abs >= 1.0 {
+            (value, "")
+        } else if abs >= 1e-3 {
+            (value * 1e3, "m")
+        } else if abs >= 1e-6 {
+            (value * 1e6, "u")
+        } else {
+            (value * 1e9, "n")
+        }
+    };
+    format!("{scaled:.3} {prefix}{unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Sink", "I (mA)"]).with_title("Table");
+        t.row(vec!["LED0", "2.50"]);
+        t.row(vec!["LED1 (green)", "2.23"]);
+        let s = t.render();
+        assert!(s.contains("== Table =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Title, header, rule, two rows.
+        assert_eq!(lines.len(), 5);
+        // Numbers are right-aligned under the header.
+        assert!(lines[3].ends_with("2.50"));
+        assert!(lines[4].ends_with("2.23"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one cell per column")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let mut t =
+            TextTable::new(vec!["x", "y"]).with_aligns(vec![Align::Right, Align::Left]);
+        t.row(vec!["1", "hello"]);
+        let s = t.render();
+        assert!(s.contains("hello"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.0558), "5.58 %");
+        assert_eq!(si(0.00123, "A"), "1.230 mA");
+        assert_eq!(si(1.5, "W"), "1.500 W");
+        assert_eq!(si(0.0, "J"), "0.000 J");
+        assert_eq!(si(2.5e-7, "A"), "250.000 nA");
+    }
+}

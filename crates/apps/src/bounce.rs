@@ -1,0 +1,218 @@
+//! Bounce: two nodes exchanging two packets (Section 4.2.2).
+//!
+//! Each node originates one packet; when a node receives a packet it turns an
+//! LED on (charged to the packet's *originating* activity, even when that
+//! activity started on the other node), waits a moment and sends the packet
+//! back.  All of the work node 1 does to receive, process and send node 4's
+//! packet is attributed to `4:BounceApp`.
+
+use crate::context::ExperimentContext;
+use hw_model::SimDuration;
+use net_sim::NetSim;
+use os_sim::{AmPacket, Application, NodeConfig, NodeRunOutput, OsHandle, TimerId};
+use quanto_core::{ActivityLabel, NodeId};
+
+/// AM type used by Bounce packets.
+pub const BOUNCE_AM_TYPE: u8 = 0x42;
+
+/// The Bounce application for one node.
+#[derive(Debug, Clone)]
+pub struct BounceApp {
+    peer: NodeId,
+    /// Whether this node originates a packet at boot.
+    initiator: bool,
+    app_activity: ActivityLabel,
+    /// Which LED indicates "holding the locally originated packet".
+    own_led: usize,
+    /// Which LED indicates "holding the peer's packet".
+    peer_led: usize,
+    /// Delay before bouncing a received packet back.
+    hold_time: SimDuration,
+    send_timer: Option<TimerId>,
+    kickoff_timer: Option<TimerId>,
+    /// The activity to charge the pending send to (the received packet's).
+    pending_send_activity: Option<ActivityLabel>,
+}
+
+impl BounceApp {
+    /// Creates a Bounce endpoint talking to `peer`.
+    pub fn new(peer: NodeId, initiator: bool) -> Self {
+        BounceApp {
+            peer,
+            initiator,
+            app_activity: ActivityLabel::IDLE,
+            own_led: 1,
+            peer_led: 2,
+            hold_time: SimDuration::from_millis(20),
+            send_timer: None,
+            kickoff_timer: None,
+            pending_send_activity: None,
+        }
+    }
+}
+
+impl Application for BounceApp {
+    fn boot(&mut self, os: &mut OsHandle) {
+        self.app_activity = os.define_activity("BounceApp");
+        os.set_cpu_activity(self.app_activity);
+        os.radio_on();
+        if self.initiator {
+            // Give both radios time to start listening before the first
+            // send, and stagger the two originators so their first packets
+            // do not collide.
+            let stagger = 50 + os.node_id().as_u8() as u64 * 25;
+            self.kickoff_timer = Some(os.start_timer(SimDuration::from_millis(stagger), false));
+        }
+        os.set_cpu_activity(os.idle_activity());
+    }
+
+    fn timer_fired(&mut self, timer: TimerId, os: &mut OsHandle) {
+        if Some(timer) == self.kickoff_timer {
+            // Originate this node's packet under its own activity.
+            os.set_cpu_activity(self.app_activity);
+            os.led_on(self.own_led);
+            os.send(self.peer, BOUNCE_AM_TYPE, vec![0u8; 16]);
+        } else if Some(timer) == self.send_timer {
+            // Bounce the held packet back.  The timer restored the activity
+            // it was started under (the originating activity), so the send is
+            // charged to it automatically.
+            if let Some(activity) = self.pending_send_activity.take() {
+                os.set_cpu_activity(activity);
+            }
+            os.send(self.peer, BOUNCE_AM_TYPE, vec![0u8; 16]);
+        }
+    }
+
+    fn packet_received(&mut self, packet: &AmPacket, os: &mut OsHandle) {
+        if packet.am_type != BOUNCE_AM_TYPE {
+            return;
+        }
+        // The CPU is already painted with the packet's originating activity.
+        let origin_activity = os.cpu_activity();
+        let led = if origin_activity.origin == os.node_id() {
+            self.own_led
+        } else {
+            self.peer_led
+        };
+        os.led_on(led);
+        self.pending_send_activity = Some(origin_activity);
+        // A little per-node jitter keeps the two circulating packets from
+        // locking into repeated collisions.
+        let jitter = SimDuration::from_millis(os.random(10) as u64);
+        self.send_timer = Some(os.start_timer(self.hold_time + jitter, false));
+    }
+
+    fn send_done(&mut self, os: &mut OsHandle) {
+        // Possession of the packet has moved to the peer: both LEDs off.
+        os.led_off(self.own_led);
+        os.led_off(self.peer_led);
+    }
+}
+
+/// Output of a Bounce run.
+#[derive(Debug)]
+pub struct BounceRun {
+    /// Per-node outputs, keyed by node id.
+    pub outputs: Vec<(NodeId, NodeRunOutput)>,
+    /// Per-node analysis contexts, in the same order as `outputs`.
+    pub contexts: Vec<(NodeId, ExperimentContext)>,
+}
+
+impl BounceRun {
+    /// The output of a specific node.
+    pub fn output(&self, id: NodeId) -> &NodeRunOutput {
+        &self.outputs.iter().find(|(n, _)| *n == id).expect("node ran").1
+    }
+
+    /// The context of a specific node.
+    pub fn context(&self, id: NodeId) -> &ExperimentContext {
+        &self.contexts.iter().find(|(n, _)| *n == id).expect("node ran").1
+    }
+}
+
+/// Runs Bounce between nodes 1 and 4 (the ids the paper uses) for `duration`.
+pub fn run_bounce(duration: SimDuration) -> BounceRun {
+    run_bounce_with(duration, NodeId(1), NodeId(4), |c| c)
+}
+
+/// Runs Bounce with custom node ids and a configuration hook applied to both
+/// nodes (e.g. to switch the SPI mode for the Figure 16 study).
+pub fn run_bounce_with(
+    duration: SimDuration,
+    a: NodeId,
+    b: NodeId,
+    tweak: impl Fn(NodeConfig) -> NodeConfig,
+) -> BounceRun {
+    let mut net = NetSim::new();
+    let mk = |id: NodeId| {
+        tweak(NodeConfig {
+            dco_calibration: false,
+            ..NodeConfig::new(id)
+        })
+    };
+    net.add_node(mk(a), Box::new(BounceApp::new(b, true)));
+    net.add_node(mk(b), Box::new(BounceApp::new(a, true)));
+    net.run_until(hw_model::SimTime::ZERO + duration);
+    let contexts: Vec<(NodeId, ExperimentContext)> = [a, b]
+        .iter()
+        .map(|id| {
+            (
+                *id,
+                ExperimentContext::from_kernel(net.node(*id).expect("node exists").kernel()),
+            )
+        })
+        .collect();
+    let outputs = net.finish(hw_model::SimTime::ZERO + duration);
+    BounceRun { outputs, contexts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::activity_segments;
+
+    #[test]
+    fn bounce_attributes_remote_work_on_both_nodes() {
+        let run = run_bounce(SimDuration::from_secs(3));
+        let n1 = NodeId(1);
+        let n4 = NodeId(4);
+        let out1 = run.output(n1);
+        let out4 = run.output(n4);
+        assert!(out1.radio_stats.packets_sent >= 1);
+        assert!(out1.radio_stats.packets_received >= 1);
+        assert!(out4.radio_stats.packets_sent >= 1);
+        assert!(out4.radio_stats.packets_received >= 1);
+
+        // Node 1's CPU spent time working under node 4's activity.
+        let ctx1 = run.context(n1);
+        let segs = activity_segments(&out1.log, ctx1.cpu_dev, true, Some(out1.final_stamp));
+        let remote_time: u64 = segs
+            .iter()
+            .filter(|s| s.label.origin == n4 && !s.label.is_idle())
+            .map(|s| s.duration().as_micros())
+            .sum();
+        assert!(
+            remote_time > 0,
+            "node 1 must charge some CPU time to 4:BounceApp"
+        );
+        // And symmetrically on node 4.
+        let ctx4 = run.context(n4);
+        let segs4 =
+            activity_segments(&out4.log, ctx4.cpu_dev, true, Some(out4.final_stamp));
+        assert!(segs4
+            .iter()
+            .any(|s| s.label.origin == n1 && !s.label.is_idle()));
+    }
+
+    #[test]
+    fn bounce_keeps_exchanging_packets_over_time() {
+        let short = run_bounce(SimDuration::from_secs(1));
+        let long = run_bounce(SimDuration::from_secs(4));
+        let sent_short = short.output(NodeId(1)).radio_stats.packets_sent;
+        let sent_long = long.output(NodeId(1)).radio_stats.packets_sent;
+        assert!(
+            sent_long > sent_short,
+            "longer runs bounce more packets ({sent_short} vs {sent_long})"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Shared plumbing for experiments: everything the offline analysis needs to
+//! know about a node besides its log.
+
+use analysis::breakdown::BreakdownConfig;
+use hw_model::catalog::HydrowatchIds;
+use hw_model::{Catalog, Energy, Voltage};
+use os_sim::Kernel;
+use quanto_core::{ActivityLabel, DeviceId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A snapshot of the node-side facts the analysis needs: the catalog, which
+/// Quanto device owns which energy sink, and the human-readable names of the
+/// node's activity labels.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// The hardware catalog the node ran on.
+    pub catalog: Arc<Catalog>,
+    /// Well-known sink ids.
+    pub sinks: HydrowatchIds,
+    /// The CPU's Quanto device id.
+    pub cpu_dev: DeviceId,
+    /// The LED devices.
+    pub led_devs: [DeviceId; 3],
+    /// The radio device.
+    pub radio_dev: DeviceId,
+    /// The flash device.
+    pub flash_dev: DeviceId,
+    /// The sensor device.
+    pub sensor_dev: DeviceId,
+    /// Names of every activity registered on this node.
+    pub activity_names: HashMap<ActivityLabel, String>,
+    /// Nominal energy per iCount pulse.
+    pub energy_per_count: Energy,
+    /// Supply voltage.
+    pub supply: Voltage,
+}
+
+impl ExperimentContext {
+    /// Captures the context from a node's kernel (after a run, before or
+    /// after `finish`).
+    pub fn from_kernel(kernel: &Kernel) -> Self {
+        let (cpu_dev, led_devs, radio_dev, flash_dev, sensor_dev) = kernel.device_ids();
+        let registry = kernel.quanto().registry();
+        let mut activity_names = HashMap::new();
+        for (id, name, _) in registry.iter() {
+            activity_names.insert(
+                ActivityLabel::new(registry.node(), id),
+                format!("{}:{}", registry.node(), name),
+            );
+        }
+        ExperimentContext {
+            catalog: kernel.catalog().clone(),
+            sinks: *kernel.sink_ids(),
+            cpu_dev,
+            led_devs,
+            radio_dev,
+            flash_dev,
+            sensor_dev,
+            activity_names,
+            energy_per_count: kernel.config().icount.nominal_energy_per_pulse,
+            supply: kernel.config().supply,
+        }
+    }
+
+    /// A human-readable name for an activity label (falls back to
+    /// `origin:#id` for labels registered on other nodes).
+    pub fn label_name(&self, label: ActivityLabel) -> String {
+        self.activity_names
+            .get(&label)
+            .cloned()
+            .unwrap_or_else(|| format!("{}:#{}", label.origin, label.id))
+    }
+
+    /// A human-readable name for a Quanto device.
+    pub fn device_name(&self, dev: DeviceId) -> &'static str {
+        if dev == self.cpu_dev {
+            "CPU"
+        } else if dev == self.led_devs[0] {
+            "LED0"
+        } else if dev == self.led_devs[1] {
+            "LED1"
+        } else if dev == self.led_devs[2] {
+            "LED2"
+        } else if dev == self.radio_dev {
+            "Radio"
+        } else if dev == self.flash_dev {
+            "Flash"
+        } else if dev == self.sensor_dev {
+            "Sensor"
+        } else {
+            "Other"
+        }
+    }
+
+    /// The sink-ownership map used by the energy breakdown: each LED sink is
+    /// owned by its LED device, every radio sink by the radio device, the
+    /// flash by the flash device, the sensor-related sinks by the sensor
+    /// device, and the CPU by the CPU device.
+    pub fn breakdown_config(&self) -> BreakdownConfig {
+        BreakdownConfig::new(self.energy_per_count, self.supply)
+            .own(self.sinks.cpu, self.cpu_dev)
+            .own(self.sinks.led0, self.led_devs[0])
+            .own(self.sinks.led1, self.led_devs[1])
+            .own(self.sinks.led2, self.led_devs[2])
+            .own(self.sinks.radio_regulator, self.radio_dev)
+            .own(self.sinks.radio_control, self.radio_dev)
+            .own(self.sinks.radio_rx, self.radio_dev)
+            .own(self.sinks.radio_tx, self.radio_dev)
+            .own(self.sinks.radio_battery_monitor, self.radio_dev)
+            .own(self.sinks.ext_flash, self.flash_dev)
+            .own(self.sinks.internal_flash, self.flash_dev)
+            .own(self.sinks.temp_sensor, self.sensor_dev)
+            .own(self.sinks.adc, self.sensor_dev)
+            .own(self.sinks.vref, self.sensor_dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use os_sim::NodeConfig;
+    use quanto_core::NodeId;
+
+    #[test]
+    fn context_captures_names_and_ownership() {
+        let kernel = Kernel::new(NodeConfig::new(NodeId(3)));
+        let ctx = ExperimentContext::from_kernel(&kernel);
+        // System and proxy activities registered by the kernel are named.
+        let vtimer = ctx
+            .activity_names
+            .iter()
+            .find(|(_, name)| name.ends_with(":VTimer"));
+        assert!(vtimer.is_some());
+        assert_eq!(ctx.device_name(ctx.cpu_dev), "CPU");
+        assert_eq!(ctx.device_name(ctx.led_devs[2]), "LED2");
+        let cfg = ctx.breakdown_config();
+        assert!(cfg.sink_owner.len() >= 10);
+        assert_eq!(cfg.sink_owner.get(&ctx.sinks.led1), Some(&ctx.led_devs[1]));
+        // Unknown label falls back to origin:#id.
+        let foreign = ActivityLabel::new(NodeId(9), quanto_core::ActivityId(7));
+        assert_eq!(ctx.label_name(foreign), "9:#7");
+    }
+}

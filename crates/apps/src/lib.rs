@@ -1,0 +1,35 @@
+//! The paper's applications and experiment drivers.
+//!
+//! * [`blink`] — Blink (three timers, three LEDs, three activities), the
+//!   calibration and profiling workload of Sections 4.1 and 4.2.1.
+//! * [`bounce`] — Bounce, the two-node packet ping-pong whose cross-node
+//!   activity tracking is Figure 12.
+//! * [`sense_send`] — the sense-and-send application of Figure 7.
+//! * [`lpl`] — the low-power-listening node under 802.11 interference
+//!   (Figures 13 and 14).
+//! * [`timer_probe`] — the simple timer application that exposed the 16 Hz
+//!   DCO-calibration interrupt (Figure 15).
+//! * [`experiments`] — drivers that run each experiment and return the data
+//!   behind every table and figure.
+//! * [`context`] — the node-side facts (catalog, sink ownership, activity
+//!   names) that the offline analysis needs.
+
+pub mod blink;
+pub mod bounce;
+pub mod context;
+pub mod experiments;
+pub mod lpl;
+pub mod sense_send;
+pub mod timer_probe;
+
+pub use blink::{run_blink, run_blink_with_config, BlinkApp, BlinkRun};
+pub use bounce::{run_bounce, run_bounce_with, BounceApp, BounceRun, BOUNCE_AM_TYPE};
+pub use context::ExperimentContext;
+pub use experiments::{
+    blink_profile, calibration_experiment, device_timelines, dma_comparison,
+    instrumentation_table, BlinkProfileResult, CalibrationResult, DmaComparisonResult,
+    InstrumentationRow, TxTiming,
+};
+pub use lpl::{run_lpl_comparison, run_lpl_experiment, LplListenerApp, LplRun};
+pub use sense_send::{SenseAndSendApp, SENSE_AM_TYPE};
+pub use timer_probe::TimerProbeApp;

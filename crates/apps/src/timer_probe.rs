@@ -1,0 +1,104 @@
+//! The timer-probe application behind Figure 15.
+//!
+//! The paper instrumented "a simple timer-based application" and was
+//! surprised to find the TimerA1 interrupt firing 16 times per second to
+//! calibrate the digital oscillator, even though no component needed it.
+//! This application reproduces that scenario: two activities alternate on a
+//! slow timer while the OS's calibration interrupt ticks away underneath.
+
+use hw_model::SimDuration;
+use os_sim::{Application, OsHandle, TimerId};
+use quanto_core::ActivityLabel;
+
+/// A simple two-activity timer application.
+#[derive(Debug, Clone)]
+pub struct TimerProbeApp {
+    act_a: ActivityLabel,
+    act_b: ActivityLabel,
+    period: SimDuration,
+    phase: bool,
+}
+
+impl TimerProbeApp {
+    /// Creates the probe with the given application-timer period.
+    pub fn new(period: SimDuration) -> Self {
+        TimerProbeApp {
+            act_a: ActivityLabel::IDLE,
+            act_b: ActivityLabel::IDLE,
+            period,
+            phase: false,
+        }
+    }
+}
+
+impl Default for TimerProbeApp {
+    fn default() -> Self {
+        TimerProbeApp::new(SimDuration::from_millis(500))
+    }
+}
+
+impl Application for TimerProbeApp {
+    fn boot(&mut self, os: &mut OsHandle) {
+        self.act_a = os.define_activity("ActA");
+        self.act_b = os.define_activity("ActB");
+        os.set_cpu_activity(self.act_a);
+        os.start_timer(self.period, true);
+        os.led_on(0);
+        os.set_cpu_activity(os.idle_activity());
+    }
+
+    fn timer_fired(&mut self, _timer: TimerId, os: &mut OsHandle) {
+        self.phase = !self.phase;
+        let act = if self.phase { self.act_b } else { self.act_a };
+        os.set_cpu_activity(act);
+        // A little application work and an LED toggle, so the timeline has
+        // something to show besides the calibration interrupt.
+        os.busy_wait(200);
+        os.led_toggle(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExperimentContext;
+    use analysis::activity_segments;
+    use os_sim::{NodeConfig, Simulator};
+    use quanto_core::NodeId;
+
+    #[test]
+    fn dco_calibration_fires_sixteen_times_per_second() {
+        let config = NodeConfig::new(NodeId(32)); // The paper's node id 32.
+        let mut sim = Simulator::new(config, Box::new(TimerProbeApp::default()));
+        let out = sim.run_for(SimDuration::from_secs(4));
+        let ctx = ExperimentContext::from_kernel(sim.node().kernel());
+
+        // Count CPU segments under the int_TIMERA1 proxy activity.
+        let segs = activity_segments(&out.log, ctx.cpu_dev, false, Some(out.final_stamp));
+        let a1_segments = segs
+            .iter()
+            .filter(|s| ctx.label_name(s.label).ends_with(":int_TIMERA1"))
+            .count();
+        // 16 Hz over 4 seconds = 64 firings (allow a small margin at the
+        // window edges).
+        assert!(
+            (60..=66).contains(&a1_segments),
+            "expected ~64 TimerA1 proxy segments, got {a1_segments}"
+        );
+    }
+
+    #[test]
+    fn disabling_calibration_silences_timer_a1() {
+        let config = NodeConfig {
+            dco_calibration: false,
+            ..NodeConfig::new(NodeId(32))
+        };
+        let mut sim = Simulator::new(config, Box::new(TimerProbeApp::default()));
+        let out = sim.run_for(SimDuration::from_secs(4));
+        let ctx = ExperimentContext::from_kernel(sim.node().kernel());
+        let segs = activity_segments(&out.log, ctx.cpu_dev, false, Some(out.final_stamp));
+        assert!(!segs
+            .iter()
+            .any(|s| ctx.label_name(s.label).ends_with(":int_TIMERA1")));
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion bench: the synchronous logging path (Table 4's 102-cycle claim,
+//! measured here as host-side nanoseconds per recorded sample) and the
+//! logging-vs-counting ablation of Section 5.1.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hw_model::catalog::blink_catalog;
+use hw_model::{SimTime, SinkId};
+use quanto_core::{
+    AccountingMode, LogEntry, OverflowPolicy, QuantoRuntime, RamLogger, RuntimeConfig, Stamp,
+};
+
+fn bench_ram_logger(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logger");
+    for policy in [OverflowPolicy::Stop, OverflowPolicy::Wrap, OverflowPolicy::Flush] {
+        group.bench_function(format!("record_{policy:?}"), |b| {
+            b.iter_batched(
+                || RamLogger::new(800, policy),
+                |mut logger| {
+                    for i in 0..1000u32 {
+                        logger.record(LogEntry::power_state(
+                            SimTime::from_micros(i as u64),
+                            i,
+                            SinkId(1),
+                            (i % 2) as u16,
+                        ));
+                    }
+                    logger
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_runtime_sample(c: &mut Criterion) {
+    let (catalog, _cpu, leds) = blink_catalog();
+    let mut group = c.benchmark_group("runtime");
+    for (name, mode) in [
+        ("log_mode", AccountingMode::Log),
+        ("counters_mode", AccountingMode::Counters),
+    ] {
+        group.bench_function(format!("power_state_change_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    QuantoRuntime::new(
+                        quanto_core::NodeId(1),
+                        &catalog,
+                        RuntimeConfig {
+                            mode,
+                            overflow_policy: OverflowPolicy::Wrap,
+                            ..RuntimeConfig::default()
+                        },
+                    )
+                },
+                |mut rt| {
+                    for i in 0..1000u32 {
+                        let stamp = Stamp::new(SimTime::from_micros(i as u64 * 10), i);
+                        rt.set_power_state(stamp, leds[0], (i % 2) as u16);
+                    }
+                    rt
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_entry_codec(c: &mut Criterion) {
+    let entry = LogEntry::power_state(SimTime::from_micros(123_456), 789, SinkId(3), 1);
+    c.bench_function("entry_encode_decode", |b| {
+        b.iter(|| {
+            let bytes = std::hint::black_box(entry).encode();
+            LogEntry::decode(&bytes).unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_ram_logger, bench_runtime_sample, bench_entry_codec);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: end-to-end simulation throughput — how long it takes to
+//! run the paper's workloads (Blink, Bounce, LPL) on the host, and the
+//! overhead-ablation comparing a Quanto-instrumented node against an
+//! uninstrumented one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hw_model::SimDuration;
+use os_sim::{NodeConfig, Simulator};
+use quanto_apps::{run_bounce, run_lpl_experiment, BlinkApp};
+use quanto_core::NodeId;
+
+fn bench_blink(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    group.sample_size(10);
+    group.bench_function("blink_8s", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(NodeConfig::new(NodeId(1)), Box::new(BlinkApp::new()));
+            sim.run_for(SimDuration::from_secs(8))
+        });
+    });
+    group.bench_function("bounce_2s_two_nodes", |b| {
+        b.iter(|| run_bounce(SimDuration::from_secs(2)));
+    });
+    group.bench_function("lpl_14s_channel17", |b| {
+        b.iter(|| run_lpl_experiment(17, SimDuration::from_secs(14), 0.18));
+    });
+    group.finish();
+}
+
+fn bench_quanto_overhead_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quanto_overhead_ablation");
+    group.sample_size(10);
+    for (name, enabled) in [("instrumented", true), ("uninstrumented", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let config = NodeConfig {
+                    quanto_enabled: enabled,
+                    ..NodeConfig::new(NodeId(1))
+                };
+                let mut sim = Simulator::new(config, Box::new(BlinkApp::new()));
+                sim.run_for(SimDuration::from_secs(8))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blink, bench_quanto_overhead_ablation);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figure 15: the surprising 16 Hz TimerA1 interrupt — the DCO calibration
+//! that runs whether or not anything needs it.
+
+use analysis::TextTable;
+use hw_model::SimDuration;
+use os_sim::{NodeConfig, Simulator};
+use quanto_apps::{ExperimentContext, TimerProbeApp};
+use quanto_core::NodeId;
+
+fn main() {
+    let duration = quanto_bench::duration_from_args(4);
+    quanto_bench::header("Figure 15 — the always-on DCO calibration interrupt", "Section 4.3");
+
+    let config = NodeConfig::new(NodeId(32));
+    let mut sim = Simulator::new(config, Box::new(TimerProbeApp::default()));
+    let out = sim.run_for(duration);
+    let ctx = ExperimentContext::from_kernel(sim.node().kernel());
+
+    let segs = analysis::activity_segments(&out.log, ctx.cpu_dev, false, Some(out.final_stamp));
+    let a1: Vec<_> = segs
+        .iter()
+        .filter(|s| ctx.label_name(s.label).ends_with(":int_TIMERA1"))
+        .collect();
+
+    println!("CPU activity timeline over a 1-second window:");
+    let mut t = TextTable::new(vec!["start (ms)", "end (ms)", "activity"]);
+    for s in segs.iter().filter(|s| {
+        s.start.as_secs_f64() >= 1.0 && s.start.as_secs_f64() < 2.0 && !s.label.is_idle()
+    }) {
+        t.row(vec![
+            format!("{:.3}", s.start.as_millis_f64()),
+            format!("{:.3}", s.end.as_millis_f64()),
+            ctx.label_name(s.label),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let rate = a1.len() as f64 / duration.as_secs_f64();
+    println!(
+        "int_TIMERA1 proxy segments: {} over {:.0} s -> {:.1} Hz (paper: 16 Hz)",
+        a1.len(),
+        duration.as_secs_f64(),
+        rate
+    );
+
+    // With the calibration disabled the interrupt disappears.
+    let quiet = NodeConfig {
+        dco_calibration: false,
+        ..NodeConfig::new(NodeId(32))
+    };
+    let mut sim2 = Simulator::new(quiet, Box::new(TimerProbeApp::default()));
+    let out2 = sim2.run_for(duration);
+    let ctx2 = ExperimentContext::from_kernel(sim2.node().kernel());
+    let segs2 = analysis::activity_segments(&out2.log, ctx2.cpu_dev, false, Some(out2.final_stamp));
+    let a1_quiet = segs2
+        .iter()
+        .filter(|s| ctx2.label_name(s.label).ends_with(":int_TIMERA1"))
+        .count();
+    println!("With calibration disabled: {a1_quiet} TimerA1 segments (the fix TinyOS developers wanted)");
+    let _ = SimDuration::from_secs(1);
+}

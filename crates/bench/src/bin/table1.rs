@@ -1,0 +1,29 @@
+//! Table 1: the HydroWatch platform's energy sinks, power states and nominal
+//! current draws at 3 V.
+
+use analysis::{si, TextTable};
+use hw_model::catalog::hydrowatch;
+
+fn main() {
+    quanto_bench::header("Table 1 — platform energy sinks and power states", "Section 2.3");
+    let (catalog, _ids) = hydrowatch();
+    let mut table = TextTable::new(vec!["Energy sink", "Class", "Power state", "Nominal current"])
+        .with_title("Energy sinks and nominal draws (3 V, 1 MHz)");
+    for (_, sink) in catalog.sinks() {
+        for state in &sink.states {
+            table.row(vec![
+                sink.name.clone(),
+                sink.class.to_string(),
+                state.name.clone(),
+                si(state.current.as_micro_amps() * 1e-6, "A"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "{} sinks, {} power states, {} regression columns",
+        catalog.sink_count(),
+        catalog.total_state_count(),
+        catalog.column_count()
+    );
+}

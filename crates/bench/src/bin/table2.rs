@@ -1,0 +1,45 @@
+//! Table 2 (and the iCount linearity check behind Figure 10): oscilloscope
+//! currents for the eight steady states of Blink, and the per-LED currents
+//! recovered by the regression.
+
+use analysis::{pct, TextTable};
+use quanto_apps::calibration_experiment;
+
+fn main() {
+    let duration = quanto_bench::duration_from_args(48);
+    quanto_bench::header("Table 2 — Blink calibration", "Section 4.1");
+    let cal = calibration_experiment(duration);
+
+    let mut obs = TextTable::new(vec!["L0", "L1", "L2", "Scope I (mA)", "Fitted I (mA)", "Time (s)"])
+        .with_title("Steady-state currents (X, Y and XΠ columns)");
+    for row in &cal.rows {
+        obs.row(vec![
+            u8::from(row.leds[0]).to_string(),
+            u8::from(row.leds[1]).to_string(),
+            u8::from(row.leds[2]).to_string(),
+            format!("{:.3}", row.scope_current.as_milli_amps()),
+            format!("{:.3}", row.fitted_current.as_milli_amps()),
+            format!("{:.1}", row.time.as_secs_f64()),
+        ]);
+    }
+    println!("{}", obs.render());
+
+    let mut pi = TextTable::new(vec!["Component", "I (mA)"]).with_title("Regression result (Π)");
+    pi.row(vec!["LED0 (red)".to_string(), format!("{:.3}", cal.led_currents[0].as_milli_amps())]);
+    pi.row(vec!["LED1 (green)".to_string(), format!("{:.3}", cal.led_currents[1].as_milli_amps())]);
+    pi.row(vec!["LED2 (blue)".to_string(), format!("{:.3}", cal.led_currents[2].as_milli_amps())]);
+    pi.row(vec!["Const.".to_string(), format!("{:.3}", cal.constant_current.as_milli_amps())]);
+    println!("{}", pi.render());
+
+    println!("Relative error ||Y - XPi|| / ||Y||: {} (paper: 0.83 %)", pct(cal.relative_error));
+    if let Some(fit) = cal.current_vs_frequency {
+        println!(
+            "I_avg vs switching frequency: I = {:.3}*f {:+.3}, R^2 = {:.5} (paper: 2.77, -0.05, 0.99995)",
+            fit.slope, fit.intercept, fit.r_squared
+        );
+    }
+    println!(
+        "Implied energy per iCount pulse: {:.2} uJ (paper: 8.33 uJ)",
+        cal.energy_per_pulse.as_micro_joules()
+    );
+}

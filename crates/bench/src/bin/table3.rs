@@ -1,0 +1,96 @@
+//! Table 3 (and Figure 11): the complete Blink breakdown — time per
+//! (hardware component, activity), the regression, energy per hardware
+//! component and energy per activity.
+
+use analysis::{pct, TextTable};
+use quanto_apps::blink_profile;
+
+fn main() {
+    let duration = quanto_bench::duration_from_args(48);
+    quanto_bench::header("Table 3 — where the joules have gone in Blink", "Section 4.2.1");
+    let profile = blink_profile(duration);
+    let bd = &profile.breakdown;
+    let ctx = &profile.run.context;
+
+    // (a) Time breakdown.
+    let mut ta = TextTable::new(vec!["Device", "Activity", "Time (s)"])
+        .with_title("Table 3a — time per (device, activity)");
+    for ((dev, label), time) in &bd.time_per_device_activity {
+        if time.as_secs_f64() < 0.0005 {
+            continue;
+        }
+        ta.row(vec![
+            ctx.device_name(*dev).to_string(),
+            ctx.label_name(*label),
+            format!("{:.4}", time.as_secs_f64()),
+        ]);
+    }
+    println!("{}", ta.render());
+
+    // (b) Regression result.
+    let mut tb = TextTable::new(vec!["Column", "I (mA)", "P (mW)"])
+        .with_title("Table 3b — regression result");
+    for (i, col) in bd.regression.columns.iter().enumerate() {
+        let p = bd.regression.power_uw[i];
+        tb.row(vec![
+            ctx.catalog.column_label(*col),
+            format!("{:.3}", p / ctx.supply.as_volts() / 1000.0),
+            format!("{:.3}", p / 1000.0),
+        ]);
+    }
+    tb.row(vec![
+        "Const.".to_string(),
+        format!("{:.3}", bd.regression.constant_uw / ctx.supply.as_volts() / 1000.0),
+        format!("{:.3}", bd.regression.constant_uw / 1000.0),
+    ]);
+    println!("{}", tb.render());
+
+    // (c) Energy per hardware component.
+    let mut tc = TextTable::new(vec!["Component", "Energy (mJ)"])
+        .with_title("Table 3c — energy per hardware component");
+    for (sink, e) in &bd.energy_per_sink {
+        if e.as_milli_joules() < 0.001 {
+            continue;
+        }
+        tc.row(vec![
+            ctx.catalog.sink(*sink).name.clone(),
+            format!("{:.2}", e.as_milli_joules()),
+        ]);
+    }
+    tc.row(vec!["Const.".to_string(), format!("{:.2}", bd.constant_energy.as_milli_joules())]);
+    tc.row(vec!["Total".to_string(), format!("{:.2}", bd.total_reconstructed.as_milli_joules())]);
+    println!("{}", tc.render());
+
+    // (d) Energy per activity.
+    let mut td = TextTable::new(vec!["Activity", "Energy (mJ)"])
+        .with_title("Table 3d — energy per activity");
+    for (label, e) in &bd.energy_per_activity {
+        if e.as_milli_joules() < 0.01 {
+            continue;
+        }
+        td.row(vec![ctx.label_name(*label), format!("{:.2}", e.as_milli_joules())]);
+    }
+    td.row(vec!["Const.".to_string(), format!("{:.2}", bd.constant_energy.as_milli_joules())]);
+    println!("{}", td.render());
+
+    println!("Total measured energy:      {:.2} mJ", bd.total_measured.as_milli_joules());
+    println!("Total reconstructed energy: {:.2} mJ", bd.total_reconstructed.as_milli_joules());
+    println!(
+        "Reconstruction error: {} (paper: 0.004 %)",
+        pct(profile.reconstruction_error)
+    );
+    println!(
+        "Log entries: {} over {:.0} s (paper: 597 over 48 s)",
+        profile.log_entries,
+        bd.total_time.as_secs_f64()
+    );
+    println!(
+        "Logging share of active CPU time: {} (paper: 71.05 %); of total CPU time: {} (paper: 0.12 %)",
+        pct(profile.logging_active_fraction),
+        pct(profile.logging_cpu_fraction)
+    );
+    println!(
+        "Energy spent logging: {:.2} mJ (paper: 0.41 mJ)",
+        profile.logging_energy.as_milli_joules()
+    );
+}

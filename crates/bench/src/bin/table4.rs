@@ -1,0 +1,55 @@
+//! Table 4 (and the logging-overhead numbers of Section 4.4): the cost of
+//! Quanto's own logging.
+
+use analysis::{pct, TextTable};
+use quanto_apps::blink_profile;
+use quanto_core::{CostModel, RamLogger, ENTRY_SIZE_BYTES};
+
+fn main() {
+    let duration = quanto_bench::duration_from_args(48);
+    quanto_bench::header("Table 4 — costs of logging", "Section 4.4");
+
+    let cost = CostModel::paper();
+    let mut t = TextTable::new(vec!["Quantity", "Value"]).with_title("Logging cost model");
+    t.row(vec!["Buffer size".to_string(), format!("{} samples", RamLogger::DEFAULT_CAPACITY)]);
+    t.row(vec!["Sample size".to_string(), format!("{ENTRY_SIZE_BYTES} bytes")]);
+    t.row(vec![
+        "Cost of logging".to_string(),
+        format!("{} cycles @ 1 MHz", cost.cycles_per_sample()),
+    ]);
+    t.row(vec!["  Call overhead".to_string(), format!("{} cycles", cost.call_overhead_cycles)]);
+    t.row(vec!["  Read timer".to_string(), format!("{} cycles", cost.read_timer_cycles)]);
+    t.row(vec!["  Read iCount".to_string(), format!("{} cycles", cost.read_icount_cycles)]);
+    t.row(vec!["  Others".to_string(), format!("{} cycles", cost.other_cycles)]);
+    println!("{}", t.render());
+
+    println!("Measured on the {}-second Blink run:", duration.as_secs_f64());
+    let profile = blink_profile(duration);
+    let mut m = TextTable::new(vec!["Quantity", "Measured", "Paper (48 s run)"]);
+    m.row(vec![
+        "Log entries".to_string(),
+        profile.log_entries.to_string(),
+        "597".to_string(),
+    ]);
+    m.row(vec![
+        "Logging share of active CPU time".to_string(),
+        pct(profile.logging_active_fraction),
+        "71.05 %".to_string(),
+    ]);
+    m.row(vec![
+        "Logging share of total CPU time".to_string(),
+        pct(profile.logging_cpu_fraction),
+        "0.12 %".to_string(),
+    ]);
+    m.row(vec![
+        "Energy spent logging".to_string(),
+        format!("{:.2} mJ", profile.logging_energy.as_milli_joules()),
+        "0.41 mJ".to_string(),
+    ]);
+    m.row(vec![
+        "RAM per sample".to_string(),
+        format!("{ENTRY_SIZE_BYTES} bytes"),
+        "12 bytes".to_string(),
+    ]);
+    println!("{}", m.render());
+}

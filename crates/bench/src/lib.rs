@@ -1,0 +1,40 @@
+//! Shared helpers for the reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper.
+//! They all print fixed-width text tables via `analysis::report` and accept a
+//! `--seconds N` argument to shorten or lengthen the underlying simulation.
+
+use hw_model::SimDuration;
+
+/// Parses a `--seconds N` argument, falling back to `default_secs`.
+pub fn duration_from_args(default_secs: u64) -> SimDuration {
+    let args: Vec<String> = std::env::args().collect();
+    let mut secs = default_secs;
+    for i in 0..args.len() {
+        if args[i] == "--seconds" {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                secs = v;
+            }
+        }
+    }
+    SimDuration::from_secs(secs)
+}
+
+/// Prints a section header shared by all harnesses.
+pub fn header(what: &str, paper_ref: &str) {
+    println!();
+    println!("================================================================");
+    println!("Quanto reproduction — {what}");
+    println!("Paper reference: {paper_ref}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_duration_used_without_args() {
+        assert_eq!(duration_from_args(48), SimDuration::from_secs(48));
+    }
+}

@@ -1,0 +1,277 @@
+//! Activity labels: Quanto's resource principal.
+//!
+//! Following Rialto and Resource Containers, an *activity* is "the
+//! abstraction to which resources are allocated and to which resource usage
+//! is charged" — a logical set of operations whose resource consumption
+//! should be grouped together, independent of threads, processes or hardware
+//! components.  Quanto represents an activity by a label `<origin node : id>`
+//! encoded in 16 bits so that it can ride inside every radio packet, which
+//! supports networks of up to 256 nodes with 256 distinct activity ids.
+
+use std::fmt;
+
+/// Identifier of a node in the network (the `origin node` half of a label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeId(pub u8);
+
+impl NodeId {
+    /// Returns the raw id.
+    pub const fn as_u8(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Node-local activity identifier (the `id` half of a label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ActivityId(pub u8);
+
+impl ActivityId {
+    /// The reserved "idle / no activity" id.
+    pub const IDLE: ActivityId = ActivityId(0);
+
+    /// Returns the raw id.
+    pub const fn as_u8(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for ActivityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A 16-bit activity label `<origin node : id>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ActivityLabel {
+    /// The node where the activity originated.
+    pub origin: NodeId,
+    /// The node-local activity id.
+    pub id: ActivityId,
+}
+
+impl ActivityLabel {
+    /// The distinguished idle label (node 0, id 0).
+    pub const IDLE: ActivityLabel = ActivityLabel {
+        origin: NodeId(0),
+        id: ActivityId(0),
+    };
+
+    /// Creates a label.
+    pub const fn new(origin: NodeId, id: ActivityId) -> Self {
+        ActivityLabel { origin, id }
+    }
+
+    /// Returns true if this is an idle label (id 0 on any node).
+    pub const fn is_idle(self) -> bool {
+        self.id.0 == 0
+    }
+
+    /// Encodes the label as the 16-bit wire/log format: origin in the high
+    /// byte, id in the low byte.
+    pub const fn encode(self) -> u16 {
+        ((self.origin.0 as u16) << 8) | self.id.0 as u16
+    }
+
+    /// Decodes a label from its 16-bit wire/log format.
+    pub const fn decode(raw: u16) -> Self {
+        ActivityLabel {
+            origin: NodeId((raw >> 8) as u8),
+            id: ActivityId((raw & 0xFF) as u8),
+        }
+    }
+}
+
+impl fmt::Display for ActivityLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.origin, self.id)
+    }
+}
+
+/// How an activity id is used, for reporting purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivityKind {
+    /// The idle / no-work label.
+    Idle,
+    /// A programmer-defined application activity ("Red", "BounceApp", ...).
+    Application,
+    /// An OS-internal activity (the virtual timer, the scheduler, ...).
+    System,
+    /// A proxy activity statically bound to an interrupt source; its usage is
+    /// re-assigned once the real activity becomes known.
+    Proxy,
+}
+
+/// A node-local registry of activity ids, names and kinds.
+///
+/// The registry is pure bookkeeping for humans: labels on the wire and in the
+/// log are just 16-bit integers.  Keeping names out of the hot path mirrors
+/// the paper, where ids are statically defined integers.
+#[derive(Debug, Clone)]
+pub struct ActivityRegistry {
+    node: NodeId,
+    names: Vec<(ActivityId, String, ActivityKind)>,
+    next_id: u8,
+}
+
+impl ActivityRegistry {
+    /// Creates a registry for a node; id 0 is pre-registered as "Idle".
+    pub fn new(node: NodeId) -> Self {
+        ActivityRegistry {
+            node,
+            names: vec![(ActivityId::IDLE, "Idle".to_string(), ActivityKind::Idle)],
+            next_id: 1,
+        }
+    }
+
+    /// The node this registry belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Registers a new activity and returns its label on this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all 255 non-idle ids on this node are exhausted.
+    pub fn define(&mut self, name: impl Into<String>, kind: ActivityKind) -> ActivityLabel {
+        assert!(self.next_id != 0, "activity ids exhausted (max 255 per node)");
+        let id = ActivityId(self.next_id);
+        self.next_id = self.next_id.wrapping_add(1);
+        self.names.push((id, name.into(), kind));
+        ActivityLabel::new(self.node, id)
+    }
+
+    /// Registers a programmer-defined application activity.
+    pub fn define_app(&mut self, name: impl Into<String>) -> ActivityLabel {
+        self.define(name, ActivityKind::Application)
+    }
+
+    /// Registers an OS-internal activity.
+    pub fn define_system(&mut self, name: impl Into<String>) -> ActivityLabel {
+        self.define(name, ActivityKind::System)
+    }
+
+    /// Registers a proxy activity for an interrupt source.  By convention the
+    /// paper names these `int_<SOURCE>` or `pxy_<SOURCE>`.
+    pub fn define_proxy(&mut self, name: impl Into<String>) -> ActivityLabel {
+        self.define(name, ActivityKind::Proxy)
+    }
+
+    /// The idle label for this node.
+    pub fn idle(&self) -> ActivityLabel {
+        ActivityLabel::new(self.node, ActivityId::IDLE)
+    }
+
+    /// Looks up the name of an id registered on this node.
+    pub fn name(&self, id: ActivityId) -> Option<&str> {
+        self.names
+            .iter()
+            .find(|(i, _, _)| *i == id)
+            .map(|(_, n, _)| n.as_str())
+    }
+
+    /// Looks up the kind of an id registered on this node.
+    pub fn kind(&self, id: ActivityId) -> Option<ActivityKind> {
+        self.names.iter().find(|(i, _, _)| *i == id).map(|(_, _, k)| *k)
+    }
+
+    /// Renders a label as `origin:name` when the label originates here, or
+    /// `origin:#id` otherwise (a remote registry would know the name).
+    pub fn label_name(&self, label: ActivityLabel) -> String {
+        if label.origin == self.node {
+            if let Some(name) = self.name(label.id) {
+                return format!("{}:{}", label.origin, name);
+            }
+        }
+        format!("{}:#{}", label.origin, label.id)
+    }
+
+    /// Iterates over all registered `(id, name, kind)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ActivityId, &str, ActivityKind)> {
+        self.names.iter().map(|(i, n, k)| (*i, n.as_str(), *k))
+    }
+
+    /// Number of registered activities (including Idle).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns true if only the idle activity is registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_encoding_round_trips() {
+        let l = ActivityLabel::new(NodeId(4), ActivityId(17));
+        assert_eq!(l.encode(), 0x0411);
+        assert_eq!(ActivityLabel::decode(0x0411), l);
+        assert_eq!(ActivityLabel::decode(l.encode()), l);
+        assert_eq!(ActivityLabel::IDLE.encode(), 0);
+        assert!(ActivityLabel::IDLE.is_idle());
+        assert!(!l.is_idle());
+        assert_eq!(format!("{l}"), "4:17");
+    }
+
+    #[test]
+    fn every_label_round_trips() {
+        for origin in [0u8, 1, 7, 255] {
+            for id in [0u8, 1, 128, 255] {
+                let l = ActivityLabel::new(NodeId(origin), ActivityId(id));
+                assert_eq!(ActivityLabel::decode(l.encode()), l);
+            }
+        }
+    }
+
+    #[test]
+    fn registry_assigns_sequential_ids() {
+        let mut reg = ActivityRegistry::new(NodeId(1));
+        let red = reg.define_app("Red");
+        let green = reg.define_app("Green");
+        let vtimer = reg.define_system("VTimer");
+        let int_timer = reg.define_proxy("int_TIMER");
+        assert_eq!(red.id, ActivityId(1));
+        assert_eq!(green.id, ActivityId(2));
+        assert_eq!(vtimer.id, ActivityId(3));
+        assert_eq!(int_timer.id, ActivityId(4));
+        assert_eq!(red.origin, NodeId(1));
+        assert_eq!(reg.name(ActivityId(1)), Some("Red"));
+        assert_eq!(reg.kind(ActivityId(4)), Some(ActivityKind::Proxy));
+        assert_eq!(reg.kind(ActivityId(0)), Some(ActivityKind::Idle));
+        assert_eq!(reg.len(), 5);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn label_name_formats_local_and_remote() {
+        let mut reg = ActivityRegistry::new(NodeId(1));
+        let bounce = reg.define_app("BounceApp");
+        assert_eq!(reg.label_name(bounce), "1:BounceApp");
+        let remote = ActivityLabel::new(NodeId(4), ActivityId(1));
+        assert_eq!(reg.label_name(remote), "4:#1");
+        assert_eq!(reg.label_name(reg.idle()), "1:Idle");
+    }
+
+    #[test]
+    fn registry_is_per_node() {
+        let mut a = ActivityRegistry::new(NodeId(1));
+        let mut b = ActivityRegistry::new(NodeId(4));
+        let la = a.define_app("BounceApp");
+        let lb = b.define_app("BounceApp");
+        assert_ne!(la, lb);
+        assert_eq!(la.id, lb.id);
+        assert_ne!(la.origin, lb.origin);
+    }
+}

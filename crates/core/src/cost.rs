@@ -1,0 +1,125 @@
+//! The cost model of Quanto itself (Table 4).
+//!
+//! Using Quanto is not free: each logged sample costs about 102 CPU cycles at
+//! 1 MHz (41 cycles of call overhead, 19 to read the timer, 24 to read
+//! iCount, 18 for everything else) and 12 bytes of RAM.  The simulator
+//! charges these costs back to the instrumented node so that, like the
+//! paper's `top`-style continuous mode, Quanto can account for its own
+//! overhead.
+
+use crate::log::ENTRY_SIZE_BYTES;
+
+/// Per-sample cost parameters, straight from Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cycles of call overhead per logged sample.
+    pub call_overhead_cycles: u32,
+    /// Cycles to read the timer.
+    pub read_timer_cycles: u32,
+    /// Cycles to read the iCount register.
+    pub read_icount_cycles: u32,
+    /// Remaining cycles (buffer management, stores).
+    pub other_cycles: u32,
+    /// Bytes of RAM per sample.
+    pub sample_bytes: u32,
+    /// CPU clock frequency in Hz (1 MHz on the paper's platform).
+    pub clock_hz: u64,
+}
+
+impl CostModel {
+    /// The paper's measured costs: 102 cycles per sample at 1 MHz.
+    pub const fn paper() -> Self {
+        CostModel {
+            call_overhead_cycles: 41,
+            read_timer_cycles: 19,
+            read_icount_cycles: 24,
+            other_cycles: 18,
+            sample_bytes: ENTRY_SIZE_BYTES as u32,
+            clock_hz: 1_000_000,
+        }
+    }
+
+    /// Total cycles per logged sample.
+    pub const fn cycles_per_sample(&self) -> u32 {
+        self.call_overhead_cycles
+            + self.read_timer_cycles
+            + self.read_icount_cycles
+            + self.other_cycles
+    }
+
+    /// Time per logged sample in microseconds (fractional).
+    pub fn micros_per_sample(&self) -> f64 {
+        self.cycles_per_sample() as f64 * 1_000_000.0 / self.clock_hz as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper()
+    }
+}
+
+/// Accumulated overhead spent on Quanto's own bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostStats {
+    /// Samples logged (synchronous part).
+    pub samples: u64,
+    /// Total CPU cycles spent logging.
+    pub cycles: u64,
+    /// Total bytes written to the RAM log.
+    pub bytes: u64,
+}
+
+impl CostStats {
+    /// Charges one logged sample.
+    pub fn charge_sample(&mut self, model: &CostModel) {
+        self.samples += 1;
+        self.cycles += model.cycles_per_sample() as u64;
+        self.bytes += model.sample_bytes as u64;
+    }
+
+    /// Total time spent logging, in microseconds.
+    pub fn total_micros(&self, model: &CostModel) -> f64 {
+        self.cycles as f64 * 1_000_000.0 / model.clock_hz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_costs_sum_to_102_cycles() {
+        let m = CostModel::paper();
+        assert_eq!(m.cycles_per_sample(), 102);
+        assert_eq!(m.sample_bytes, 12);
+        // At 1 MHz, 102 cycles is 102 us, matching the measured 101.7 us.
+        assert!((m.micros_per_sample() - 102.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let m = CostModel::paper();
+        let mut s = CostStats::default();
+        for _ in 0..597 {
+            s.charge_sample(&m);
+        }
+        assert_eq!(s.samples, 597);
+        assert_eq!(s.cycles, 597 * 102);
+        assert_eq!(s.bytes, 597 * 12);
+        // 597 samples * 102 us ~= 60.9 ms, close to the paper's 60.71 ms for
+        // the 48-second Blink run.
+        let ms = s.total_micros(&m) / 1000.0;
+        assert!((ms - 60.894).abs() < 1e-3, "logging time {ms} ms");
+    }
+
+    #[test]
+    fn faster_clock_reduces_time_not_cycles() {
+        let m = CostModel {
+            clock_hz: 8_000_000,
+            ..CostModel::paper()
+        };
+        assert_eq!(m.cycles_per_sample(), 102);
+        assert!((m.micros_per_sample() - 12.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,337 @@
+//! Activity state of devices.
+//!
+//! Quanto distinguishes devices that can only work on behalf of one activity
+//! at a time (the CPU, the radio transmit path — `SingleActivityDevice`) from
+//! devices that can serve several activities simultaneously (hardware timers,
+//! the radio receive path while listening — `MultiActivityDevice`).  Each
+//! hardware component is represented by one instance of these interfaces and
+//! keeps its activity state globally accessible (Figures 5 and 6).
+
+use crate::activity::ActivityLabel;
+use std::fmt;
+
+/// Identifier of a Quanto-tracked device (resource) on one node.
+///
+/// This is the `res_id` that appears in log entries, so it is deliberately a
+/// single byte, like in the paper's 12-byte entry format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct DeviceId(pub u8);
+
+impl DeviceId {
+    /// Returns the raw id.
+    pub const fn as_u8(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev#{}", self.0)
+    }
+}
+
+/// Whether a device carries one activity or a set of activities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// One activity at a time (CPU, radio TX, flash, sensor, LED).
+    Single,
+    /// A set of concurrent activities (hardware timer, radio RX while
+    /// listening).
+    Multi,
+}
+
+/// Activity state of a single-activity device.
+#[derive(Debug, Clone)]
+pub struct SingleActivityState {
+    /// Device name, e.g. `"cpu"` or `"radio"`.
+    pub name: String,
+    /// The activity currently charged for this device's work.
+    pub current: ActivityLabel,
+}
+
+/// Activity state of a multi-activity device.
+#[derive(Debug, Clone)]
+pub struct MultiActivityState {
+    /// Device name, e.g. `"timer_a"`.
+    pub name: String,
+    /// The set of activities currently sharing this device, in insertion
+    /// order.  Resource usage is split among them by the accounting policy
+    /// (the default, like the paper, is an equal split).
+    pub current: Vec<ActivityLabel>,
+}
+
+/// Error returned by multi-activity device operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiActivityError {
+    /// `add` was called with an activity already in the set.
+    AlreadyPresent,
+    /// `remove` was called with an activity not in the set.
+    NotPresent,
+}
+
+impl fmt::Display for MultiActivityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiActivityError::AlreadyPresent => write!(f, "activity already present"),
+            MultiActivityError::NotPresent => write!(f, "activity not present"),
+        }
+    }
+}
+
+impl std::error::Error for MultiActivityError {}
+
+/// The per-node table of tracked devices and their activity state.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceTable {
+    singles: Vec<SingleActivityState>,
+    multis: Vec<MultiActivityState>,
+    /// Maps DeviceId -> (kind, index into the per-kind vec).
+    index: Vec<(DeviceKind, usize)>,
+}
+
+impl DeviceTable {
+    /// Creates an empty device table.
+    pub fn new() -> Self {
+        DeviceTable::default()
+    }
+
+    /// Registers a single-activity device, initially idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 256 devices are registered (the log format's
+    /// `res_id` is one byte).
+    pub fn register_single(&mut self, name: impl Into<String>) -> DeviceId {
+        let id = self.next_id();
+        self.index.push((DeviceKind::Single, self.singles.len()));
+        self.singles.push(SingleActivityState {
+            name: name.into(),
+            current: ActivityLabel::IDLE,
+        });
+        id
+    }
+
+    /// Registers a multi-activity device with an empty activity set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 256 devices are registered.
+    pub fn register_multi(&mut self, name: impl Into<String>) -> DeviceId {
+        let id = self.next_id();
+        self.index.push((DeviceKind::Multi, self.multis.len()));
+        self.multis.push(MultiActivityState {
+            name: name.into(),
+            current: Vec::new(),
+        });
+        id
+    }
+
+    fn next_id(&self) -> DeviceId {
+        assert!(
+            self.index.len() < 256,
+            "at most 256 Quanto devices per node (res_id is one byte)"
+        );
+        DeviceId(self.index.len() as u8)
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Returns true if no devices are registered.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The kind of a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` was not registered.
+    pub fn kind(&self, dev: DeviceId) -> DeviceKind {
+        self.index[dev.as_u8() as usize].0
+    }
+
+    /// The name of a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` was not registered.
+    pub fn name(&self, dev: DeviceId) -> &str {
+        let (kind, i) = self.index[dev.as_u8() as usize];
+        match kind {
+            DeviceKind::Single => &self.singles[i].name,
+            DeviceKind::Multi => &self.multis[i].name,
+        }
+    }
+
+    /// Looks up a device by name.
+    pub fn by_name(&self, name: &str) -> Option<DeviceId> {
+        (0..self.index.len())
+            .map(|i| DeviceId(i as u8))
+            .find(|d| self.name(*d) == name)
+    }
+
+    /// Iterates over all registered device ids.
+    pub fn ids(&self) -> impl Iterator<Item = DeviceId> {
+        (0..self.index.len() as u8).map(DeviceId)
+    }
+
+    /// The current activity of a single-activity device
+    /// (`SingleActivityDevice.get`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` is not a registered single-activity device.
+    pub fn single_get(&self, dev: DeviceId) -> ActivityLabel {
+        let (kind, i) = self.index[dev.as_u8() as usize];
+        assert_eq!(kind, DeviceKind::Single, "{dev} is not a single-activity device");
+        self.singles[i].current
+    }
+
+    /// Sets the current activity of a single-activity device
+    /// (`SingleActivityDevice.set`).  Returns the previous activity, or
+    /// `None` if the label did not change (redundant sets are idempotent and
+    /// should not be logged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` is not a registered single-activity device.
+    pub fn single_set(&mut self, dev: DeviceId, label: ActivityLabel) -> Option<ActivityLabel> {
+        let (kind, i) = self.index[dev.as_u8() as usize];
+        assert_eq!(kind, DeviceKind::Single, "{dev} is not a single-activity device");
+        let prev = self.singles[i].current;
+        if prev == label {
+            None
+        } else {
+            self.singles[i].current = label;
+            Some(prev)
+        }
+    }
+
+    /// The current activity set of a multi-activity device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` is not a registered multi-activity device.
+    pub fn multi_get(&self, dev: DeviceId) -> &[ActivityLabel] {
+        let (kind, i) = self.index[dev.as_u8() as usize];
+        assert_eq!(kind, DeviceKind::Multi, "{dev} is not a multi-activity device");
+        &self.multis[i].current
+    }
+
+    /// Adds an activity to a multi-activity device
+    /// (`MultiActivityDevice.add`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` is not a registered multi-activity device.
+    pub fn multi_add(
+        &mut self,
+        dev: DeviceId,
+        label: ActivityLabel,
+    ) -> Result<(), MultiActivityError> {
+        let (kind, i) = self.index[dev.as_u8() as usize];
+        assert_eq!(kind, DeviceKind::Multi, "{dev} is not a multi-activity device");
+        if self.multis[i].current.contains(&label) {
+            return Err(MultiActivityError::AlreadyPresent);
+        }
+        self.multis[i].current.push(label);
+        Ok(())
+    }
+
+    /// Removes an activity from a multi-activity device
+    /// (`MultiActivityDevice.remove`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dev` is not a registered multi-activity device.
+    pub fn multi_remove(
+        &mut self,
+        dev: DeviceId,
+        label: ActivityLabel,
+    ) -> Result<(), MultiActivityError> {
+        let (kind, i) = self.index[dev.as_u8() as usize];
+        assert_eq!(kind, DeviceKind::Multi, "{dev} is not a multi-activity device");
+        let pos = self.multis[i]
+            .current
+            .iter()
+            .position(|l| *l == label)
+            .ok_or(MultiActivityError::NotPresent)?;
+        self.multis[i].current.remove(pos);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{ActivityId, NodeId};
+
+    fn label(id: u8) -> ActivityLabel {
+        ActivityLabel::new(NodeId(1), ActivityId(id))
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut t = DeviceTable::new();
+        let cpu = t.register_single("cpu");
+        let timer = t.register_multi("timer_a");
+        let radio = t.register_single("radio");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.kind(cpu), DeviceKind::Single);
+        assert_eq!(t.kind(timer), DeviceKind::Multi);
+        assert_eq!(t.name(radio), "radio");
+        assert_eq!(t.by_name("timer_a"), Some(timer));
+        assert_eq!(t.by_name("nope"), None);
+        assert_eq!(t.ids().count(), 3);
+    }
+
+    #[test]
+    fn single_set_reports_previous_and_dedups() {
+        let mut t = DeviceTable::new();
+        let cpu = t.register_single("cpu");
+        assert_eq!(t.single_get(cpu), ActivityLabel::IDLE);
+        assert_eq!(t.single_set(cpu, label(3)), Some(ActivityLabel::IDLE));
+        assert_eq!(t.single_set(cpu, label(3)), None);
+        assert_eq!(t.single_set(cpu, label(4)), Some(label(3)));
+        assert_eq!(t.single_get(cpu), label(4));
+    }
+
+    #[test]
+    fn multi_add_remove() {
+        let mut t = DeviceTable::new();
+        let timer = t.register_multi("timer");
+        assert!(t.multi_get(timer).is_empty());
+        t.multi_add(timer, label(1)).unwrap();
+        t.multi_add(timer, label(2)).unwrap();
+        assert_eq!(
+            t.multi_add(timer, label(1)),
+            Err(MultiActivityError::AlreadyPresent)
+        );
+        assert_eq!(t.multi_get(timer), &[label(1), label(2)]);
+        t.multi_remove(timer, label(1)).unwrap();
+        assert_eq!(
+            t.multi_remove(timer, label(1)),
+            Err(MultiActivityError::NotPresent)
+        );
+        assert_eq!(t.multi_get(timer), &[label(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a single-activity device")]
+    fn single_ops_on_multi_device_panic() {
+        let mut t = DeviceTable::new();
+        let timer = t.register_multi("timer");
+        let _ = t.single_get(timer);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multi-activity device")]
+    fn multi_ops_on_single_device_panic() {
+        let mut t = DeviceTable::new();
+        let cpu = t.register_single("cpu");
+        let _ = t.multi_add(cpu, label(1));
+    }
+}

@@ -1,0 +1,273 @@
+//! The Quanto event log entry.
+//!
+//! Every power-state change and every activity change produces one 12-byte
+//! entry (Figure 17 in the paper):
+//!
+//! ```text
+//! typedef struct entry_t {
+//!     uint8_t  type;    // type of the entry
+//!     uint8_t  res_id;  // hardware resource for entry
+//!     uint32_t time;    // local time of the node
+//!     uint32_t ic;      // icount: cumulative energy
+//!     union {
+//!         uint16_t act;         // for ctx changes
+//!         uint16_t powerstate;  // for powerstate changes
+//!     };
+//! } entry_t;
+//! ```
+//!
+//! We keep exactly that layout — one type byte, one resource byte, a 32-bit
+//! local timestamp in microseconds (which wraps, as on the real hardware),
+//! the 32-bit iCount reading and a 16-bit payload.
+
+use crate::activity::ActivityLabel;
+use crate::device::DeviceId;
+use crate::power_state::PowerStateValue;
+use hw_model::{SimTime, SinkId};
+use std::fmt;
+
+/// Size of one encoded log entry, in bytes.
+pub const ENTRY_SIZE_BYTES: usize = 12;
+
+/// What a log entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntryKind {
+    /// An energy sink changed power state; `res_id` is the sink id and the
+    /// payload is the new `powerstate_t` value.
+    PowerState,
+    /// A single-activity device changed activity; the payload is the new
+    /// activity label.
+    ActivityChange,
+    /// A single-activity device *bound* its previous (proxy) activity to a
+    /// real activity; the payload is the real label.  Resource usage since
+    /// the proxy activity started is charged to the bound activity.
+    ActivityBind,
+    /// A multi-activity device added an activity to its set.
+    MultiAdd,
+    /// A multi-activity device removed an activity from its set.
+    MultiRemove,
+}
+
+impl EntryKind {
+    /// The on-wire type byte.
+    pub const fn as_u8(self) -> u8 {
+        match self {
+            EntryKind::PowerState => 0,
+            EntryKind::ActivityChange => 1,
+            EntryKind::ActivityBind => 2,
+            EntryKind::MultiAdd => 3,
+            EntryKind::MultiRemove => 4,
+        }
+    }
+
+    /// Decodes a type byte.
+    pub const fn from_u8(v: u8) -> Option<EntryKind> {
+        match v {
+            0 => Some(EntryKind::PowerState),
+            1 => Some(EntryKind::ActivityChange),
+            2 => Some(EntryKind::ActivityBind),
+            3 => Some(EntryKind::MultiAdd),
+            4 => Some(EntryKind::MultiRemove),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EntryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EntryKind::PowerState => "pwr",
+            EntryKind::ActivityChange => "act",
+            EntryKind::ActivityBind => "bind",
+            EntryKind::MultiAdd => "add",
+            EntryKind::MultiRemove => "rm",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One 12-byte Quanto log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogEntry {
+    /// What happened.
+    pub kind: EntryKind,
+    /// The sink (for power-state entries) or device (for activity entries).
+    pub res_id: u8,
+    /// Local node time in microseconds, truncated to 32 bits (wraps after
+    /// about 71.6 minutes, like the real platform's timer).
+    pub time_us: u32,
+    /// Cumulative iCount reading at the moment of the event.
+    pub icount: u32,
+    /// New power-state value or encoded activity label.
+    pub value: u16,
+}
+
+impl LogEntry {
+    /// Builds a power-state entry.
+    pub fn power_state(time: SimTime, icount: u32, sink: SinkId, value: PowerStateValue) -> Self {
+        LogEntry {
+            kind: EntryKind::PowerState,
+            res_id: sink.0 as u8,
+            time_us: (time.as_micros() & 0xFFFF_FFFF) as u32,
+            icount,
+            value,
+        }
+    }
+
+    /// Builds an activity entry of the given kind.
+    pub fn activity(
+        kind: EntryKind,
+        time: SimTime,
+        icount: u32,
+        dev: DeviceId,
+        label: ActivityLabel,
+    ) -> Self {
+        debug_assert!(kind != EntryKind::PowerState);
+        LogEntry {
+            kind,
+            res_id: dev.as_u8(),
+            time_us: (time.as_micros() & 0xFFFF_FFFF) as u32,
+            icount,
+            value: label.encode(),
+        }
+    }
+
+    /// The sink id, when this is a power-state entry.
+    pub fn sink(&self) -> Option<SinkId> {
+        (self.kind == EntryKind::PowerState).then_some(SinkId(self.res_id as u16))
+    }
+
+    /// The device id, when this is an activity entry.
+    pub fn device(&self) -> Option<DeviceId> {
+        (self.kind != EntryKind::PowerState).then_some(DeviceId(self.res_id))
+    }
+
+    /// The activity label, when this is an activity entry.
+    pub fn label(&self) -> Option<ActivityLabel> {
+        (self.kind != EntryKind::PowerState).then(|| ActivityLabel::decode(self.value))
+    }
+
+    /// Encodes the entry into its 12-byte wire format (little-endian fields,
+    /// matching the MSP430's byte order).
+    pub fn encode(&self) -> [u8; ENTRY_SIZE_BYTES] {
+        let mut out = [0u8; ENTRY_SIZE_BYTES];
+        out[0] = self.kind.as_u8();
+        out[1] = self.res_id;
+        out[2..6].copy_from_slice(&self.time_us.to_le_bytes());
+        out[6..10].copy_from_slice(&self.icount.to_le_bytes());
+        out[10..12].copy_from_slice(&self.value.to_le_bytes());
+        out
+    }
+
+    /// Decodes an entry from its 12-byte wire format.
+    ///
+    /// Returns `None` if the type byte is unknown.
+    pub fn decode(bytes: &[u8; ENTRY_SIZE_BYTES]) -> Option<Self> {
+        let kind = EntryKind::from_u8(bytes[0])?;
+        Some(LogEntry {
+            kind,
+            res_id: bytes[1],
+            time_us: u32::from_le_bytes(bytes[2..6].try_into().expect("slice length")),
+            icount: u32::from_le_bytes(bytes[6..10].try_into().expect("slice length")),
+            value: u16::from_le_bytes(bytes[10..12].try_into().expect("slice length")),
+        })
+    }
+}
+
+impl fmt::Display for LogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>10} us | ic {:>8}] {} res={} val=0x{:04x}",
+            self.time_us, self.icount, self.kind, self.res_id, self.value
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{ActivityId, NodeId};
+
+    #[test]
+    fn entry_is_twelve_bytes() {
+        assert_eq!(ENTRY_SIZE_BYTES, 12);
+        let e = LogEntry::power_state(SimTime::from_millis(5), 17, SinkId(3), 1);
+        assert_eq!(e.encode().len(), 12);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cases = vec![
+            LogEntry::power_state(SimTime::from_micros(123_456), 789, SinkId(5), 2),
+            LogEntry::activity(
+                EntryKind::ActivityChange,
+                SimTime::from_secs(40),
+                99_999,
+                DeviceId(0),
+                ActivityLabel::new(NodeId(4), ActivityId(7)),
+            ),
+            LogEntry::activity(
+                EntryKind::ActivityBind,
+                SimTime::ZERO,
+                0,
+                DeviceId(255),
+                ActivityLabel::IDLE,
+            ),
+            LogEntry::activity(
+                EntryKind::MultiAdd,
+                SimTime::from_micros(u64::MAX),
+                u32::MAX,
+                DeviceId(9),
+                ActivityLabel::new(NodeId(255), ActivityId(255)),
+            ),
+        ];
+        for e in cases {
+            let decoded = LogEntry::decode(&e.encode()).unwrap();
+            assert_eq!(decoded, e);
+        }
+    }
+
+    #[test]
+    fn unknown_type_byte_rejected() {
+        let mut bytes = [0u8; ENTRY_SIZE_BYTES];
+        bytes[0] = 200;
+        assert!(LogEntry::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn timestamp_wraps_at_32_bits() {
+        // ~71.6 minutes in microseconds exceeds u32::MAX.
+        let t = SimTime::from_micros(u32::MAX as u64 + 5);
+        let e = LogEntry::power_state(t, 0, SinkId(0), 0);
+        assert_eq!(e.time_us, 4);
+    }
+
+    #[test]
+    fn accessors_depend_on_kind() {
+        let p = LogEntry::power_state(SimTime::ZERO, 0, SinkId(7), 3);
+        assert_eq!(p.sink(), Some(SinkId(7)));
+        assert_eq!(p.device(), None);
+        assert_eq!(p.label(), None);
+
+        let lbl = ActivityLabel::new(NodeId(1), ActivityId(9));
+        let a = LogEntry::activity(EntryKind::ActivityChange, SimTime::ZERO, 0, DeviceId(2), lbl);
+        assert_eq!(a.sink(), None);
+        assert_eq!(a.device(), Some(DeviceId(2)));
+        assert_eq!(a.label(), Some(lbl));
+    }
+
+    #[test]
+    fn kind_round_trips() {
+        for k in [
+            EntryKind::PowerState,
+            EntryKind::ActivityChange,
+            EntryKind::ActivityBind,
+            EntryKind::MultiAdd,
+            EntryKind::MultiRemove,
+        ] {
+            assert_eq!(EntryKind::from_u8(k.as_u8()), Some(k));
+        }
+        assert_eq!(EntryKind::from_u8(5), None);
+    }
+}

@@ -1,0 +1,261 @@
+//! The RAM logger.
+//!
+//! Quanto decouples *generating* event information from *tracking* it: the
+//! synchronous part records a 12-byte entry to a fixed RAM buffer (800
+//! entries in the prototype), and the asynchronous part gets the data off the
+//! node — either by periodically stopping and dumping the buffer, or by a
+//! low-priority task that drains it continuously to an external port.
+//!
+//! The simulated logger models the same three policies and keeps the
+//! statistics the cost analysis (Table 4, Section 4.4) needs.
+
+use crate::log::{LogEntry, ENTRY_SIZE_BYTES};
+
+/// What to do when the RAM buffer fills up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Stop recording; further entries are dropped and counted.  This is the
+    /// paper's first implementation (record, stop, dump offline).
+    Stop,
+    /// Overwrite the oldest entries (a ring buffer).
+    Wrap,
+    /// Move the full buffer to the drained log, modelling the continuous
+    /// logging mode where a low-priority task empties the buffer to an
+    /// external interface while the CPU would otherwise be idle.
+    Flush,
+}
+
+/// Fixed-capacity in-RAM event log with overflow statistics.
+#[derive(Debug, Clone)]
+pub struct RamLogger {
+    capacity: usize,
+    policy: OverflowPolicy,
+    buffer: Vec<LogEntry>,
+    /// Entries already moved out of the RAM buffer (Flush policy).
+    drained: Vec<LogEntry>,
+    /// Entries lost to overflow (Stop) or overwritten (Wrap).
+    dropped: u64,
+    /// Total entries ever offered to the logger.
+    offered: u64,
+    /// Number of times the buffer filled up.
+    overflows: u64,
+}
+
+impl RamLogger {
+    /// The prototype's default buffer size, in entries.
+    pub const DEFAULT_CAPACITY: usize = 800;
+
+    /// Creates a logger with the given capacity and overflow policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, policy: OverflowPolicy) -> Self {
+        assert!(capacity > 0, "logger capacity must be positive");
+        RamLogger {
+            capacity,
+            policy,
+            buffer: Vec::with_capacity(capacity),
+            drained: Vec::new(),
+            dropped: 0,
+            offered: 0,
+            overflows: 0,
+        }
+    }
+
+    /// The paper's default configuration: an 800-entry buffer that stops when
+    /// full.
+    pub fn paper_default() -> Self {
+        RamLogger::new(Self::DEFAULT_CAPACITY, OverflowPolicy::Stop)
+    }
+
+    /// The buffer capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The buffer capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity * ENTRY_SIZE_BYTES
+    }
+
+    /// The overflow policy.
+    pub fn policy(&self) -> OverflowPolicy {
+        self.policy
+    }
+
+    /// Appends an entry, applying the overflow policy if the buffer is full.
+    ///
+    /// Returns `true` if the entry was stored (possibly evicting another),
+    /// `false` if it was dropped.
+    pub fn record(&mut self, entry: LogEntry) -> bool {
+        self.offered += 1;
+        if self.buffer.len() < self.capacity {
+            self.buffer.push(entry);
+            return true;
+        }
+        self.overflows += 1;
+        match self.policy {
+            OverflowPolicy::Stop => {
+                self.dropped += 1;
+                false
+            }
+            OverflowPolicy::Wrap => {
+                self.buffer.remove(0);
+                self.buffer.push(entry);
+                self.dropped += 1;
+                true
+            }
+            OverflowPolicy::Flush => {
+                self.drained.append(&mut self.buffer);
+                self.buffer.push(entry);
+                true
+            }
+        }
+    }
+
+    /// Entries currently in the RAM buffer.
+    pub fn buffered(&self) -> &[LogEntry] {
+        &self.buffer
+    }
+
+    /// Entries that were flushed out of the buffer.
+    pub fn drained(&self) -> &[LogEntry] {
+        &self.drained
+    }
+
+    /// All surviving entries in chronological order (drained then buffered).
+    pub fn entries(&self) -> Vec<LogEntry> {
+        let mut all = self.drained.clone();
+        all.extend_from_slice(&self.buffer);
+        all
+    }
+
+    /// Number of surviving entries.
+    pub fn len(&self) -> usize {
+        self.drained.len() + self.buffer.len()
+    }
+
+    /// Returns true if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entries offered to the logger (stored plus dropped).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Entries lost to the overflow policy.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of times the buffer was found full.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Bytes of RAM the surviving entries occupy (drained entries are assumed
+    /// to have left the node).
+    pub fn ram_bytes_used(&self) -> usize {
+        self.buffer.len() * ENTRY_SIZE_BYTES
+    }
+
+    /// Simulates the host pulling the whole log off the node: returns every
+    /// surviving entry and clears the logger.
+    pub fn take(&mut self) -> Vec<LogEntry> {
+        let all = self.entries();
+        self.buffer.clear();
+        self.drained.clear();
+        all
+    }
+}
+
+impl Default for RamLogger {
+    fn default() -> Self {
+        RamLogger::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hw_model::{SimTime, SinkId};
+
+    fn entry(i: u32) -> LogEntry {
+        LogEntry::power_state(SimTime::from_micros(i as u64), i, SinkId(1), (i % 4) as u16)
+    }
+
+    #[test]
+    fn default_matches_paper_dimensions() {
+        let l = RamLogger::paper_default();
+        assert_eq!(l.capacity(), 800);
+        assert_eq!(l.capacity_bytes(), 9600);
+        assert_eq!(l.policy(), OverflowPolicy::Stop);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn stop_policy_drops_after_capacity() {
+        let mut l = RamLogger::new(3, OverflowPolicy::Stop);
+        for i in 0..5 {
+            l.record(entry(i));
+        }
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.dropped(), 2);
+        assert_eq!(l.offered(), 5);
+        assert_eq!(l.overflows(), 2);
+        // The first three survive.
+        assert_eq!(l.entries()[0], entry(0));
+        assert_eq!(l.entries()[2], entry(2));
+    }
+
+    #[test]
+    fn wrap_policy_keeps_newest() {
+        let mut l = RamLogger::new(3, OverflowPolicy::Wrap);
+        for i in 0..5 {
+            assert!(l.record(entry(i)));
+        }
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.dropped(), 2);
+        let e = l.entries();
+        assert_eq!(e[0], entry(2));
+        assert_eq!(e[2], entry(4));
+    }
+
+    #[test]
+    fn flush_policy_preserves_everything() {
+        let mut l = RamLogger::new(2, OverflowPolicy::Flush);
+        for i in 0..7 {
+            assert!(l.record(entry(i)));
+        }
+        assert_eq!(l.dropped(), 0);
+        assert_eq!(l.len(), 7);
+        // Chronological order is preserved across drain boundaries.
+        let e = l.entries();
+        for (i, entry_i) in e.iter().enumerate() {
+            assert_eq!(*entry_i, entry(i as u32));
+        }
+        assert!(l.ram_bytes_used() <= 2 * ENTRY_SIZE_BYTES);
+        assert!(!l.drained().is_empty());
+        assert!(!l.buffered().is_empty());
+    }
+
+    #[test]
+    fn take_clears_the_log() {
+        let mut l = RamLogger::new(4, OverflowPolicy::Stop);
+        l.record(entry(0));
+        l.record(entry(1));
+        let taken = l.take();
+        assert_eq!(taken.len(), 2);
+        assert!(l.is_empty());
+        assert_eq!(l.ram_bytes_used(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = RamLogger::new(0, OverflowPolicy::Stop);
+    }
+}

@@ -1,0 +1,142 @@
+//! Power-state tracking: the `PowerState` / `PowerStateTrack` glue.
+//!
+//! Device drivers expose their hardware power states through a tiny
+//! interface — `set(value)` and `setBits(mask, offset, value)` — and a shared
+//! component deduplicates redundant notifications and tells the OS whenever a
+//! state *actually* changes (Figures 1–3 in the paper).  The table here is
+//! that shared component: it keeps the last-known state of every energy sink
+//! and reports whether a driver call changed anything.
+
+use hw_model::{Catalog, SinkId, StateIndex};
+
+/// The raw power-state value a driver reports (the paper's `powerstate_t`).
+///
+/// For most sinks this is simply the [`StateIndex`] of the active state, but
+/// drivers with richer internal state may pack bitfields via
+/// [`PowerStateTable::set_bits`].
+pub type PowerStateValue = u16;
+
+/// Last-known power state of every sink, with idempotent updates.
+#[derive(Debug, Clone)]
+pub struct PowerStateTable {
+    values: Vec<PowerStateValue>,
+}
+
+impl PowerStateTable {
+    /// Creates a table for `catalog`, with every sink in its default state.
+    pub fn new(catalog: &Catalog) -> Self {
+        PowerStateTable {
+            values: catalog
+                .sinks()
+                .map(|(_, s)| s.default_state.as_u8() as PowerStateValue)
+                .collect(),
+        }
+    }
+
+    /// Number of sinks tracked.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns true if the table tracks no sinks.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The current value for a sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` is out of range.
+    pub fn get(&self, sink: SinkId) -> PowerStateValue {
+        self.values[sink.as_usize()]
+    }
+
+    /// The current value for a sink interpreted as a state index.
+    pub fn get_state(&self, sink: SinkId) -> StateIndex {
+        StateIndex(self.get(sink) as u8)
+    }
+
+    /// Sets the state of a sink (the `PowerState.set` command).
+    ///
+    /// Returns `Some(new_value)` if the value actually changed (the OS should
+    /// log it), or `None` if the call was redundant — multiple calls signaling
+    /// the same state are idempotent and do not notify the OS.
+    pub fn set(&mut self, sink: SinkId, value: PowerStateValue) -> Option<PowerStateValue> {
+        let slot = &mut self.values[sink.as_usize()];
+        if *slot == value {
+            None
+        } else {
+            *slot = value;
+            Some(value)
+        }
+    }
+
+    /// Sets only the bits selected by `mask << offset` (the `PowerState.setBits`
+    /// command), leaving other bits untouched.
+    ///
+    /// Returns `Some(new_value)` if the stored value changed.
+    pub fn set_bits(
+        &mut self,
+        sink: SinkId,
+        mask: PowerStateValue,
+        offset: u8,
+        value: PowerStateValue,
+    ) -> Option<PowerStateValue> {
+        let cur = self.values[sink.as_usize()];
+        let shifted_mask = mask << offset;
+        let new = (cur & !shifted_mask) | ((value << offset) & shifted_mask);
+        self.set(sink, new)
+    }
+}
+
+/// Observer interface for power-state changes: the paper's `PowerStateTrack`.
+///
+/// The Quanto runtime notifies every registered listener after it has logged
+/// a real change; accounting modules and tests hook in here.
+pub trait PowerStateTrack {
+    /// Called when a sink's power state actually changed.
+    fn power_state_changed(&mut self, sink: SinkId, value: PowerStateValue);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hw_model::catalog::{blink_catalog, hydrowatch};
+
+    #[test]
+    fn table_starts_in_default_states() {
+        let (cat, ids) = hydrowatch();
+        let t = PowerStateTable::new(&cat);
+        assert_eq!(t.len(), cat.sink_count());
+        // CPU boots in LPM3 (index 1 in the hydrowatch catalog).
+        assert_eq!(t.get(ids.cpu), 1);
+        assert_eq!(t.get(ids.led0), 0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        let (cat, _cpu, leds) = blink_catalog();
+        let mut t = PowerStateTable::new(&cat);
+        assert_eq!(t.set(leds[0], 1), Some(1));
+        // Signaling the same state again must not notify.
+        assert_eq!(t.set(leds[0], 1), None);
+        assert_eq!(t.set(leds[0], 0), Some(0));
+        assert_eq!(t.get_state(leds[0]), StateIndex(0));
+    }
+
+    #[test]
+    fn set_bits_updates_only_selected_bits() {
+        let (cat, cpu, _leds) = blink_catalog();
+        let mut t = PowerStateTable::new(&cat);
+        t.set(cpu, 0b0000);
+        // Set bits 2..3 (mask 0b11 at offset 2) to 0b10.
+        assert_eq!(t.set_bits(cpu, 0b11, 2, 0b10), Some(0b1000));
+        // Setting the low bits leaves the high bits alone.
+        assert_eq!(t.set_bits(cpu, 0b11, 0, 0b01), Some(0b1001));
+        // Redundant bit writes are idempotent.
+        assert_eq!(t.set_bits(cpu, 0b11, 0, 0b01), None);
+        assert_eq!(t.get(cpu), 0b1001);
+    }
+}

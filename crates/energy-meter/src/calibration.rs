@@ -1,0 +1,117 @@
+//! Simple linear fitting used by the calibration experiments.
+//!
+//! Section 4.1 verifies that the iCount switching frequency varies linearly
+//! with current (`I_avg = 2.77 f_iC − 0.05`, R² = 0.99995).  The reproduction
+//! needs the same one-dimensional least-squares fit with an R² quality
+//! metric; the full multivariate regression lives in the `analysis` crate.
+
+/// The result of a one-dimensional least-squares fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (1.0 = perfect fit).
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `y ≈ slope·x + intercept` by ordinary least squares.
+///
+/// Returns `None` when fewer than two points are supplied or when all `x`
+/// values are identical (the slope would be undefined).
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sum_x: f64 = points.iter().map(|(x, _)| x).sum();
+    let sum_y: f64 = points.iter().map(|(_, y)| y).sum();
+    let mean_x = sum_x / n;
+    let mean_y = sum_y / n;
+    let sxx: f64 = points.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = points
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+
+    let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|(x, y)| {
+            let pred = slope * x + intercept;
+            (y - pred).powi(2)
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        n: points.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovers_parameters() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.77 * i as f64 - 0.05)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 2.77).abs() < 1e-12);
+        assert!((fit.intercept + 0.05).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(4.0) - (2.77 * 4.0 - 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_high_but_imperfect_r2() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                // Deterministic pseudo-noise.
+                let noise = ((i * 37 % 11) as f64 - 5.0) * 0.01;
+                (x, 3.0 * x + 1.0 + noise)
+            })
+            .collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.999 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0), (1.0, 4.0)]).is_none());
+    }
+
+    #[test]
+    fn constant_y_gives_perfect_fit_with_zero_slope() {
+        let pts = [(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)];
+        let fit = linear_fit(&pts).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Simulated energy metering for the Quanto reproduction.
+//!
+//! The original system measures aggregate energy with *iCount*, a counter of
+//! switching-regulator pulses: every pulse delivers a (nearly) fixed quantum
+//! of energy to the platform, so counting pulses measures energy with about
+//! 1 µJ resolution, a 24-cycle read latency and a worst-case gain error of
+//! ±15 % (Dutta et al., IPSN 2008).  Reading the meter is as cheap as reading
+//! a counter, which is what makes logging at every power-state change viable.
+//!
+//! This crate provides:
+//!
+//! * [`icount::ICountMeter`] — the pulse-counting meter, driven by the
+//!   ground-truth energy integral of the simulated platform,
+//! * [`meter::EnergyMeter`] — the trait the OS uses to read accumulated
+//!   energy (so alternative meters, e.g. an ideal one, can be swapped in),
+//! * [`oscilloscope::CurrentTrace`] and [`oscilloscope::Oscilloscope`] — the
+//!   "bench instrument" ground truth used by the calibration experiments
+//!   (Fig 10, Table 2), and
+//! * [`calibration`] — simple linear fitting used to verify the linear
+//!   relationship between mean current and switching frequency.
+
+pub mod calibration;
+pub mod icount;
+pub mod meter;
+pub mod oscilloscope;
+
+pub use calibration::{linear_fit, LinearFit};
+pub use icount::{ICountConfig, ICountMeter};
+pub use meter::{EnergyMeter, IdealMeter, MeterReading};
+pub use oscilloscope::{CurrentTrace, Oscilloscope, ScopeSample};

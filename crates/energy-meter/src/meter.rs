@@ -1,0 +1,117 @@
+//! The energy-meter abstraction the OS reads from.
+
+use hw_model::Energy;
+
+/// One reading of an energy meter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeterReading {
+    /// Raw cumulative counter value (pulses for iCount).  Wraps at `u32::MAX`
+    /// just like the hardware counter does.
+    pub counter: u32,
+    /// How many CPU cycles the read itself consumed.
+    pub read_cost_cycles: u32,
+}
+
+/// An aggregate energy meter.
+///
+/// The meter is *driven* by the simulator: the simulator tells it how much
+/// ground-truth energy the platform has consumed so far, and the meter
+/// answers what its counter register would read.  The OS side (the Quanto
+/// tracker) only ever sees the counter value, mirroring the real hardware
+/// where software cannot observe "true" energy, only iCount pulses.
+pub trait EnergyMeter {
+    /// Reads the meter's cumulative counter given the platform's true
+    /// cumulative energy consumption.
+    fn read(&mut self, true_cumulative: Energy) -> MeterReading;
+
+    /// The nominal energy represented by one counter increment.
+    fn energy_per_count(&self) -> Energy;
+
+    /// CPU cycles consumed by one read (24 for iCount on the MSP430).
+    fn read_cost_cycles(&self) -> u32;
+
+    /// Converts a counter delta back into (nominal) energy, as the offline
+    /// analysis does.
+    fn counts_to_energy(&self, counts: u32) -> Energy {
+        self.energy_per_count() * counts as f64
+    }
+}
+
+/// A perfect meter with configurable resolution and zero read cost.
+///
+/// Useful in tests and ablations to separate estimation error caused by the
+/// meter (quantization, gain error) from error caused by the regression.
+#[derive(Debug, Clone)]
+pub struct IdealMeter {
+    resolution: Energy,
+}
+
+impl IdealMeter {
+    /// Creates an ideal meter with the given resolution per count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolution is not strictly positive.
+    pub fn new(resolution: Energy) -> Self {
+        assert!(
+            resolution.as_micro_joules() > 0.0,
+            "meter resolution must be positive"
+        );
+        IdealMeter { resolution }
+    }
+}
+
+impl Default for IdealMeter {
+    /// 1 µJ per count, matching iCount's nominal resolution.
+    fn default() -> Self {
+        IdealMeter::new(Energy::from_micro_joules(1.0))
+    }
+}
+
+impl EnergyMeter for IdealMeter {
+    fn read(&mut self, true_cumulative: Energy) -> MeterReading {
+        let counts = (true_cumulative.as_micro_joules() / self.resolution.as_micro_joules())
+            .floor()
+            .max(0.0);
+        MeterReading {
+            counter: (counts as u64 % (u32::MAX as u64 + 1)) as u32,
+            read_cost_cycles: 0,
+        }
+    }
+
+    fn energy_per_count(&self) -> Energy {
+        self.resolution
+    }
+
+    fn read_cost_cycles(&self) -> u32 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_meter_quantizes_downward() {
+        let mut m = IdealMeter::default();
+        assert_eq!(m.read(Energy::from_micro_joules(0.0)).counter, 0);
+        assert_eq!(m.read(Energy::from_micro_joules(0.99)).counter, 0);
+        assert_eq!(m.read(Energy::from_micro_joules(1.0)).counter, 1);
+        assert_eq!(m.read(Energy::from_micro_joules(1234.56)).counter, 1234);
+        assert_eq!(m.read_cost_cycles(), 0);
+    }
+
+    #[test]
+    fn counts_to_energy_round_trips_nominally() {
+        let m = IdealMeter::new(Energy::from_micro_joules(8.33));
+        let e = m.counts_to_energy(100);
+        assert!((e.as_micro_joules() - 833.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_resolution_rejected() {
+        let _ = IdealMeter::new(Energy::ZERO);
+    }
+}

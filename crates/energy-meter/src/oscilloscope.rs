@@ -1,0 +1,293 @@
+//! Oscilloscope-style ground truth traces.
+//!
+//! The paper calibrates Quanto against a Tektronix oscilloscope measuring the
+//! voltage across a shunt resistor (Section 4.1).  In the simulation the
+//! analogous instrument is a [`CurrentTrace`]: a piecewise-constant record of
+//! the platform's true aggregate current over time, built by the simulator as
+//! power states change.  The [`Oscilloscope`] turns that step function into
+//! dense, optionally noisy samples and computes windowed means — exactly the
+//! quantities Table 2 and Figure 10 report.
+
+use hw_model::{Current, Energy, NoiseModel, SimDuration, SimTime, Voltage};
+use rand::rngs::StdRng;
+
+/// One dense oscilloscope sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScopeSample {
+    /// Sample timestamp.
+    pub time: SimTime,
+    /// Sampled aggregate current.
+    pub current: Current,
+}
+
+/// A piecewise-constant record of true aggregate current over time.
+///
+/// Steps are appended in non-decreasing time order; the value of a step holds
+/// until the next step (or until [`CurrentTrace::finish`]).
+#[derive(Debug, Clone, Default)]
+pub struct CurrentTrace {
+    steps: Vec<(SimTime, Current)>,
+    end: Option<SimTime>,
+}
+
+impl CurrentTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        CurrentTrace::default()
+    }
+
+    /// Records that the aggregate current changed to `current` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the previous step.
+    pub fn push(&mut self, time: SimTime, current: Current) {
+        if let Some((last, _)) = self.steps.last() {
+            assert!(*last <= time, "trace steps must be time-ordered");
+        }
+        // Collapse consecutive steps at the same timestamp (the later write
+        // wins), which happens when several sinks change state "at once".
+        if let Some((last, value)) = self.steps.last_mut() {
+            if *last == time {
+                *value = current;
+                return;
+            }
+        }
+        self.steps.push((time, current));
+    }
+
+    /// Marks the end of the observation window.
+    pub fn finish(&mut self, end: SimTime) {
+        if let Some((last, _)) = self.steps.last() {
+            assert!(*last <= end, "trace end before last step");
+        }
+        self.end = Some(end);
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns true if no steps were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The end of the observation window (explicit, or the last step time).
+    pub fn end_time(&self) -> SimTime {
+        self.end
+            .unwrap_or_else(|| self.steps.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO))
+    }
+
+    /// The raw steps, in time order.
+    pub fn steps(&self) -> &[(SimTime, Current)] {
+        &self.steps
+    }
+
+    /// The true current at an arbitrary time (the most recent step at or
+    /// before `time`), or zero before the first step.
+    pub fn current_at(&self, time: SimTime) -> Current {
+        match self.steps.binary_search_by(|(t, _)| t.cmp(&time)) {
+            Ok(i) => self.steps[i].1,
+            Err(0) => Current::ZERO,
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+
+    /// The true mean current over `[start, end)`, by exact integration of the
+    /// step function.
+    ///
+    /// Returns zero for an empty window.
+    pub fn mean_current(&self, start: SimTime, end: SimTime) -> Current {
+        if end <= start {
+            return Current::ZERO;
+        }
+        let total_us = end.duration_since(start).as_micros() as f64;
+        let mut weighted = 0.0;
+        let mut cursor = start;
+        while cursor < end {
+            let i = self.current_at(cursor);
+            // Find the next step strictly after `cursor`, capped at `end`.
+            let next = self
+                .steps
+                .iter()
+                .map(|(t, _)| *t)
+                .find(|t| *t > cursor)
+                .map(|t| t.min(end))
+                .unwrap_or(end);
+            let span = next.duration_since(cursor).as_micros() as f64;
+            weighted += i.as_micro_amps() * span;
+            cursor = next;
+        }
+        Current::from_micro_amps(weighted / total_us)
+    }
+
+    /// The exact energy delivered over `[start, end)` at a supply voltage.
+    pub fn energy(&self, start: SimTime, end: SimTime, supply: Voltage) -> Energy {
+        if end <= start {
+            return Energy::ZERO;
+        }
+        (self.mean_current(start, end) * supply) * end.duration_since(start)
+    }
+}
+
+/// Produces dense, noisy samples from a [`CurrentTrace`].
+#[derive(Debug, Clone)]
+pub struct Oscilloscope {
+    sample_interval: SimDuration,
+    noise: NoiseModel,
+}
+
+impl Oscilloscope {
+    /// Creates an oscilloscope sampling every `sample_interval` with the
+    /// given probe noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample interval is zero.
+    pub fn new(sample_interval: SimDuration, noise: NoiseModel) -> Self {
+        assert!(!sample_interval.is_zero(), "sample interval must be positive");
+        Oscilloscope {
+            sample_interval,
+            noise,
+        }
+    }
+
+    /// An ideal (noise-free) scope sampling every 10 µs.
+    pub fn ideal() -> Self {
+        Oscilloscope::new(SimDuration::from_micros(10), NoiseModel::IDEAL)
+    }
+
+    /// The configured sample interval.
+    pub fn sample_interval(&self) -> SimDuration {
+        self.sample_interval
+    }
+
+    /// Samples the trace densely over `[start, end)`.
+    pub fn capture(&self, trace: &CurrentTrace, start: SimTime, end: SimTime) -> Vec<ScopeSample> {
+        let mut rng: StdRng = self.noise.sample_rng();
+        let mut out = Vec::new();
+        let mut t = start;
+        while t < end {
+            let true_i = trace.current_at(t).as_micro_amps();
+            let sampled = self.noise.perturb_sample(&mut rng, true_i);
+            out.push(ScopeSample {
+                time: t,
+                current: Current::from_micro_amps(sampled),
+            });
+            t += self.sample_interval;
+        }
+        out
+    }
+
+    /// The mean of dense samples over a window — what "Mean (3.05 mA)" in
+    /// Figure 10 is computed from.
+    pub fn mean_of_samples(samples: &[ScopeSample]) -> Current {
+        if samples.is_empty() {
+            return Current::ZERO;
+        }
+        let sum: f64 = samples.iter().map(|s| s.current.as_micro_amps()).sum();
+        Current::from_micro_amps(sum / samples.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_trace() -> CurrentTrace {
+        let mut t = CurrentTrace::new();
+        t.push(SimTime::from_millis(0), Current::from_milli_amps(1.0));
+        t.push(SimTime::from_millis(10), Current::from_milli_amps(3.0));
+        t.push(SimTime::from_millis(20), Current::from_milli_amps(0.5));
+        t.finish(SimTime::from_millis(30));
+        t
+    }
+
+    #[test]
+    fn current_at_follows_steps() {
+        let t = step_trace();
+        assert_eq!(t.current_at(SimTime::from_micros(0)).as_milli_amps(), 1.0);
+        assert_eq!(t.current_at(SimTime::from_millis(5)).as_milli_amps(), 1.0);
+        assert_eq!(t.current_at(SimTime::from_millis(10)).as_milli_amps(), 3.0);
+        assert_eq!(t.current_at(SimTime::from_millis(25)).as_milli_amps(), 0.5);
+        // Before the first step the trace reads zero.
+        let mut empty = CurrentTrace::new();
+        empty.push(SimTime::from_millis(5), Current::from_milli_amps(1.0));
+        assert_eq!(empty.current_at(SimTime::from_millis(1)), Current::ZERO);
+    }
+
+    #[test]
+    fn mean_current_integrates_exactly() {
+        let t = step_trace();
+        // Over [0, 30 ms): 10 ms at 1 mA, 10 ms at 3 mA, 10 ms at 0.5 mA.
+        let mean = t
+            .mean_current(SimTime::ZERO, SimTime::from_millis(30))
+            .as_milli_amps();
+        assert!((mean - 1.5).abs() < 1e-9, "mean {mean}");
+        // Over a window inside one step the mean equals that step.
+        let inner = t
+            .mean_current(SimTime::from_millis(12), SimTime::from_millis(18))
+            .as_milli_amps();
+        assert!((inner - 3.0).abs() < 1e-9);
+        // An empty window is zero.
+        assert_eq!(
+            t.mean_current(SimTime::from_millis(5), SimTime::from_millis(5)),
+            Current::ZERO
+        );
+    }
+
+    #[test]
+    fn energy_matches_mean_times_time() {
+        let t = step_trace();
+        let e = t
+            .energy(SimTime::ZERO, SimTime::from_millis(30), Voltage::from_volts(3.0))
+            .as_micro_joules();
+        // 1.5 mA * 3 V * 30 ms = 135 uJ.
+        assert!((e - 135.0).abs() < 1e-9, "energy {e}");
+    }
+
+    #[test]
+    fn same_timestamp_steps_collapse() {
+        let mut t = CurrentTrace::new();
+        t.push(SimTime::from_millis(1), Current::from_milli_amps(1.0));
+        t.push(SimTime::from_millis(1), Current::from_milli_amps(2.0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.current_at(SimTime::from_millis(1)).as_milli_amps(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_steps_rejected() {
+        let mut t = CurrentTrace::new();
+        t.push(SimTime::from_millis(10), Current::ZERO);
+        t.push(SimTime::from_millis(5), Current::ZERO);
+    }
+
+    #[test]
+    fn scope_capture_is_dense_and_noise_free_when_ideal() {
+        let t = step_trace();
+        let scope = Oscilloscope::ideal();
+        let samples = scope.capture(&t, SimTime::ZERO, SimTime::from_millis(30));
+        assert_eq!(samples.len(), 3000);
+        let mean = Oscilloscope::mean_of_samples(&samples).as_milli_amps();
+        assert!((mean - 1.5).abs() < 1e-6, "mean {mean}");
+    }
+
+    #[test]
+    fn noisy_scope_mean_converges_to_truth() {
+        let t = step_trace();
+        let scope = Oscilloscope::new(
+            SimDuration::from_micros(5),
+            NoiseModel {
+                state_bias: 0.0,
+                sample_sigma: 0.05,
+                seed: 9,
+            },
+        );
+        let samples = scope.capture(&t, SimTime::ZERO, SimTime::from_millis(30));
+        let mean = Oscilloscope::mean_of_samples(&samples).as_milli_amps();
+        assert!((mean - 1.5).abs() < 0.02, "noisy mean {mean}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Deviation of the *true* hardware from its datasheet.
+//!
+//! Quanto exists precisely because real hardware does not match its
+//! datasheet: manufacturing variation, temperature, supply voltage and aging
+//! all shift per-state currents.  The noise model gives the simulated
+//! platform a fixed, per-state "true" current that deviates from the nominal
+//! value, plus optional white noise applied when instantaneous current is
+//! sampled (as an oscilloscope would see).
+//!
+//! Deterministic seeding keeps every experiment reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters controlling how the simulated hardware deviates from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Maximum relative deviation of a state's true mean current from its
+    /// nominal value (uniform in `[-bias, +bias]`).  `0.05` means ±5 %.
+    pub state_bias: f64,
+    /// Standard deviation of multiplicative white noise applied to
+    /// instantaneous current samples, relative to the mean. `0.01` means 1 %.
+    pub sample_sigma: f64,
+    /// RNG seed; the same seed always produces the same platform.
+    pub seed: u64,
+}
+
+impl NoiseModel {
+    /// A perfectly ideal platform: true currents equal nominal currents and
+    /// samples are noiseless.
+    pub const IDEAL: NoiseModel = NoiseModel {
+        state_bias: 0.0,
+        sample_sigma: 0.0,
+        seed: 0,
+    };
+
+    /// A realistic default: ±5 % per-state bias and 1 % sample noise.
+    pub fn realistic(seed: u64) -> Self {
+        NoiseModel {
+            state_bias: 0.05,
+            sample_sigma: 0.01,
+            seed,
+        }
+    }
+
+    /// Draws the per-state bias factors for `n` states.
+    ///
+    /// Each factor multiplies the nominal current; a factor of `1.03` means
+    /// the true draw is 3 % above nominal.
+    pub fn draw_bias_factors(&self, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..n)
+            .map(|_| {
+                if self.state_bias == 0.0 {
+                    1.0
+                } else {
+                    1.0 + rng.gen_range(-self.state_bias..=self.state_bias)
+                }
+            })
+            .collect()
+    }
+
+    /// Returns an RNG for sample noise, seeded independently of the bias
+    /// draw so that changing one does not perturb the other.
+    pub fn sample_rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    /// Applies multiplicative gaussian sample noise to a value.
+    pub fn perturb_sample(&self, rng: &mut StdRng, value: f64) -> f64 {
+        if self.sample_sigma == 0.0 {
+            return value;
+        }
+        // Box-Muller transform; avoids needing a distributions dependency.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        value * (1.0 + self.sample_sigma * z)
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::IDEAL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_model_is_identity() {
+        let m = NoiseModel::IDEAL;
+        assert_eq!(m.draw_bias_factors(5), vec![1.0; 5]);
+        let mut rng = m.sample_rng();
+        assert_eq!(m.perturb_sample(&mut rng, 42.0), 42.0);
+    }
+
+    #[test]
+    fn bias_factors_are_bounded_and_deterministic() {
+        let m = NoiseModel::realistic(7);
+        let a = m.draw_bias_factors(100);
+        let b = m.draw_bias_factors(100);
+        assert_eq!(a, b, "same seed must give same platform");
+        for f in &a {
+            assert!(*f >= 0.95 && *f <= 1.05, "factor {f} outside ±5 %");
+        }
+        // Different seeds give different platforms.
+        let c = NoiseModel::realistic(8).draw_bias_factors(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sample_noise_has_roughly_right_spread() {
+        let m = NoiseModel {
+            state_bias: 0.0,
+            sample_sigma: 0.05,
+            seed: 3,
+        };
+        let mut rng = m.sample_rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| m.perturb_sample(&mut rng, 100.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean} too far from 100");
+        let sigma = var.sqrt();
+        assert!((sigma - 5.0).abs() < 0.5, "sigma {sigma} too far from 5");
+    }
+}

@@ -1,0 +1,219 @@
+//! Energy sinks and power states.
+//!
+//! The paper's terminology (Section 2): each functional unit in the system is
+//! an *energy sink*, and each operating mode of a sink with a distinct power
+//! draw is a *power state*.  At any instant the aggregate platform draw is the
+//! sum of the draws of every sink's currently-active power state.
+
+use crate::units::Current;
+use std::fmt;
+
+/// Coarse classification of an energy sink, used for grouping in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComponentClass {
+    /// A functional unit inside the microcontroller (CPU, ADC, DAC, ...).
+    Mcu,
+    /// A functional unit inside the radio (control path, RX path, TX path, ...).
+    Radio,
+    /// External (or internal) flash memory.
+    Flash,
+    /// An LED.
+    Led,
+    /// An external sensor chip.
+    Sensor,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for ComponentClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentClass::Mcu => "MCU",
+            ComponentClass::Radio => "Radio",
+            ComponentClass::Flash => "Flash",
+            ComponentClass::Led => "LED",
+            ComponentClass::Sensor => "Sensor",
+            ComponentClass::Other => "Other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Index of a power state within one energy sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct StateIndex(pub u8);
+
+impl StateIndex {
+    /// Returns the raw index.
+    pub const fn as_u8(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for StateIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One operating mode of an energy sink, with its nominal current draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerStateDef {
+    /// Human-readable state name, e.g. `"ACTIVE"` or `"TX(+0dBm)"`.
+    pub name: String,
+    /// Nominal (datasheet) current draw in this state.
+    pub current: Current,
+}
+
+impl PowerStateDef {
+    /// Creates a new power state definition.
+    pub fn new(name: impl Into<String>, current: Current) -> Self {
+        PowerStateDef {
+            name: name.into(),
+            current,
+        }
+    }
+}
+
+/// A functional unit that draws current: the paper's *energy sink*.
+#[derive(Debug, Clone)]
+pub struct EnergySink {
+    /// Human-readable sink name, e.g. `"mcu.cpu"` or `"radio.tx"`.
+    pub name: String,
+    /// Which hardware component this sink belongs to.
+    pub class: ComponentClass,
+    /// The sink's power states.  Every sink has at least one state.
+    pub states: Vec<PowerStateDef>,
+    /// The state the sink boots into.
+    pub default_state: StateIndex,
+    /// The state treated as the sink's baseline (usually "off" or the lowest
+    /// draw).  Baseline states are not given a column in the regression
+    /// design matrix; their draw is absorbed by the constant term, exactly as
+    /// the paper absorbs quiescent draw into its constant.
+    pub baseline_state: StateIndex,
+}
+
+impl EnergySink {
+    /// Creates a sink whose first state is both its default and its baseline.
+    pub fn new(
+        name: impl Into<String>,
+        class: ComponentClass,
+        states: Vec<PowerStateDef>,
+    ) -> Self {
+        assert!(!states.is_empty(), "an energy sink needs at least one state");
+        EnergySink {
+            name: name.into(),
+            class,
+            states,
+            default_state: StateIndex(0),
+            baseline_state: StateIndex(0),
+        }
+    }
+
+    /// Sets the state the sink boots into.
+    pub fn with_default(mut self, idx: StateIndex) -> Self {
+        assert!(
+            (idx.0 as usize) < self.states.len(),
+            "default state {} out of range for sink {}",
+            idx,
+            self.name
+        );
+        self.default_state = idx;
+        self
+    }
+
+    /// Sets the baseline (regression-constant-absorbed) state.
+    pub fn with_baseline(mut self, idx: StateIndex) -> Self {
+        assert!(
+            (idx.0 as usize) < self.states.len(),
+            "baseline state {} out of range for sink {}",
+            idx,
+            self.name
+        );
+        self.baseline_state = idx;
+        self
+    }
+
+    /// Number of states this sink has.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Looks up a state by name, if it exists.
+    pub fn state_by_name(&self, name: &str) -> Option<StateIndex> {
+        self.states
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| StateIndex(i as u8))
+    }
+
+    /// Returns the definition of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for this sink.
+    pub fn state(&self, idx: StateIndex) -> &PowerStateDef {
+        &self.states[idx.0 as usize]
+    }
+
+    /// Nominal current draw in a given state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for this sink.
+    pub fn nominal_current(&self, idx: StateIndex) -> Current {
+        self.state(idx).current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn led() -> EnergySink {
+        EnergySink::new(
+            "led0",
+            ComponentClass::Led,
+            vec![
+                PowerStateDef::new("OFF", Current::ZERO),
+                PowerStateDef::new("ON", Current::from_milli_amps(4.3)),
+            ],
+        )
+    }
+
+    #[test]
+    fn sink_lookup_by_name_and_index() {
+        let s = led();
+        assert_eq!(s.state_count(), 2);
+        assert_eq!(s.state_by_name("ON"), Some(StateIndex(1)));
+        assert_eq!(s.state_by_name("BLINK"), None);
+        assert_eq!(s.nominal_current(StateIndex(1)).as_milli_amps(), 4.3);
+        assert_eq!(s.default_state, StateIndex(0));
+        assert_eq!(s.baseline_state, StateIndex(0));
+    }
+
+    #[test]
+    fn builder_adjusts_default_and_baseline() {
+        let s = led().with_default(StateIndex(1)).with_baseline(StateIndex(0));
+        assert_eq!(s.default_state, StateIndex(1));
+        assert_eq!(s.baseline_state, StateIndex(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_bad_default() {
+        let _ = led().with_default(StateIndex(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn sink_requires_states() {
+        let _ = EnergySink::new("empty", ComponentClass::Other, vec![]);
+    }
+
+    #[test]
+    fn component_class_display() {
+        assert_eq!(ComponentClass::Mcu.to_string(), "MCU");
+        assert_eq!(ComponentClass::Led.to_string(), "LED");
+    }
+}

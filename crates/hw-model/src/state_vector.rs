@@ -1,0 +1,207 @@
+//! The set of currently-active power states across all sinks.
+
+use crate::catalog::{Catalog, SinkId};
+use crate::sink::StateIndex;
+use crate::units::Current;
+use std::fmt;
+
+/// The active power state of every sink in a catalog at one instant.
+///
+/// A `StateVector` is the simulation-side ground truth that the paper's
+/// instrumented drivers shadow: at any given time, the aggregate power draw
+/// of the platform is determined by this vector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StateVector {
+    states: Vec<StateIndex>,
+}
+
+impl StateVector {
+    /// Creates a vector with every sink in its default (boot) state.
+    pub fn boot(catalog: &Catalog) -> Self {
+        StateVector {
+            states: catalog.sinks().map(|(_, s)| s.default_state).collect(),
+        }
+    }
+
+    /// Creates a vector with every sink in its baseline state.
+    pub fn baseline(catalog: &Catalog) -> Self {
+        StateVector {
+            states: catalog.sinks().map(|(_, s)| s.baseline_state).collect(),
+        }
+    }
+
+    /// Number of sinks tracked by this vector.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns true if the vector tracks no sinks.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Returns the state of a sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` is out of range.
+    pub fn state(&self, sink: SinkId) -> StateIndex {
+        self.states[sink.as_usize()]
+    }
+
+    /// Sets the state of a sink, returning the previous state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` is out of range.
+    pub fn set_state(&mut self, sink: SinkId, state: StateIndex) -> StateIndex {
+        std::mem::replace(&mut self.states[sink.as_usize()], state)
+    }
+
+    /// Iterates over `(SinkId, StateIndex)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SinkId, StateIndex)> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SinkId(i as u16), *s))
+    }
+
+    /// A compact, hashable key identifying this exact combination of states.
+    ///
+    /// Intervals with equal keys can be pooled before the regression, which is
+    /// exactly the grouping step of Section 2.5.
+    pub fn key(&self) -> StateVectorKey {
+        StateVectorKey(self.states.iter().map(|s| s.as_u8()).collect())
+    }
+
+    /// Sum of nominal currents across all sinks in their current states.
+    pub fn nominal_current(&self, catalog: &Catalog) -> Current {
+        assert_eq!(
+            self.len(),
+            catalog.sink_count(),
+            "state vector does not match catalog"
+        );
+        self.iter()
+            .map(|(sink, state)| catalog.nominal_current(sink, state))
+            .sum()
+    }
+
+    /// The regression design row for this vector: a dense 0/1 vector with one
+    /// entry per catalog column plus NO constant term (the caller appends the
+    /// constant).  Entry `c` is 1 when the (sink, state) pair of column `c` is
+    /// active in this vector.
+    pub fn design_row(&self, catalog: &Catalog) -> Vec<f64> {
+        assert_eq!(
+            self.len(),
+            catalog.sink_count(),
+            "state vector does not match catalog"
+        );
+        let mut row = vec![0.0; catalog.column_count()];
+        for (sink, state) in self.iter() {
+            if let Some(col) = catalog.column(sink, state) {
+                row[col] = 1.0;
+            }
+        }
+        row
+    }
+
+    /// Lists the active non-baseline column indices.
+    pub fn active_columns(&self, catalog: &Catalog) -> Vec<usize> {
+        self.iter()
+            .filter_map(|(sink, state)| catalog.column(sink, state))
+            .collect()
+    }
+}
+
+/// A hashable key for a [`StateVector`]; see [`StateVector::key`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateVectorKey(Vec<u8>);
+
+impl StateVectorKey {
+    /// Reconstructs the per-sink state indices from the key.
+    pub fn states(&self) -> Vec<StateIndex> {
+        self.0.iter().map(|v| StateIndex(*v)).collect()
+    }
+
+    /// Rebuilds a full [`StateVector`] from the key.
+    pub fn to_vector(&self) -> StateVector {
+        StateVector {
+            states: self.states(),
+        }
+    }
+}
+
+impl fmt::Display for StateVectorKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{blink_catalog, led_state};
+
+    #[test]
+    fn boot_and_baseline_vectors() {
+        let (cat, cpu, leds) = blink_catalog();
+        let boot = StateVector::boot(&cat);
+        let base = StateVector::baseline(&cat);
+        assert_eq!(boot, base); // In the Blink catalog defaults are baselines.
+        assert_eq!(boot.len(), 4);
+        assert_eq!(boot.state(cpu), StateIndex(0));
+        assert_eq!(boot.state(leds[0]), StateIndex(0));
+    }
+
+    #[test]
+    fn set_state_returns_previous() {
+        let (cat, _cpu, leds) = blink_catalog();
+        let mut sv = StateVector::boot(&cat);
+        let prev = sv.set_state(leds[1], led_state::ON);
+        assert_eq!(prev, led_state::OFF);
+        assert_eq!(sv.state(leds[1]), led_state::ON);
+    }
+
+    #[test]
+    fn nominal_current_sums_active_states() {
+        let (cat, cpu, leds) = blink_catalog();
+        let mut sv = StateVector::baseline(&cat);
+        // Idle CPU only.
+        let idle = sv.nominal_current(&cat).as_micro_amps();
+        assert!((idle - 2.6).abs() < 1e-9);
+        sv.set_state(leds[0], led_state::ON);
+        sv.set_state(cpu, StateIndex(1));
+        let active = sv.nominal_current(&cat).as_micro_amps();
+        assert!((active - (500.0 + 2500.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn design_row_marks_active_columns() {
+        let (cat, _cpu, leds) = blink_catalog();
+        let mut sv = StateVector::baseline(&cat);
+        assert_eq!(sv.design_row(&cat), vec![0.0; cat.column_count()]);
+        sv.set_state(leds[2], led_state::ON);
+        let row = sv.design_row(&cat);
+        assert_eq!(row.iter().filter(|v| **v == 1.0).count(), 1);
+        let col = cat.column(leds[2], led_state::ON).unwrap();
+        assert_eq!(row[col], 1.0);
+        assert_eq!(sv.active_columns(&cat), vec![col]);
+    }
+
+    #[test]
+    fn key_round_trips() {
+        let (cat, _cpu, leds) = blink_catalog();
+        let mut sv = StateVector::baseline(&cat);
+        sv.set_state(leds[0], led_state::ON);
+        let key = sv.key();
+        assert_eq!(key.to_vector(), sv);
+        assert_eq!(format!("{key}"), "[0,1,0,0]");
+    }
+}

@@ -1,0 +1,87 @@
+//! 2.4 GHz channel arithmetic.
+//!
+//! 802.15.4 and 802.11b/g share the 2.4 GHz ISM band.  The interference case
+//! study (Figure 13) puts an 802.11b access point on Wi-Fi channel 6
+//! (2.437 GHz) next to a mote listening first on 802.15.4 channel 17
+//! (2.435 GHz — right under the access point) and then on channel 26
+//! (2.480 GHz — the only channel clear of North-American Wi-Fi).  Whether a
+//! mote's clear-channel assessment sees Wi-Fi energy is a question of
+//! spectral overlap, which this module computes.
+
+/// Center frequency of an 802.15.4 channel (11–26), in MHz.
+///
+/// # Panics
+///
+/// Panics if the channel is outside 11–26.
+pub fn ieee802154_center_mhz(channel: u8) -> u32 {
+    assert!((11..=26).contains(&channel), "802.15.4 channels are 11..=26");
+    2_405 + 5 * (channel as u32 - 11)
+}
+
+/// Approximate occupied bandwidth of an 802.15.4 signal, in MHz.
+pub const IEEE802154_BANDWIDTH_MHZ: u32 = 2;
+
+/// Center frequency of an 802.11b/g channel (1–13), in MHz.
+///
+/// # Panics
+///
+/// Panics if the channel is outside 1–13.
+pub fn wifi_center_mhz(channel: u8) -> u32 {
+    assert!((1..=13).contains(&channel), "802.11b/g channels are 1..=13");
+    2_412 + 5 * (channel as u32 - 1)
+}
+
+/// Approximate occupied bandwidth of an 802.11b signal, in MHz.
+pub const WIFI_BANDWIDTH_MHZ: u32 = 22;
+
+/// Whether a Wi-Fi transmission on `wifi_channel` deposits detectable energy
+/// into 802.15.4 `zigbee_channel`.
+///
+/// The two signals overlap when the distance between their center frequencies
+/// is less than the sum of their half-bandwidths.
+pub fn overlaps(wifi_channel: u8, zigbee_channel: u8) -> bool {
+    let wifi = wifi_center_mhz(wifi_channel) as i64;
+    let zig = ieee802154_center_mhz(zigbee_channel) as i64;
+    let guard = (WIFI_BANDWIDTH_MHZ + IEEE802154_BANDWIDTH_MHZ) as i64 / 2;
+    (wifi - zig).abs() < guard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_frequencies_match_standards() {
+        assert_eq!(ieee802154_center_mhz(11), 2_405);
+        assert_eq!(ieee802154_center_mhz(17), 2_435);
+        assert_eq!(ieee802154_center_mhz(26), 2_480);
+        assert_eq!(wifi_center_mhz(1), 2_412);
+        assert_eq!(wifi_center_mhz(6), 2_437);
+        assert_eq!(wifi_center_mhz(11), 2_462);
+    }
+
+    #[test]
+    fn paper_scenario_overlap() {
+        // Wi-Fi channel 6 clobbers 802.15.4 channel 17 but not channel 26.
+        assert!(overlaps(6, 17));
+        assert!(!overlaps(6, 26));
+        // Channels 16 through 19 sit under the core of Wi-Fi channel 6.
+        for z in 16..=19 {
+            assert!(overlaps(6, z), "zigbee {z} should overlap wifi 6");
+        }
+        // Channel 11 and 12 are clear of Wi-Fi 6.
+        assert!(!overlaps(6, 11));
+    }
+
+    #[test]
+    #[should_panic(expected = "802.15.4 channels")]
+    fn bad_zigbee_channel_panics() {
+        ieee802154_center_mhz(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "802.11b/g channels")]
+    fn bad_wifi_channel_panics() {
+        wifi_center_mhz(14);
+    }
+}

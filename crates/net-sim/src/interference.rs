@@ -1,0 +1,135 @@
+//! 802.11 interference sources.
+//!
+//! The paper's interference experiment places a mote 10 cm from an 802.11b
+//! access point carrying traffic; the mote's low-power-listening check then
+//! falsely detects channel activity about 18 % of the time on the overlapping
+//! channel.  We model the access point as a bursty on/off source: time is
+//! divided into slots, and each slot is "busy" with a configured probability,
+//! decided by a deterministic hash of the slot index so the simulation is
+//! reproducible and can be queried at arbitrary times in any order.
+
+use crate::channel::overlaps;
+use hw_model::{SimDuration, SimTime};
+
+/// A bursty 802.11b/g traffic source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WifiInterferer {
+    /// The Wi-Fi channel the access point operates on (1–13).
+    pub wifi_channel: u8,
+    /// Slot length for the on/off traffic pattern.
+    pub slot: SimDuration,
+    /// Probability that a slot carries traffic (0.0–1.0).
+    pub busy_probability: f64,
+    /// Seed decorrelating different interferers.
+    pub seed: u64,
+}
+
+impl WifiInterferer {
+    /// The paper's scenario: an access point on Wi-Fi channel 6 with moderate
+    /// traffic.
+    pub fn paper_channel6(seed: u64) -> Self {
+        WifiInterferer {
+            wifi_channel: 6,
+            slot: SimDuration::from_millis(20),
+            busy_probability: 0.18,
+            seed,
+        }
+    }
+
+    /// Whether the interferer is transmitting at `at`.
+    pub fn transmitting_at(&self, at: SimTime) -> bool {
+        if self.busy_probability <= 0.0 {
+            return false;
+        }
+        if self.busy_probability >= 1.0 {
+            return true;
+        }
+        let slot_idx = at.as_micros() / self.slot.as_micros().max(1);
+        // SplitMix64-style hash of (slot, seed) -> uniform in [0, 1).
+        let mut z = slot_idx
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.seed.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.busy_probability
+    }
+
+    /// Whether a mote listening on 802.15.4 channel `zigbee_channel` would
+    /// detect this interferer's energy at `at`.
+    pub fn detected_on(&self, zigbee_channel: u8, at: SimTime) -> bool {
+        overlaps(self.wifi_channel, zigbee_channel) && self.transmitting_at(at)
+    }
+
+    /// The long-run fraction of time the interferer is on the air, measured
+    /// by sampling `samples` slots starting at time zero.  Useful for tests
+    /// and for calibrating experiment expectations.
+    pub fn measured_duty(&self, samples: usize) -> f64 {
+        if samples == 0 {
+            return 0.0;
+        }
+        let mut busy = 0usize;
+        for i in 0..samples {
+            let t = SimTime::from_micros(i as u64 * self.slot.as_micros() + 1);
+            if self.transmitting_at(t) {
+                busy += 1;
+            }
+        }
+        busy as f64 / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_matches_configured_probability() {
+        let i = WifiInterferer::paper_channel6(3);
+        let duty = i.measured_duty(20_000);
+        assert!((duty - 0.18).abs() < 0.02, "measured duty {duty}");
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = WifiInterferer::paper_channel6(1);
+        let b = WifiInterferer::paper_channel6(1);
+        let c = WifiInterferer::paper_channel6(2);
+        let t = SimTime::from_millis(12_345);
+        assert_eq!(a.transmitting_at(t), b.transmitting_at(t));
+        // Different seeds disagree somewhere.
+        let disagreements = (0..1000)
+            .filter(|i| {
+                let t = SimTime::from_millis(i * 20 + 1);
+                a.transmitting_at(t) != c.transmitting_at(t)
+            })
+            .count();
+        assert!(disagreements > 100);
+    }
+
+    #[test]
+    fn detection_requires_spectral_overlap() {
+        let i = WifiInterferer {
+            busy_probability: 1.0,
+            ..WifiInterferer::paper_channel6(0)
+        };
+        let t = SimTime::from_secs(1);
+        assert!(i.detected_on(17, t));
+        assert!(!i.detected_on(26, t));
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let never = WifiInterferer {
+            busy_probability: 0.0,
+            ..WifiInterferer::paper_channel6(0)
+        };
+        let always = WifiInterferer {
+            busy_probability: 1.0,
+            ..WifiInterferer::paper_channel6(0)
+        };
+        assert_eq!(never.measured_duty(100), 0.0);
+        assert_eq!(always.measured_duty(100), 1.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Multi-node network simulation for the Quanto reproduction.
+//!
+//! Quanto's activity labels cross node boundaries inside packets, and its
+//! headline interference case study needs an 802.11 access point sharing the
+//! 2.4 GHz band with the mote.  This crate supplies that environment:
+//!
+//! * [`channel`] — 802.15.4 / 802.11 channel frequencies and spectral
+//!   overlap,
+//! * [`interference::WifiInterferer`] — a bursty, deterministic 802.11
+//!   traffic source,
+//! * [`medium::Medium`] — the shared ether: in-flight mote transmissions,
+//!   interference, and the connectivity [`medium::Topology`], and
+//! * [`netsim::NetSim`] — the coordinator that advances every node in global
+//!   time order and delivers frames between them.
+
+pub mod channel;
+pub mod interference;
+pub mod medium;
+pub mod netsim;
+
+pub use channel::{ieee802154_center_mhz, overlaps, wifi_center_mhz};
+pub use interference::WifiInterferer;
+pub use medium::{Medium, Topology};
+pub use netsim::NetSim;

@@ -1,0 +1,180 @@
+//! The shared radio medium.
+//!
+//! The medium answers clear-channel assessments (it knows about every mote
+//! transmission in flight and every 802.11 interferer) and decides which
+//! nodes hear which frames (via a simple connectivity topology).
+
+use crate::interference::WifiInterferer;
+use hw_model::SimTime;
+use os_sim::{Emission, World};
+use quanto_core::NodeId;
+use std::collections::HashSet;
+
+/// Which pairs of nodes can hear each other.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    /// `None` means every node hears every other node.
+    links: Option<HashSet<(NodeId, NodeId)>>,
+}
+
+impl Topology {
+    /// Full connectivity: every node hears every other node.
+    pub fn full() -> Self {
+        Topology { links: None }
+    }
+
+    /// An explicit link list (symmetric links are added in both directions).
+    pub fn from_links(pairs: &[(NodeId, NodeId)]) -> Self {
+        let mut links = HashSet::new();
+        for (a, b) in pairs {
+            links.insert((*a, *b));
+            links.insert((*b, *a));
+        }
+        Topology { links: Some(links) }
+    }
+
+    /// Whether `to` can hear a transmission from `from`.
+    pub fn connected(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return false;
+        }
+        match &self.links {
+            None => true,
+            Some(links) => links.contains(&(from, to)),
+        }
+    }
+}
+
+/// One mote transmission currently (or recently) on the air.
+#[derive(Debug, Clone)]
+struct OnAir {
+    from: NodeId,
+    channel: u8,
+    start: SimTime,
+    end: SimTime,
+}
+
+/// The shared 2.4 GHz medium: mote transmissions plus Wi-Fi interference.
+#[derive(Debug, Clone, Default)]
+pub struct Medium {
+    topology: Topology,
+    interferers: Vec<WifiInterferer>,
+    on_air: Vec<OnAir>,
+}
+
+impl Medium {
+    /// Creates a quiet medium with full connectivity.
+    pub fn new() -> Self {
+        Medium {
+            topology: Topology::full(),
+            interferers: Vec::new(),
+            on_air: Vec::new(),
+        }
+    }
+
+    /// Replaces the connectivity topology.
+    pub fn set_topology(&mut self, topology: Topology) {
+        self.topology = topology;
+    }
+
+    /// The current topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Adds an 802.11 interference source.
+    pub fn add_interferer(&mut self, interferer: WifiInterferer) {
+        self.interferers.push(interferer);
+    }
+
+    /// Registers a mote transmission (so other motes' CCA sees it).
+    pub fn register_transmission(&mut self, emission: &Emission) {
+        self.on_air.push(OnAir {
+            from: emission.from,
+            channel: emission.channel,
+            start: emission.start,
+            end: emission.end,
+        });
+        // Garbage-collect transmissions that ended long ago.
+        let horizon = emission.start;
+        self.on_air
+            .retain(|t| t.end + hw_model::SimDuration::from_secs(1) >= horizon);
+    }
+
+    /// Whether any mote other than `node` is on the air on `channel` at `at`.
+    pub fn mote_energy(&self, node: NodeId, channel: u8, at: SimTime) -> bool {
+        self.on_air.iter().any(|t| {
+            t.from != node && t.channel == channel && t.start <= at && at < t.end
+        })
+    }
+
+    /// Whether any interferer deposits energy into `channel` at `at`.
+    pub fn interference_energy(&self, channel: u8, at: SimTime) -> bool {
+        self.interferers.iter().any(|i| i.detected_on(channel, at))
+    }
+}
+
+impl World for Medium {
+    fn channel_busy(&mut self, node: NodeId, channel: u8, at: SimTime) -> bool {
+        self.mote_energy(node, channel, at) || self.interference_energy(channel, at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use os_sim::AmPacket;
+
+    fn emission(from: u8, channel: u8, start_ms: u64, end_ms: u64) -> Emission {
+        Emission {
+            from: NodeId(from),
+            channel,
+            packet: AmPacket::new(NodeId(from), NodeId(0xFF), 0, vec![]),
+            start: SimTime::from_millis(start_ms),
+            end: SimTime::from_millis(end_ms),
+        }
+    }
+
+    #[test]
+    fn topology_full_and_explicit() {
+        let full = Topology::full();
+        assert!(full.connected(NodeId(1), NodeId(4)));
+        assert!(!full.connected(NodeId(1), NodeId(1)));
+
+        let pair = Topology::from_links(&[(NodeId(1), NodeId(4))]);
+        assert!(pair.connected(NodeId(1), NodeId(4)));
+        assert!(pair.connected(NodeId(4), NodeId(1)));
+        assert!(!pair.connected(NodeId(1), NodeId(9)));
+    }
+
+    #[test]
+    fn cca_sees_other_motes_but_not_self() {
+        let mut m = Medium::new();
+        m.register_transmission(&emission(1, 17, 100, 105));
+        assert!(m.channel_busy(NodeId(4), 17, SimTime::from_millis(102)));
+        // The transmitter itself is excluded.
+        assert!(!m.channel_busy(NodeId(1), 17, SimTime::from_millis(102)));
+        // Different channel or different time: clear.
+        assert!(!m.channel_busy(NodeId(4), 26, SimTime::from_millis(102)));
+        assert!(!m.channel_busy(NodeId(4), 17, SimTime::from_millis(200)));
+    }
+
+    #[test]
+    fn cca_sees_overlapping_interference() {
+        let mut m = Medium::new();
+        m.add_interferer(WifiInterferer {
+            busy_probability: 1.0,
+            ..WifiInterferer::paper_channel6(0)
+        });
+        assert!(m.channel_busy(NodeId(1), 17, SimTime::from_secs(3)));
+        assert!(!m.channel_busy(NodeId(1), 26, SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn old_transmissions_are_garbage_collected() {
+        let mut m = Medium::new();
+        m.register_transmission(&emission(1, 17, 0, 5));
+        m.register_transmission(&emission(2, 17, 10_000, 10_005));
+        assert_eq!(m.on_air.len(), 1, "the transmission from t=0 was dropped");
+    }
+}

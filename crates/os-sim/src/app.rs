@@ -1,0 +1,48 @@
+//! The application programming model.
+//!
+//! Applications are written against the same split-phase, event-driven model
+//! TinyOS uses: the OS calls the application's event handlers (`boot`, timer
+//! firings, task bodies, packet receptions, operation completions), and the
+//! application calls back into the OS through the [`OsHandle`] it is handed.
+//! Activity tracking asks very little of the application programmer: define
+//! activities at boot and paint the CPU before starting each logical activity
+//! (Figure 7); the OS propagates the labels from there.
+
+use crate::event::{FlashOp, SensorKind, TaskId, TimerId};
+use crate::kernel::OsHandle;
+use crate::packet::AmPacket;
+
+/// An event-driven application running on one simulated node.
+#[allow(unused_variables)]
+pub trait Application {
+    /// Called once at node boot, after the OS is initialized.
+    fn boot(&mut self, os: &mut OsHandle);
+
+    /// A virtual timer fired.
+    fn timer_fired(&mut self, timer: TimerId, os: &mut OsHandle) {}
+
+    /// A posted task is running.
+    fn task(&mut self, task: TaskId, os: &mut OsHandle) {}
+
+    /// A packet addressed to this node (or broadcast) was received and
+    /// decoded.  The CPU is already painted with the packet's activity.
+    fn packet_received(&mut self, packet: &AmPacket, os: &mut OsHandle) {}
+
+    /// A previously submitted packet finished transmitting.
+    fn send_done(&mut self, os: &mut OsHandle) {}
+
+    /// A sensor conversion finished.
+    fn sensor_read_done(&mut self, kind: SensorKind, value: u16, os: &mut OsHandle) {}
+
+    /// A flash operation finished.
+    fn flash_done(&mut self, op: FlashOp, os: &mut OsHandle) {}
+}
+
+/// An application that does nothing — the node just idles (plus whatever the
+/// OS does on its own, such as the DCO calibration interrupt of Figure 15).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullApp;
+
+impl Application for NullApp {
+    fn boot(&mut self, _os: &mut OsHandle) {}
+}

@@ -1,0 +1,149 @@
+//! A resource arbiter in the style of TinyOS/ICEM.
+//!
+//! Shared resources such as the SPI bus are guarded by an arbiter that grants
+//! the resource to one client at a time and powers the resource down when
+//! nobody holds it.  Quanto instruments the arbiter so that activity labels
+//! automatically follow the granted client onto the shared resource.
+
+use quanto_core::ActivityLabel;
+use std::collections::VecDeque;
+
+/// Clients of the shared SPI bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusClient {
+    /// The CC2420 radio.
+    Radio,
+    /// The external flash.
+    Flash,
+    /// The SHT11 sensor.
+    Sensor,
+}
+
+/// The outcome of a resource request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantOutcome {
+    /// The resource was free and is now held by the requester.
+    Granted,
+    /// The resource is busy; the requester was queued.
+    Queued,
+    /// The requester already holds the resource.
+    AlreadyHeld,
+}
+
+/// A FIFO arbiter for one shared resource.
+#[derive(Debug, Clone, Default)]
+pub struct Arbiter {
+    holder: Option<(BusClient, ActivityLabel)>,
+    waiters: VecDeque<(BusClient, ActivityLabel)>,
+    grants: u64,
+    immediate_grants: u64,
+}
+
+impl Arbiter {
+    /// Creates an idle arbiter.
+    pub fn new() -> Self {
+        Arbiter::default()
+    }
+
+    /// Requests the resource on behalf of an activity.
+    pub fn request(&mut self, client: BusClient, activity: ActivityLabel) -> GrantOutcome {
+        match &self.holder {
+            Some((holder, _)) if *holder == client => GrantOutcome::AlreadyHeld,
+            Some(_) => {
+                self.waiters.push_back((client, activity));
+                GrantOutcome::Queued
+            }
+            None => {
+                self.holder = Some((client, activity));
+                self.grants += 1;
+                self.immediate_grants += 1;
+                GrantOutcome::Granted
+            }
+        }
+    }
+
+    /// Releases the resource; returns the next `(client, activity)` granted,
+    /// if anyone was waiting.  The activity label travels with the grant,
+    /// which is exactly the automatic transfer the instrumented TinyOS
+    /// arbiter performs.
+    ///
+    /// Releasing a resource the client does not hold is a no-op returning
+    /// `None`.
+    pub fn release(&mut self, client: BusClient) -> Option<(BusClient, ActivityLabel)> {
+        match &self.holder {
+            Some((holder, _)) if *holder == client => {
+                self.holder = self.waiters.pop_front();
+                if self.holder.is_some() {
+                    self.grants += 1;
+                }
+                self.holder
+            }
+            _ => None,
+        }
+    }
+
+    /// The current holder, if any.
+    pub fn holder(&self) -> Option<BusClient> {
+        self.holder.map(|(c, _)| c)
+    }
+
+    /// The activity on whose behalf the resource is currently held.
+    pub fn holder_activity(&self) -> Option<ActivityLabel> {
+        self.holder.map(|(_, a)| a)
+    }
+
+    /// Number of clients waiting.
+    pub fn queue_len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Total grants ever made.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Grants that did not have to wait.
+    pub fn immediate_grants(&self) -> u64 {
+        self.immediate_grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quanto_core::{ActivityId, NodeId};
+
+    fn lbl(id: u8) -> ActivityLabel {
+        ActivityLabel::new(NodeId(1), ActivityId(id))
+    }
+
+    #[test]
+    fn grant_queue_release_cycle() {
+        let mut a = Arbiter::new();
+        assert_eq!(a.request(BusClient::Radio, lbl(1)), GrantOutcome::Granted);
+        assert_eq!(a.request(BusClient::Radio, lbl(1)), GrantOutcome::AlreadyHeld);
+        assert_eq!(a.request(BusClient::Flash, lbl(2)), GrantOutcome::Queued);
+        assert_eq!(a.holder(), Some(BusClient::Radio));
+        assert_eq!(a.holder_activity(), Some(lbl(1)));
+        assert_eq!(a.queue_len(), 1);
+
+        // Releasing hands the bus (and the waiter's activity) to the flash.
+        let next = a.release(BusClient::Radio).unwrap();
+        assert_eq!(next, (BusClient::Flash, lbl(2)));
+        assert_eq!(a.holder(), Some(BusClient::Flash));
+
+        assert!(a.release(BusClient::Flash).is_none());
+        assert_eq!(a.holder(), None);
+        assert_eq!(a.grants(), 2);
+        assert_eq!(a.immediate_grants(), 1);
+    }
+
+    #[test]
+    fn releasing_unheld_resource_is_noop() {
+        let mut a = Arbiter::new();
+        assert!(a.release(BusClient::Sensor).is_none());
+        a.request(BusClient::Radio, lbl(1));
+        assert!(a.release(BusClient::Sensor).is_none());
+        assert_eq!(a.holder(), Some(BusClient::Radio));
+    }
+}

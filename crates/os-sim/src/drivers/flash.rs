@@ -1,0 +1,148 @@
+//! The external NOR-flash driver.
+//!
+//! Flash operations go through a handshake during which the chip's power
+//! state is visible to, but not directly controlled by, the CPU: the driver
+//! shadows the chip's busy/ready transitions and exposes them through the
+//! `PowerState` interface (the example discussed in Section 2.4).
+
+use crate::event::FlashOp;
+use quanto_core::ActivityLabel;
+
+/// Power states of the external flash, matching the Table 1 rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashPower {
+    /// Deep power-down (the boot state).
+    PowerDown,
+    /// Awake but idle.
+    Standby,
+    /// Read in progress.
+    Read,
+    /// Write in progress.
+    Write,
+    /// Erase in progress.
+    Erase,
+}
+
+impl FlashPower {
+    /// The catalog state index for this power state (matches
+    /// `hw_model::catalog::flash_state`).
+    pub fn state_index(self) -> u8 {
+        match self {
+            FlashPower::PowerDown => 0,
+            FlashPower::Standby => 1,
+            FlashPower::Read => 2,
+            FlashPower::Write => 3,
+            FlashPower::Erase => 4,
+        }
+    }
+}
+
+/// Shadow state of the external flash.
+#[derive(Debug, Clone)]
+pub struct FlashState {
+    /// Current power state.
+    pub power: FlashPower,
+    /// In-flight operation and the activity it belongs to.
+    pub pending: Option<(FlashOp, usize, ActivityLabel)>,
+    /// Completed operations.
+    pub completed: u32,
+    /// Requests rejected because an operation was already in flight.
+    pub rejected: u32,
+}
+
+impl Default for FlashState {
+    fn default() -> Self {
+        FlashState {
+            power: FlashPower::PowerDown,
+            pending: None,
+            completed: 0,
+            rejected: 0,
+        }
+    }
+}
+
+impl FlashState {
+    /// Creates a powered-down flash.
+    pub fn new() -> Self {
+        FlashState::default()
+    }
+
+    /// Starts an operation over `len` bytes on behalf of `activity`.
+    ///
+    /// Returns the power state the chip enters, or `None` if it was busy.
+    pub fn start(&mut self, op: FlashOp, len: usize, activity: ActivityLabel) -> Option<FlashPower> {
+        if self.pending.is_some() {
+            self.rejected += 1;
+            return None;
+        }
+        let power = match op {
+            FlashOp::Read => FlashPower::Read,
+            FlashOp::Write => FlashPower::Write,
+            FlashOp::Erase => FlashPower::Erase,
+        };
+        self.power = power;
+        self.pending = Some((op, len, activity));
+        Some(power)
+    }
+
+    /// Completes the in-flight operation; the chip drops back to standby.
+    pub fn complete(&mut self) -> Option<(FlashOp, usize, ActivityLabel)> {
+        let done = self.pending.take();
+        if done.is_some() {
+            self.completed += 1;
+            self.power = FlashPower::Standby;
+        }
+        done
+    }
+
+    /// Sends the chip to deep power-down (only when idle).
+    ///
+    /// Returns `true` if the state changed.
+    pub fn power_down(&mut self) -> bool {
+        if self.pending.is_none() && self.power != FlashPower::PowerDown {
+            self.power = FlashPower::PowerDown;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether an operation is in flight.
+    pub fn busy(&self) -> bool {
+        self.pending.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quanto_core::{ActivityId, NodeId};
+
+    #[test]
+    fn operation_lifecycle() {
+        let act = ActivityLabel::new(NodeId(1), ActivityId(3));
+        let mut f = FlashState::new();
+        assert_eq!(f.power, FlashPower::PowerDown);
+        assert_eq!(f.start(FlashOp::Write, 256, act), Some(FlashPower::Write));
+        assert!(f.busy());
+        assert!(f.start(FlashOp::Read, 16, act).is_none());
+        let (op, len, a) = f.complete().unwrap();
+        assert_eq!(op, FlashOp::Write);
+        assert_eq!(len, 256);
+        assert_eq!(a, act);
+        assert_eq!(f.power, FlashPower::Standby);
+        assert!(f.power_down());
+        assert!(!f.power_down());
+        assert_eq!(f.completed, 1);
+        assert_eq!(f.rejected, 1);
+    }
+
+    #[test]
+    fn state_indices_match_catalog_order() {
+        assert_eq!(FlashPower::PowerDown.state_index(), 0);
+        assert_eq!(FlashPower::Standby.state_index(), 1);
+        assert_eq!(FlashPower::Read.state_index(), 2);
+        assert_eq!(FlashPower::Write.state_index(), 3);
+        assert_eq!(FlashPower::Erase.state_index(), 4);
+    }
+}

@@ -1,0 +1,75 @@
+//! The LED driver.
+//!
+//! LEDs are the simplest instrumented device: two power states, fully under
+//! CPU control (Figure 2 of the paper).
+
+/// Shadow state of the three platform LEDs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedBank {
+    on: [bool; 3],
+    toggles: [u32; 3],
+}
+
+impl LedBank {
+    /// Creates a bank with all LEDs off.
+    pub fn new() -> Self {
+        LedBank::default()
+    }
+
+    /// Sets LED `idx` to `on`.  Returns `true` if the state changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not 0, 1 or 2.
+    pub fn set(&mut self, idx: usize, on: bool) -> bool {
+        assert!(idx < 3, "LED index {idx} out of range");
+        if self.on[idx] == on {
+            false
+        } else {
+            self.on[idx] = on;
+            self.toggles[idx] += 1;
+            true
+        }
+    }
+
+    /// Whether LED `idx` is currently on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not 0, 1 or 2.
+    pub fn is_on(&self, idx: usize) -> bool {
+        assert!(idx < 3, "LED index {idx} out of range");
+        self.on[idx]
+    }
+
+    /// How many times LED `idx` changed state.
+    pub fn toggle_count(&self, idx: usize) -> u32 {
+        self.toggles[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_tracks_changes_and_toggle_counts() {
+        let mut leds = LedBank::new();
+        assert!(!leds.is_on(0));
+        assert!(leds.set(0, true));
+        assert!(!leds.set(0, true), "redundant set is not a change");
+        assert!(leds.set(0, false));
+        assert!(leds.set(2, true));
+        assert_eq!(leds.toggle_count(0), 2);
+        assert_eq!(leds.toggle_count(1), 0);
+        assert_eq!(leds.toggle_count(2), 1);
+        assert!(leds.is_on(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let mut leds = LedBank::new();
+        leds.set(3, true);
+    }
+}

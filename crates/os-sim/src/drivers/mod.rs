@@ -1,0 +1,18 @@
+//! Device-driver state machines.
+//!
+//! Each driver keeps its own shadow of the hardware's state (the part the
+//! paper says drivers must expose through the `PowerState` interface) plus
+//! whatever bookkeeping the OS needs to complete split-phase operations.  The
+//! kernel orchestrates the drivers: it owns the event queue, the Quanto
+//! runtime and the energy ground truth, and calls into these state machines
+//! at each step.
+
+pub mod flash;
+pub mod led;
+pub mod radio;
+pub mod sensor;
+
+pub use flash::{FlashPower, FlashState};
+pub use led::LedBank;
+pub use radio::{RadioPower, RadioState, RadioStats, RxOperation, TxOperation, TxPhase};
+pub use sensor::SensorState;

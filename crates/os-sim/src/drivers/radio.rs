@@ -1,0 +1,209 @@
+//! The CC2420-style radio driver state machine.
+//!
+//! The radio is the most involved instrumented device: it has several energy
+//! sinks (voltage regulator, control path, RX path, TX path), split-phase
+//! transmit and receive operations whose data moves over the shared SPI bus,
+//! an optional low-power-listening duty cycle, and it performs work without
+//! CPU intervention (the actual over-the-air transmission).  The kernel
+//! drives this state machine from its event loop.
+
+use crate::packet::AmPacket;
+use hw_model::SimTime;
+use quanto_core::ActivityLabel;
+
+/// Gross power state of the radio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadioPower {
+    /// Voltage regulator off; the chip is dark.
+    Off,
+    /// Oscillator starting up.
+    Starting,
+    /// Oscillator running, neither receiving nor transmitting.
+    Idle,
+    /// Receiver on, listening (or actively receiving).
+    Listening,
+    /// Transmitter on, sending a frame.
+    Transmitting,
+}
+
+/// Phase of an in-flight transmit operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxPhase {
+    /// The packet is being copied into the TXFIFO over SPI.
+    LoadingFifo,
+    /// Waiting out the CSMA backoff.
+    Backoff,
+    /// On the air.
+    OnAir,
+}
+
+/// An in-flight transmit operation.
+#[derive(Debug, Clone)]
+pub struct TxOperation {
+    /// The packet being sent (its hidden activity field already stamped).
+    pub packet: AmPacket,
+    /// Bytes copied into the TXFIFO so far.
+    pub bytes_loaded: usize,
+    /// Current phase.
+    pub phase: TxPhase,
+    /// The activity on whose behalf the send runs.
+    pub activity: ActivityLabel,
+    /// How many backoff rounds have been taken (CCA found the channel busy).
+    pub backoff_rounds: u32,
+}
+
+/// An in-flight receive operation (packet bytes being pulled from the RXFIFO).
+#[derive(Debug, Clone)]
+pub struct RxOperation {
+    /// The packet being received.
+    pub packet: AmPacket,
+    /// Bytes downloaded from the RXFIFO so far.
+    pub bytes_downloaded: usize,
+    /// When the start-of-frame delimiter was seen.
+    pub sfd_time: SimTime,
+}
+
+/// Counters the case studies report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RadioStats {
+    /// Packets fully transmitted.
+    pub packets_sent: u64,
+    /// Packets fully received and delivered to the application.
+    pub packets_received: u64,
+    /// LPL wake-ups that found the channel clear and went back to sleep.
+    pub clean_wakeups: u64,
+    /// LPL wake-ups that detected energy but never received a packet
+    /// (the false positives of Figure 13).
+    pub false_wakeups: u64,
+    /// LPL wake-ups that resulted in a packet reception.
+    pub rx_wakeups: u64,
+    /// CSMA backoff rounds taken because the channel was busy.
+    pub busy_backoffs: u64,
+}
+
+/// The radio driver's shadow state.
+#[derive(Debug, Clone)]
+pub struct RadioState {
+    /// Gross power state.
+    pub power: RadioPower,
+    /// In-flight transmit operation.
+    pub tx: Option<TxOperation>,
+    /// In-flight receive operation.
+    pub rx: Option<RxOperation>,
+    /// Whether an LPL wake-up window is currently open.
+    pub lpl_wakeup_open: bool,
+    /// Whether the current LPL wake-up saw energy on the channel.
+    pub lpl_energy_detected: bool,
+    /// Whether the current LPL wake-up received a packet.
+    pub lpl_got_packet: bool,
+    /// Whether the application asked for the radio to be on at all
+    /// (with LPL this means duty-cycling; without it, always listening).
+    pub requested_on: bool,
+    /// Statistics.
+    pub stats: RadioStats,
+}
+
+impl Default for RadioState {
+    fn default() -> Self {
+        RadioState {
+            power: RadioPower::Off,
+            tx: None,
+            rx: None,
+            lpl_wakeup_open: false,
+            lpl_energy_detected: false,
+            lpl_got_packet: false,
+            requested_on: false,
+            stats: RadioStats::default(),
+        }
+    }
+}
+
+impl RadioState {
+    /// Creates a powered-down radio.
+    pub fn new() -> Self {
+        RadioState::default()
+    }
+
+    /// Whether the receiver can currently detect an incoming frame.
+    pub fn can_hear(&self) -> bool {
+        matches!(self.power, RadioPower::Listening) && self.rx.is_none() && self.tx.is_none()
+    }
+
+    /// Whether a transmit operation is in progress (any phase).
+    pub fn tx_busy(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// Begins a transmit operation; the kernel has already stamped the
+    /// packet's activity field.
+    ///
+    /// Returns `false` if a transmit is already in flight.
+    pub fn begin_tx(&mut self, packet: AmPacket, activity: ActivityLabel) -> bool {
+        if self.tx.is_some() {
+            return false;
+        }
+        self.tx = Some(TxOperation {
+            packet,
+            bytes_loaded: 0,
+            phase: TxPhase::LoadingFifo,
+            activity,
+            backoff_rounds: 0,
+        });
+        true
+    }
+
+    /// Begins a receive operation (SFD seen).
+    ///
+    /// Returns `false` if the radio cannot take the frame (off, already
+    /// receiving, or transmitting).
+    pub fn begin_rx(&mut self, packet: AmPacket, sfd_time: SimTime) -> bool {
+        if !self.can_hear() {
+            return false;
+        }
+        self.rx = Some(RxOperation {
+            packet,
+            bytes_downloaded: 0,
+            sfd_time,
+        });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quanto_core::NodeId;
+
+    fn pkt() -> AmPacket {
+        AmPacket::new(NodeId(1), NodeId(4), 0, vec![0; 16])
+    }
+
+    #[test]
+    fn tx_state_machine_rejects_concurrent_sends() {
+        let mut r = RadioState::new();
+        assert!(r.begin_tx(pkt(), ActivityLabel::IDLE));
+        assert!(r.tx_busy());
+        assert!(!r.begin_tx(pkt(), ActivityLabel::IDLE));
+        assert_eq!(r.tx.as_ref().unwrap().phase, TxPhase::LoadingFifo);
+    }
+
+    #[test]
+    fn rx_requires_listening() {
+        let mut r = RadioState::new();
+        assert!(!r.can_hear());
+        assert!(!r.begin_rx(pkt(), SimTime::ZERO));
+        r.power = RadioPower::Listening;
+        assert!(r.can_hear());
+        assert!(r.begin_rx(pkt(), SimTime::from_millis(1)));
+        // Already receiving: a second frame is lost.
+        assert!(!r.begin_rx(pkt(), SimTime::from_millis(2)));
+    }
+
+    #[test]
+    fn tx_blocks_reception() {
+        let mut r = RadioState::new();
+        r.power = RadioPower::Listening;
+        assert!(r.begin_tx(pkt(), ActivityLabel::IDLE));
+        assert!(!r.can_hear());
+    }
+}

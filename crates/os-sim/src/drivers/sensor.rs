@@ -1,0 +1,78 @@
+//! The SHT11-style sensor driver.
+//!
+//! Sensor reads are split-phase: the CPU starts a conversion, the chip
+//! samples on its own (drawing its SAMPLE current), and a completion
+//! interrupt delivers the value.  The driver stores the activity on whose
+//! behalf the conversion runs so the completion interrupt's proxy activity
+//! can be bound back to it — the pattern Section 3.3 describes for
+//! device-completion interrupts.
+
+use crate::event::SensorKind;
+use quanto_core::ActivityLabel;
+
+/// Shadow state of the sensor chip.
+#[derive(Debug, Clone, Default)]
+pub struct SensorState {
+    /// The in-flight conversion, if any: which channel and for which
+    /// activity.
+    pub sampling: Option<(SensorKind, ActivityLabel)>,
+    /// Completed conversions.
+    pub completed: u32,
+    /// Conversion requests rejected because one was already in flight.
+    pub rejected: u32,
+}
+
+impl SensorState {
+    /// Creates an idle sensor.
+    pub fn new() -> Self {
+        SensorState::default()
+    }
+
+    /// Starts a conversion.  Returns `false` (and counts a rejection) if one
+    /// is already in flight — the SHT11 has a single conversion engine.
+    pub fn start(&mut self, kind: SensorKind, activity: ActivityLabel) -> bool {
+        if self.sampling.is_some() {
+            self.rejected += 1;
+            return false;
+        }
+        self.sampling = Some((kind, activity));
+        true
+    }
+
+    /// Completes the in-flight conversion, returning which channel finished
+    /// and the activity it belongs to.
+    pub fn complete(&mut self) -> Option<(SensorKind, ActivityLabel)> {
+        let done = self.sampling.take();
+        if done.is_some() {
+            self.completed += 1;
+        }
+        done
+    }
+
+    /// Whether a conversion is in flight.
+    pub fn busy(&self) -> bool {
+        self.sampling.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quanto_core::{ActivityId, NodeId};
+
+    #[test]
+    fn single_conversion_at_a_time() {
+        let act = ActivityLabel::new(NodeId(1), ActivityId(5));
+        let mut s = SensorState::new();
+        assert!(!s.busy());
+        assert!(s.start(SensorKind::Humidity, act));
+        assert!(!s.start(SensorKind::Temperature, act));
+        assert!(s.busy());
+        let (kind, a) = s.complete().unwrap();
+        assert_eq!(kind, SensorKind::Humidity);
+        assert_eq!(a, act);
+        assert!(s.complete().is_none());
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.rejected, 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! The node-local discrete-event queue.
+
+use crate::packet::AmPacket;
+use hw_model::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier of a virtual timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub u16);
+
+/// Identifier of an application task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u16);
+
+/// Sensors the platform can sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensorKind {
+    /// SHT11 humidity channel.
+    Humidity,
+    /// SHT11 temperature channel.
+    Temperature,
+}
+
+/// Flash operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlashOp {
+    /// Read `len` bytes.
+    Read,
+    /// Write `len` bytes.
+    Write,
+    /// Erase a block.
+    Erase,
+}
+
+/// Events a node schedules for itself (hardware completions, timer compare
+/// interrupts, deferred work).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeEvent {
+    /// The hardware timer reached the deadline of a virtual timer.
+    HwTimerFired {
+        /// Which virtual timer is due.
+        timer: TimerId,
+    },
+    /// The 16 Hz TimerA1 interrupt used for DCO calibration (Figure 15).
+    DcoCalibration,
+    /// The CPU may go back to sleep if no work is pending.
+    CpuMaybeSleep,
+    /// One 2-byte SPI chunk of the TX FIFO load finished (interrupt mode).
+    SpiTxChunk,
+    /// The DMA transfer of the TX FIFO load finished.
+    SpiTxDmaDone,
+    /// The CSMA backoff expired; time to sample the channel and transmit.
+    CsmaBackoffDone,
+    /// The over-the-air transmission finished.
+    RadioTxDone,
+    /// A start-of-frame delimiter was detected for an incoming packet.
+    RadioSfd {
+        /// The incoming packet (its bytes are still in the radio FIFO).
+        packet: AmPacket,
+    },
+    /// One 2-byte SPI chunk of the RX FIFO download finished.
+    SpiRxChunk,
+    /// The DMA transfer of the RX FIFO download finished.
+    SpiRxDmaDone,
+    /// Low-power-listening periodic wake-up.
+    LplWakeup,
+    /// The LPL clear-channel sample window ended.
+    LplCcaSample,
+    /// The LPL post-detection listen window expired with no packet.
+    LplTimeout,
+    /// The radio oscillator finished starting up.
+    RadioStartupDone,
+    /// A sensor conversion finished.
+    SensorDone {
+        /// Which sensor finished.
+        kind: SensorKind,
+        /// The converted value.
+        value: u16,
+    },
+    /// A flash operation finished.
+    FlashDone {
+        /// Which operation finished.
+        op: FlashOp,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: NodeEvent,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first, breaking
+        // ties by insertion order for determinism.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic earliest-first event queue.
+#[derive(Debug, Clone, Default)]
+pub struct LocalQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl LocalQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        LocalQueue::default()
+    }
+
+    /// Schedules an event at an absolute time.
+    pub fn push(&mut self, time: SimTime, event: NodeEvent) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Pops the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, NodeEvent)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns true if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_time_then_insertion() {
+        let mut q = LocalQueue::new();
+        q.push(SimTime::from_millis(5), NodeEvent::CpuMaybeSleep);
+        q.push(SimTime::from_millis(1), NodeEvent::DcoCalibration);
+        q.push(SimTime::from_millis(5), NodeEvent::LplWakeup);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+        assert_eq!(q.pop().unwrap().1, NodeEvent::DcoCalibration);
+        // Equal times preserve insertion order.
+        assert_eq!(q.pop().unwrap().1, NodeEvent::CpuMaybeSleep);
+        assert_eq!(q.pop().unwrap().1, NodeEvent::LplWakeup);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+}

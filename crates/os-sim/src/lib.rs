@@ -1,0 +1,41 @@
+//! A TinyOS-like embedded OS simulator, instrumented with Quanto.
+//!
+//! The paper implements Quanto by modifying TinyOS running on the HydroWatch
+//! platform: tasks, timers, arbiters, interrupt handlers, the network stack
+//! and the device drivers are instrumented to expose power states and to
+//! propagate activity labels.  This crate builds the equivalent substrate as
+//! a discrete-event simulation:
+//!
+//! * [`kernel::Kernel`] — the per-node OS: event queue, CPU execution model,
+//!   task scheduler, virtual timers, SPI arbiter, drivers (LEDs, CC2420-style
+//!   radio with optional low-power listening, flash, sensor), the Active
+//!   Message layer with the hidden activity field, the ground-truth energy
+//!   accumulator, the simulated iCount meter and the Quanto runtime.
+//! * [`app::Application`] — the split-phase, event-driven application model.
+//! * [`node::Node`] — kernel + application + event dispatch.
+//! * [`sim::Simulator`] — a single-node run in a configurable [`world::World`].
+//!
+//! Multi-node coordination (radio medium, interference) lives in `net-sim`.
+
+pub mod app;
+pub mod arbiter;
+pub mod config;
+pub mod drivers;
+pub mod event;
+pub mod kernel;
+pub mod node;
+pub mod packet;
+pub mod sched;
+pub mod sim;
+pub mod timer;
+pub mod world;
+
+pub use app::{Application, NullApp};
+pub use arbiter::{Arbiter, BusClient, GrantOutcome};
+pub use config::{LplConfig, NodeConfig, SpiMode};
+pub use event::{FlashOp, NodeEvent, SensorKind, TaskId, TimerId};
+pub use kernel::{IrqSource, Kernel, NodeRunOutput, OsHandle};
+pub use node::Node;
+pub use packet::{AmPacket, AM_BROADCAST};
+pub use sim::Simulator;
+pub use world::{Emission, QuietWorld, World};

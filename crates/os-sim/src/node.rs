@@ -1,0 +1,182 @@
+//! A simulated node: kernel + application + event dispatch.
+
+use crate::app::Application;
+use crate::event::NodeEvent;
+use crate::kernel::{Kernel, NodeRunOutput};
+use crate::packet::AmPacket;
+use crate::world::{Emission, World};
+use hw_model::SimTime;
+use quanto_core::NodeId;
+
+/// One node of the network: the instrumented kernel plus the application.
+pub struct Node {
+    kernel: Kernel,
+    app: Box<dyn Application>,
+    booted: bool,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.kernel.node_id())
+            .field("kernel", &self.kernel)
+            .finish()
+    }
+}
+
+impl Node {
+    /// Creates a node from a configured kernel and an application.
+    pub fn new(kernel: Kernel, app: Box<dyn Application>) -> Self {
+        Node {
+            kernel,
+            app,
+            booted: false,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.kernel.node_id()
+    }
+
+    /// Read-only access to the kernel (for assertions and reports).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Boots the node: runs the application's `boot` handler in a batch at
+    /// time zero.  Called automatically by the first `process_next` if the
+    /// coordinator does not call it explicitly.
+    pub fn boot(&mut self) {
+        if self.booted {
+            return;
+        }
+        self.booted = true;
+        self.kernel.begin_batch(SimTime::ZERO);
+        self.app.boot(&mut self.kernel);
+        self.drain_tasks();
+        self.kernel.end_batch();
+    }
+
+    /// The time of this node's next pending event.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.kernel.peek_event_time()
+    }
+
+    /// Delivers a frame from the ether: the node will see a start-of-frame
+    /// delimiter interrupt at `sfd_time` (if its receiver is on then).
+    pub fn deliver_packet(&mut self, packet: AmPacket, sfd_time: SimTime) {
+        self.kernel
+            .push_event(sfd_time, NodeEvent::RadioSfd { packet });
+    }
+
+    /// Processes this node's next pending event.  Returns the event's time
+    /// and any frames the node put on the air while handling it.
+    ///
+    /// Returns `None` when the node has no pending events.
+    pub fn process_next(&mut self, world: &mut dyn World) -> Option<(SimTime, Vec<Emission>)> {
+        if !self.booted {
+            self.boot();
+        }
+        let (time, event) = self.kernel.pop_event()?;
+        let effective = self.kernel.begin_batch(time);
+        self.dispatch(event, effective, world);
+        self.drain_tasks();
+        self.kernel.end_batch();
+        Some((effective, self.kernel.take_emissions()))
+    }
+
+    /// Processes every event scheduled at or before `until`.
+    pub fn run_until(&mut self, until: SimTime, world: &mut dyn World) -> Vec<Emission> {
+        if !self.booted {
+            self.boot();
+        }
+        let mut emissions = Vec::new();
+        while let Some(t) = self.next_event_time() {
+            if t > until {
+                break;
+            }
+            if let Some((_, mut e)) = self.process_next(world) {
+                emissions.append(&mut e);
+            }
+        }
+        emissions
+    }
+
+    /// Finishes the run at `end`, collecting the node's outputs.
+    pub fn finish(&mut self, end: SimTime) -> NodeRunOutput {
+        self.kernel.collect_output(end)
+    }
+
+    fn dispatch(&mut self, event: NodeEvent, at: SimTime, world: &mut dyn World) {
+        let node = self.kernel.node_id();
+        let channel = self.kernel.config().radio_channel;
+        match event {
+            NodeEvent::HwTimerFired { timer } => {
+                if self.kernel.handle_hw_timer(timer).is_some() {
+                    self.app.timer_fired(timer, &mut self.kernel);
+                    self.kernel.finish_hw_timer();
+                }
+            }
+            NodeEvent::DcoCalibration => self.kernel.handle_dco_calibration(),
+            NodeEvent::CpuMaybeSleep => {}
+            NodeEvent::SpiTxChunk => self.kernel.handle_spi_tx_chunk(),
+            NodeEvent::SpiTxDmaDone => self.kernel.handle_spi_tx_dma_done(),
+            NodeEvent::CsmaBackoffDone => {
+                let busy = world.channel_busy(node, channel, at);
+                self.kernel.handle_backoff_done(busy);
+            }
+            NodeEvent::RadioTxDone => {
+                if self.kernel.handle_tx_done() {
+                    self.app.send_done(&mut self.kernel);
+                }
+            }
+            NodeEvent::RadioSfd { packet } => {
+                self.kernel.handle_sfd(packet);
+            }
+            NodeEvent::SpiRxChunk => {
+                if let Some(packet) = self.kernel.handle_spi_rx_chunk() {
+                    self.app.packet_received(&packet, &mut self.kernel);
+                }
+            }
+            NodeEvent::SpiRxDmaDone => {
+                if let Some(packet) = self.kernel.handle_spi_rx_dma_done() {
+                    self.app.packet_received(&packet, &mut self.kernel);
+                }
+            }
+            NodeEvent::LplWakeup => self.kernel.handle_lpl_wakeup(),
+            NodeEvent::LplCcaSample => {
+                let busy = world.channel_busy(node, channel, at);
+                self.kernel.handle_lpl_cca(busy);
+            }
+            NodeEvent::LplTimeout => self.kernel.handle_lpl_timeout(),
+            NodeEvent::RadioStartupDone => self.kernel.handle_radio_startup_done(),
+            NodeEvent::SensorDone { kind, value } => {
+                if let Some((kind, value)) = self.kernel.handle_sensor_done(kind, value) {
+                    self.app.sensor_read_done(kind, value, &mut self.kernel);
+                }
+            }
+            NodeEvent::FlashDone { op } => {
+                if let Some(op) = self.kernel.handle_flash_done(op) {
+                    self.app.flash_done(op, &mut self.kernel);
+                }
+            }
+        }
+    }
+
+    fn drain_tasks(&mut self) {
+        // Tasks run to completion in post order; a task may post further
+        // tasks, which run in the same batch (bounded by a sanity limit so a
+        // buggy application cannot hang the simulator).
+        let mut guard = 0;
+        while let Some(task) = self.kernel.next_task() {
+            self.app.task(task.id, &mut self.kernel);
+            guard += 1;
+            assert!(
+                guard < 10_000,
+                "task storm: more than 10000 tasks in one batch on node {}",
+                self.kernel.node_id()
+            );
+        }
+    }
+}

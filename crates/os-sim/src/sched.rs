@@ -1,0 +1,104 @@
+//! The TinyOS-style task scheduler.
+//!
+//! TinyOS has a single stack and an event-based execution model; the
+//! schedulable unit is a *task*, which runs to completion and cannot preempt
+//! other tasks.  Quanto instruments the scheduler to save the CPU's current
+//! activity when a task is posted and to restore it just before the task
+//! runs, so activities survive arbitrary multiplexing through the task queue.
+
+use crate::event::TaskId;
+use quanto_core::ActivityLabel;
+use std::collections::VecDeque;
+
+/// A posted task waiting to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostedTask {
+    /// The application-defined task id.
+    pub id: TaskId,
+    /// The CPU activity at post time, restored before the task runs.
+    pub saved_activity: ActivityLabel,
+    /// CPU cost of the task body, in cycles.
+    pub cost_cycles: u32,
+}
+
+/// FIFO run-to-completion task queue.
+#[derive(Debug, Clone, Default)]
+pub struct TaskQueue {
+    queue: VecDeque<PostedTask>,
+    posted_total: u64,
+    ran_total: u64,
+}
+
+impl TaskQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        TaskQueue::default()
+    }
+
+    /// Posts a task (TinyOS `post t()`), capturing the current CPU activity.
+    pub fn post(&mut self, id: TaskId, saved_activity: ActivityLabel, cost_cycles: u32) {
+        self.posted_total += 1;
+        self.queue.push_back(PostedTask {
+            id,
+            saved_activity,
+            cost_cycles,
+        });
+    }
+
+    /// Dequeues the next task to run.
+    pub fn next(&mut self) -> Option<PostedTask> {
+        let t = self.queue.pop_front();
+        if t.is_some() {
+            self.ran_total += 1;
+        }
+        t
+    }
+
+    /// Number of tasks currently waiting.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns true if no tasks are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total tasks ever posted.
+    pub fn posted_total(&self) -> u64 {
+        self.posted_total
+    }
+
+    /// Total tasks ever run.
+    pub fn ran_total(&self) -> u64 {
+        self.ran_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quanto_core::{ActivityId, NodeId};
+
+    fn lbl(id: u8) -> ActivityLabel {
+        ActivityLabel::new(NodeId(1), ActivityId(id))
+    }
+
+    #[test]
+    fn tasks_run_in_post_order_with_saved_activity() {
+        let mut q = TaskQueue::new();
+        q.post(TaskId(1), lbl(1), 100);
+        q.post(TaskId(2), lbl(2), 200);
+        assert_eq!(q.pending(), 2);
+        let a = q.next().unwrap();
+        assert_eq!(a.id, TaskId(1));
+        assert_eq!(a.saved_activity, lbl(1));
+        assert_eq!(a.cost_cycles, 100);
+        let b = q.next().unwrap();
+        assert_eq!(b.id, TaskId(2));
+        assert!(q.next().is_none());
+        assert_eq!(q.posted_total(), 2);
+        assert_eq!(q.ran_total(), 2);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! Single-node simulation driver.
+//!
+//! Most of the paper's experiments (Blink, the timer probe, the DMA study)
+//! run on a single node; [`Simulator`] wires one node to a [`World`] and runs
+//! it for a fixed duration, returning everything the offline analysis needs.
+
+use crate::app::Application;
+use crate::config::NodeConfig;
+use crate::kernel::{Kernel, NodeRunOutput};
+use crate::node::Node;
+use crate::world::{QuietWorld, World};
+use hw_model::{SimDuration, SimTime};
+
+/// A single-node simulation.
+pub struct Simulator<W: World = QuietWorld> {
+    node: Node,
+    world: W,
+}
+
+impl Simulator<QuietWorld> {
+    /// Creates a simulation of one node in a quiet ether.
+    pub fn new(config: NodeConfig, app: Box<dyn Application>) -> Self {
+        Simulator::with_world(config, app, QuietWorld)
+    }
+}
+
+impl<W: World> Simulator<W> {
+    /// Creates a simulation of one node in the given world.
+    pub fn with_world(config: NodeConfig, app: Box<dyn Application>, world: W) -> Self {
+        let kernel = Kernel::new(config);
+        Simulator {
+            node: Node::new(kernel, app),
+            world,
+        }
+    }
+
+    /// Read-only access to the node.
+    pub fn node(&self) -> &Node {
+        &self.node
+    }
+
+    /// Mutable access to the world (e.g. to reconfigure interference).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Runs the simulation for `duration` and returns the node's outputs.
+    ///
+    /// Any frames the node transmits are dropped (there is nobody to hear
+    /// them); use `net-sim` for multi-node runs.
+    pub fn run_for(&mut self, duration: SimDuration) -> NodeRunOutput {
+        let end = SimTime::ZERO + duration;
+        self.node.boot();
+        let _ = self.node.run_until(end, &mut self.world);
+        self.node.finish(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{Application, NullApp};
+    use crate::event::{SensorKind, TaskId, TimerId};
+    use crate::kernel::OsHandle;
+    use analysis_free_asserts::*;
+    use hw_model::catalog::{cpu_state, led_state};
+    use quanto_core::{ActivityLabel, EntryKind, NodeId};
+
+    /// Small helpers so the tests below don't need the analysis crate
+    /// (which would create a dependency cycle).
+    mod analysis_free_asserts {
+        use quanto_core::LogEntry;
+
+        /// Counts log entries satisfying a predicate.
+        pub fn count_entries(log: &[LogEntry], pred: impl Fn(&LogEntry) -> bool) -> usize {
+            log.iter().filter(|e| pred(e)).count()
+        }
+    }
+
+    #[test]
+    fn null_app_still_produces_dco_interrupts_and_energy() {
+        let config = NodeConfig::new(NodeId(7));
+        let mut sim = Simulator::new(config, Box::new(NullApp));
+        let out = sim.run_for(SimDuration::from_secs(2));
+        // 16 Hz for 2 s = 32 calibration interrupts; each wakes the CPU, so
+        // the CPU ACTIVE power state appears at least that often.
+        let cpu_sink = sim.node().kernel().sink_ids().cpu;
+        let cpu_active = count_entries(&out.log, |e| {
+            e.kind == EntryKind::PowerState
+                && e.sink() == Some(cpu_sink)
+                && e.value == cpu_state::ACTIVE.as_u8() as u16
+        });
+        assert!(
+            (30..=36).contains(&cpu_active),
+            "expected ~32 CPU wake-ups, got {cpu_active}"
+        );
+        // The node consumed some energy (idle draw plus wake-ups).
+        assert!(out.ground_truth.total.as_micro_joules() > 0.0);
+        assert_eq!(out.final_stamp.time, SimTime::from_secs(2));
+        assert_eq!(out.log_dropped, 0);
+    }
+
+    #[test]
+    fn disabling_dco_calibration_removes_the_interrupt() {
+        let config = NodeConfig {
+            dco_calibration: false,
+            ..NodeConfig::new(NodeId(7))
+        };
+        let mut sim = Simulator::new(config, Box::new(NullApp));
+        let out = sim.run_for(SimDuration::from_secs(2));
+        let cpu_sink = sim.node().kernel().sink_ids().cpu;
+        let cpu_active = count_entries(&out.log, |e| {
+            e.kind == EntryKind::PowerState
+                && e.sink() == Some(cpu_sink)
+                && e.value == cpu_state::ACTIVE.as_u8() as u16
+        });
+        // Only the boot batch wakes the CPU.
+        assert_eq!(cpu_active, 1);
+    }
+
+    /// A tiny Blink: one periodic timer toggling LED0 under a "Red" activity.
+    struct MiniBlink {
+        red: ActivityLabel,
+    }
+
+    impl MiniBlink {
+        fn new() -> Self {
+            MiniBlink {
+                red: ActivityLabel::IDLE,
+            }
+        }
+    }
+
+    impl Application for MiniBlink {
+        fn boot(&mut self, os: &mut OsHandle) {
+            self.red = os.define_activity("Red");
+            os.set_cpu_activity(self.red);
+            os.start_timer(SimDuration::from_millis(250), true);
+            os.set_cpu_activity(os.idle_activity());
+        }
+
+        fn timer_fired(&mut self, _timer: TimerId, os: &mut OsHandle) {
+            os.set_cpu_activity(self.red);
+            os.led_toggle(0);
+        }
+    }
+
+    #[test]
+    fn mini_blink_toggles_led_and_charges_activity() {
+        let config = NodeConfig {
+            dco_calibration: false,
+            ..NodeConfig::new(NodeId(1))
+        };
+        let mut sim = Simulator::new(config, Box::new(MiniBlink::new()));
+        let out = sim.run_for(SimDuration::from_secs(2));
+
+        let led0 = sim.node().kernel().sink_ids().led0;
+        let led_on = count_entries(&out.log, |e| {
+            e.kind == EntryKind::PowerState
+                && e.sink() == Some(led0)
+                && e.value == led_state::ON.as_u8() as u16
+        });
+        // Toggling every 250 ms for 2 s: 8 toggles, 4 of them to ON.
+        assert_eq!(led_on, 4, "expected 4 LED-on transitions");
+
+        // Ground truth: the LED was on about half the time (4 x 250 ms);
+        // 2.15 mA (the biased nominal 4.3 mA LED at 50 %) at 3 V for 1 s is
+        // roughly 12.9 mJ.
+        let led_energy = out.ground_truth.sink(led0).as_milli_joules();
+        assert!(
+            (led_energy - 12.9).abs() < 1.5,
+            "LED ground-truth energy {led_energy} mJ"
+        );
+
+        // Activity entries for the Red activity exist on the CPU device.
+        let (cpu_dev, led_devs, ..) = sim.node().kernel().device_ids();
+        let red_changes = count_entries(&out.log, |e| {
+            e.kind == EntryKind::ActivityChange
+                && e.device() == Some(cpu_dev)
+                && e.label().map(|l| l.id.as_u8() == 1).unwrap_or(false)
+        });
+        assert!(red_changes >= 8, "expected Red activity on the CPU, got {red_changes}");
+        let led_paints = count_entries(&out.log, |e| {
+            e.kind == EntryKind::ActivityChange && e.device() == Some(led_devs[0])
+        });
+        // 8 toggles are scheduled but the last lands a fraction of a
+        // millisecond past the 2 s window (boot work shifts the timer phase),
+        // so at least 7 paints are observed.
+        assert!(led_paints >= 7, "LED device painted on each toggle, got {led_paints}");
+    }
+
+    /// An app that exercises tasks, the sensor and the flash.
+    struct SplitPhaseApp {
+        work: ActivityLabel,
+        sensor_done: bool,
+        flash_done: bool,
+        task_ran: bool,
+    }
+
+    impl Application for SplitPhaseApp {
+        fn boot(&mut self, os: &mut OsHandle) {
+            self.work = os.define_activity("Work");
+            os.set_cpu_activity(self.work);
+            assert!(os.read_sensor(SensorKind::Temperature));
+            os.post_task(TaskId(1));
+        }
+
+        fn task(&mut self, task: TaskId, os: &mut OsHandle) {
+            assert_eq!(task, TaskId(1));
+            // The scheduler restored the posting activity.
+            assert_eq!(os.cpu_activity().id.as_u8(), self.work.id.as_u8());
+            self.task_ran = true;
+            // The sensor holds the SPI bus, so the arbiter queues (rejects)
+            // a concurrent flash request — exactly the serialization the
+            // instrumented TinyOS arbiter enforces.
+            assert!(!os.flash_op(crate::event::FlashOp::Write, 64));
+        }
+
+        fn sensor_read_done(&mut self, kind: SensorKind, _value: u16, os: &mut OsHandle) {
+            assert_eq!(kind, SensorKind::Temperature);
+            assert_eq!(os.cpu_activity(), self.work, "proxy bound to Work");
+            self.sensor_done = true;
+            // Now that the sensor released the bus, the flash write goes
+            // through.
+            assert!(os.flash_op(crate::event::FlashOp::Write, 64));
+        }
+
+        fn flash_done(&mut self, _op: crate::event::FlashOp, os: &mut OsHandle) {
+            assert_eq!(os.cpu_activity(), self.work);
+            self.flash_done = true;
+        }
+    }
+
+    #[test]
+    fn split_phase_operations_complete_under_the_right_activity() {
+        let config = NodeConfig {
+            dco_calibration: false,
+            ..NodeConfig::new(NodeId(2))
+        };
+        let app = SplitPhaseApp {
+            work: ActivityLabel::IDLE,
+            sensor_done: false,
+            flash_done: false,
+            task_ran: false,
+        };
+        let mut sim = Simulator::new(config, Box::new(app));
+        let out = sim.run_for(SimDuration::from_secs(1));
+        // Flash and sensor both show power-state activity in the log.
+        let flash_sink = sim.node().kernel().sink_ids().ext_flash;
+        let flash_changes = count_entries(&out.log, |e| {
+            e.kind == EntryKind::PowerState && e.sink() == Some(flash_sink)
+        });
+        assert!(flash_changes >= 2, "flash write + standby transitions");
+        // Bind entries exist (proxy resolution happened).
+        let binds = count_entries(&out.log, |e| e.kind == EntryKind::ActivityBind);
+        assert!(binds >= 2, "sensor and flash completions bind proxies");
+    }
+
+    #[test]
+    fn quanto_overhead_is_charged_to_the_cpu() {
+        let config = NodeConfig {
+            dco_calibration: false,
+            ..NodeConfig::new(NodeId(3))
+        };
+        let mut sim = Simulator::new(config, Box::new(MiniBlink::new()));
+        let out = sim.run_for(SimDuration::from_secs(1));
+        assert!(out.cost_stats.samples > 0);
+        assert_eq!(
+            out.cost_stats.cycles,
+            out.cost_stats.samples * 102,
+            "each sample costs 102 cycles"
+        );
+    }
+}

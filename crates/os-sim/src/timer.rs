@@ -1,0 +1,187 @@
+//! Virtual timers multiplexed on a hardware timer.
+//!
+//! TinyOS virtualizes one hardware timer into many application timers.  The
+//! virtual timer subsystem is one of the control-flow deferral points Quanto
+//! instruments: starting a timer saves the CPU's current activity in the
+//! timer entry, and firing restores it before the application's handler runs.
+
+use crate::event::TimerId;
+use hw_model::{SimDuration, SimTime};
+use quanto_core::ActivityLabel;
+
+/// One virtual timer.
+#[derive(Debug, Clone)]
+pub struct VirtualTimer {
+    /// The timer's id.
+    pub id: TimerId,
+    /// Period for periodic timers, or the one-shot delay.
+    pub period: SimDuration,
+    /// Whether the timer re-arms itself.
+    pub periodic: bool,
+    /// Next deadline, or `None` if stopped.
+    pub deadline: Option<SimTime>,
+    /// The CPU activity saved when the timer was started; restored when it
+    /// fires.
+    pub saved_activity: ActivityLabel,
+}
+
+/// The virtual timer table.
+#[derive(Debug, Clone, Default)]
+pub struct TimerTable {
+    timers: Vec<VirtualTimer>,
+}
+
+impl TimerTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        TimerTable::default()
+    }
+
+    /// Allocates and starts a timer.  Returns its id and first deadline.
+    pub fn start(
+        &mut self,
+        now: SimTime,
+        period: SimDuration,
+        periodic: bool,
+        saved_activity: ActivityLabel,
+    ) -> (TimerId, SimTime) {
+        let id = TimerId(self.timers.len() as u16);
+        let deadline = now + period;
+        self.timers.push(VirtualTimer {
+            id,
+            period,
+            periodic,
+            deadline: Some(deadline),
+            saved_activity,
+        });
+        (id, deadline)
+    }
+
+    /// Stops a timer.  Returns `true` if it was running.
+    pub fn stop(&mut self, id: TimerId) -> bool {
+        match self.timers.get_mut(id.0 as usize) {
+            Some(t) if t.deadline.is_some() => {
+                t.deadline = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Looks up a timer.
+    pub fn get(&self, id: TimerId) -> Option<&VirtualTimer> {
+        self.timers.get(id.0 as usize)
+    }
+
+    /// Number of allocated timers (running or stopped).
+    pub fn len(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// Returns true if no timers were ever started.
+    pub fn is_empty(&self) -> bool {
+        self.timers.is_empty()
+    }
+
+    /// Called when the hardware timer event for `id` fires at `now`.
+    ///
+    /// Returns `Some((saved_activity, next_deadline))` if the timer was still
+    /// armed for this deadline: the saved activity to restore on the CPU and,
+    /// for periodic timers, the next deadline to schedule.  Returns `None`
+    /// for stale events (the timer was stopped or restarted since).
+    pub fn fire(&mut self, id: TimerId, now: SimTime) -> Option<(ActivityLabel, Option<SimTime>)> {
+        let t = self.timers.get_mut(id.0 as usize)?;
+        let deadline = t.deadline?;
+        if deadline > now {
+            // A stale event from before a restart; the real one is still
+            // scheduled.
+            return None;
+        }
+        let saved = t.saved_activity;
+        if t.periodic {
+            // Periodic timers re-arm from the nominal deadline, not from the
+            // (possibly late) handling time, so they do not drift — matching
+            // TinyOS timer semantics.
+            let next = deadline + t.period;
+            t.deadline = Some(next);
+            Some((saved, Some(next)))
+        } else {
+            t.deadline = None;
+            Some((saved, None))
+        }
+    }
+
+    /// Update the activity that will be restored when the timer next fires
+    /// (used when a handler re-arms semantics on behalf of a new activity).
+    pub fn set_saved_activity(&mut self, id: TimerId, activity: ActivityLabel) -> bool {
+        match self.timers.get_mut(id.0 as usize) {
+            Some(t) => {
+                t.saved_activity = activity;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quanto_core::{ActivityId, NodeId};
+
+    fn lbl(id: u8) -> ActivityLabel {
+        ActivityLabel::new(NodeId(1), ActivityId(id))
+    }
+
+    #[test]
+    fn one_shot_timer_fires_once() {
+        let mut tt = TimerTable::new();
+        let (id, deadline) = tt.start(SimTime::ZERO, SimDuration::from_millis(10), false, lbl(1));
+        assert_eq!(deadline, SimTime::from_millis(10));
+        let (act, next) = tt.fire(id, deadline).unwrap();
+        assert_eq!(act, lbl(1));
+        assert!(next.is_none());
+        // Firing again is stale.
+        assert!(tt.fire(id, deadline).is_none());
+        assert_eq!(tt.len(), 1);
+        assert!(!tt.is_empty());
+    }
+
+    #[test]
+    fn periodic_timer_rearms() {
+        let mut tt = TimerTable::new();
+        let (id, d1) = tt.start(SimTime::ZERO, SimDuration::from_secs(1), true, lbl(2));
+        let (_, next) = tt.fire(id, d1).unwrap();
+        assert_eq!(next, Some(SimTime::from_secs(2)));
+        let (_, next2) = tt.fire(id, SimTime::from_secs(2)).unwrap();
+        assert_eq!(next2, Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn stopping_prevents_firing() {
+        let mut tt = TimerTable::new();
+        let (id, d) = tt.start(SimTime::ZERO, SimDuration::from_millis(5), true, lbl(1));
+        assert!(tt.stop(id));
+        assert!(!tt.stop(id));
+        assert!(tt.fire(id, d).is_none());
+    }
+
+    #[test]
+    fn stale_events_before_deadline_ignored() {
+        let mut tt = TimerTable::new();
+        let (id, _) = tt.start(SimTime::ZERO, SimDuration::from_millis(10), false, lbl(1));
+        assert!(tt.fire(id, SimTime::from_millis(5)).is_none());
+        assert!(tt.fire(id, SimTime::from_millis(10)).is_some());
+    }
+
+    #[test]
+    fn saved_activity_can_be_updated() {
+        let mut tt = TimerTable::new();
+        let (id, d) = tt.start(SimTime::ZERO, SimDuration::from_millis(1), false, lbl(1));
+        assert!(tt.set_saved_activity(id, lbl(7)));
+        assert!(!tt.set_saved_activity(TimerId(99), lbl(7)));
+        let (act, _) = tt.fire(id, d).unwrap();
+        assert_eq!(act, lbl(7));
+        assert_eq!(tt.get(id).unwrap().period, SimDuration::from_millis(1));
+    }
+}

@@ -1,0 +1,56 @@
+//! The node's view of the outside world.
+//!
+//! A single node only needs two things from its environment: an answer to
+//! "is there energy on my radio channel right now?" (clear-channel
+//! assessment, which drives both CSMA and low-power listening) and a place to
+//! put the frames it transmits.  The multi-node simulator in `net-sim`
+//! implements [`World`] with a real channel model and interference sources;
+//! [`QuietWorld`] is the single-node default where the ether is silent.
+
+use crate::packet::AmPacket;
+use hw_model::SimTime;
+use quanto_core::NodeId;
+
+/// The environment a node's radio operates in.
+pub trait World {
+    /// Whether a clear-channel assessment on `channel` at `at` would detect
+    /// energy (from other transmitters or from interference).
+    fn channel_busy(&mut self, node: NodeId, channel: u8, at: SimTime) -> bool;
+}
+
+/// A world with a perfectly quiet ether.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuietWorld;
+
+impl World for QuietWorld {
+    fn channel_busy(&mut self, _node: NodeId, _channel: u8, _at: SimTime) -> bool {
+        false
+    }
+}
+
+/// A frame a node put on the air; the coordinator decides who hears it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Emission {
+    /// The transmitting node.
+    pub from: NodeId,
+    /// The 802.15.4 channel used.
+    pub channel: u8,
+    /// The frame, including its hidden activity field.
+    pub packet: AmPacket,
+    /// When the transmission started.
+    pub start: SimTime,
+    /// When the transmission ended.
+    pub end: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_world_is_never_busy() {
+        let mut w = QuietWorld;
+        assert!(!w.channel_busy(NodeId(1), 17, SimTime::ZERO));
+        assert!(!w.channel_busy(NodeId(9), 26, SimTime::from_secs(100)));
+    }
+}

@@ -1,0 +1,61 @@
+//! The paper's headline single-node experiment: profile Blink for 48 seconds
+//! and print where the time and energy went (Tables 3a–3d in miniature).
+//!
+//! Run with: `cargo run --example blink_profile --release`
+
+use quanto::prelude::*;
+use quanto::quanto_apps::blink_profile;
+
+fn main() {
+    let profile = blink_profile(SimDuration::from_secs(48));
+    let bd = &profile.breakdown;
+    let ctx = &profile.run.context;
+
+    println!("Blink, 48 simulated seconds on a HydroWatch-like node");
+    println!("log entries: {}", profile.log_entries);
+
+    println!("\nTime per (device, activity) [s]:");
+    for ((dev, label), time) in &bd.time_per_device_activity {
+        if time.as_secs_f64() >= 0.001 {
+            println!(
+                "  {:<7} {:<16} {:>10.4}",
+                ctx.device_name(*dev),
+                ctx.label_name(*label),
+                time.as_secs_f64()
+            );
+        }
+    }
+
+    println!("\nRegression (current per component):");
+    for (i, col) in bd.regression.columns.iter().enumerate() {
+        println!(
+            "  {:<22} {:>8.3} mA",
+            ctx.catalog.column_label(*col),
+            bd.regression.power_uw[i] / ctx.supply.as_volts() / 1000.0
+        );
+    }
+    println!(
+        "  {:<22} {:>8.3} mA",
+        "Const.",
+        bd.regression.constant_uw / ctx.supply.as_volts() / 1000.0
+    );
+
+    println!("\nEnergy per activity [mJ]:");
+    for (label, e) in &bd.energy_per_activity {
+        if e.as_milli_joules() > 0.01 {
+            println!("  {:<18} {:>10.2}", ctx.label_name(*label), e.as_milli_joules());
+        }
+    }
+    println!("  {:<18} {:>10.2}", "Const.", bd.constant_energy.as_milli_joules());
+    println!("  {:<18} {:>10.2}", "Total", bd.total_reconstructed.as_milli_joules());
+    println!(
+        "\nmetered total {:.2} mJ, reconstruction error {:.4} %",
+        bd.total_measured.as_milli_joules(),
+        profile.reconstruction_error * 100.0
+    );
+    println!(
+        "logging overhead: {:.1} % of active CPU time, {:.3} % of total CPU time",
+        profile.logging_active_fraction * 100.0,
+        profile.logging_cpu_fraction * 100.0
+    );
+}

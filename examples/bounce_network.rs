@@ -1,0 +1,58 @@
+//! Cross-node activity tracking: run Bounce between nodes 1 and 4 and show
+//! how much of each node's energy is charged to the *other* node's activity.
+//!
+//! Run with: `cargo run --example bounce_network --release`
+
+use quanto::analysis::activity_segments;
+use quanto::prelude::*;
+use quanto::quanto_apps::run_bounce;
+
+fn main() {
+    let run = run_bounce(SimDuration::from_secs(5));
+
+    for id in [NodeId(1), NodeId(4)] {
+        let out = run.output(id);
+        let ctx = run.context(id);
+        println!("=== node {id} ===");
+        println!(
+            "packets sent {}, received {}",
+            out.radio_stats.packets_sent, out.radio_stats.packets_received
+        );
+
+        // CPU time by activity origin.
+        let segs = activity_segments(&out.log, ctx.cpu_dev, true, Some(out.final_stamp));
+        let mut local = 0.0;
+        let mut remote = 0.0;
+        for s in &segs {
+            if s.label.is_idle() {
+                continue;
+            }
+            if s.label.origin == id {
+                local += s.duration().as_millis_f64();
+            } else {
+                remote += s.duration().as_millis_f64();
+            }
+        }
+        println!("CPU time under local activities:  {local:.2} ms");
+        println!("CPU time under remote activities: {remote:.2} ms");
+
+        // Per-activity energy, which charges node 1's LEDs and radio to
+        // 4:BounceApp whenever it handles node 4's packet.
+        if let Ok(bd) = breakdown(
+            &out.log,
+            &ctx.catalog,
+            &ctx.breakdown_config(),
+            Some(out.final_stamp),
+        ) {
+            println!("energy per activity:");
+            for (label, e) in &bd.energy_per_activity {
+                if e.as_micro_joules() > 10.0 {
+                    println!("  {:<16} {:>9.3} mJ", ctx.label_name(*label), e.as_milli_joules());
+                }
+            }
+        } else {
+            println!("(not enough distinct power states for a full breakdown on this node)");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,34 @@
+//! The 802.11-interference case study: a low-power-listening node on the
+//! channel under a Wi-Fi access point versus one on a clear channel.
+//!
+//! Run with: `cargo run --example lpl_interference --release`
+
+use quanto::prelude::*;
+use quanto::quanto_apps::run_lpl_experiment;
+
+fn main() {
+    let duration = SimDuration::from_secs(14);
+    println!("LPL node, 500 ms check interval, 14 simulated seconds, 802.11b AP on Wi-Fi channel 6\n");
+
+    for channel in [17u8, 26u8] {
+        let run = run_lpl_experiment(channel, duration, 0.18);
+        println!("802.15.4 channel {channel}:");
+        println!("  radio duty cycle:      {:.2} %", run.duty_cycle * 100.0);
+        println!("  wake-ups:              {}", run.wakeups);
+        println!(
+            "  false positives:       {} ({:.1} % of wake-ups)",
+            run.false_positives,
+            run.false_positive_rate * 100.0
+        );
+        println!("  average power:         {:.3} mW", run.average_power.as_milli_watts());
+        let total = run
+            .cumulative_energy
+            .last()
+            .map(|(_, e)| e.as_milli_joules())
+            .unwrap_or(0.0);
+        println!("  total energy:          {total:.2} mJ");
+        println!();
+    }
+    println!("Paper (Fig 13): channel 17 — 5.58 % duty cycle, 17.8 % false detections, 1.43 mW;");
+    println!("                channel 26 — 2.22 % duty cycle, no false detections, 0.92 mW.");
+}

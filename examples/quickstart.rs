@@ -1,0 +1,88 @@
+//! Quickstart: write a tiny instrumented application, run it, and ask Quanto
+//! where the joules went.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use quanto::prelude::*;
+
+/// A minimal sense-and-blink application with two programmer-defined
+//  activities.
+struct MyApp {
+    sample: ActivityLabel,
+    blink: ActivityLabel,
+}
+
+impl Application for MyApp {
+    fn boot(&mut self, os: &mut OsHandle) {
+        // Define the activities we want energy charged to (Figure 7 of the
+        // paper: this is all an application programmer has to do).
+        self.sample = os.define_activity("Sample");
+        self.blink = os.define_activity("BlinkLed");
+
+        // A periodic timer started under the Sample activity.
+        os.set_cpu_activity(self.sample);
+        os.start_timer(SimDuration::from_millis(200), true);
+        os.set_cpu_activity(os.idle_activity());
+    }
+
+    fn timer_fired(&mut self, _timer: TimerId, os: &mut OsHandle) {
+        // Sampling work, charged to Sample.
+        os.read_sensor(SensorKind::Temperature);
+        // LED work, charged to BlinkLed.
+        os.set_cpu_activity(self.blink);
+        os.led_toggle(0);
+    }
+
+    fn sensor_read_done(&mut self, _kind: SensorKind, value: u16, os: &mut OsHandle) {
+        // The completion interrupt was automatically bound back to Sample.
+        os.busy_wait(50 + (value % 10) as u64);
+    }
+}
+
+fn main() {
+    // Run the app for 10 simulated seconds on a HydroWatch-like node.
+    let config = NodeConfig::new(NodeId(1));
+    let mut sim = Simulator::new(
+        config,
+        Box::new(MyApp {
+            sample: ActivityLabel::IDLE,
+            blink: ActivityLabel::IDLE,
+        }),
+    );
+    let out = sim.run_for(SimDuration::from_secs(10));
+    let ctx = ExperimentContext::from_kernel(sim.node().kernel());
+
+    println!("log entries: {}", out.log.len());
+    println!("true total energy: {:.3} mJ", out.ground_truth.total.as_milli_joules());
+
+    // Offline analysis: regression + per-activity breakdown.
+    match breakdown(
+        &out.log,
+        &ctx.catalog,
+        &ctx.breakdown_config(),
+        Some(out.final_stamp),
+    ) {
+        Ok(bd) => {
+            println!("\nEnergy per activity:");
+            for (label, energy) in &bd.energy_per_activity {
+                if energy.as_micro_joules() > 1.0 {
+                    println!("  {:<20} {:>10.3} mJ", ctx.label_name(*label), energy.as_milli_joules());
+                }
+            }
+            println!("  {:<20} {:>10.3} mJ  (quiescent draw)", "Const.", bd.constant_energy.as_milli_joules());
+            println!("\nEnergy per hardware component:");
+            for (sink, energy) in &bd.energy_per_sink {
+                if energy.as_micro_joules() > 1.0 {
+                    println!("  {:<20} {:>10.3} mJ", ctx.catalog.sink(*sink).name, energy.as_milli_joules());
+                }
+            }
+            println!(
+                "\nreconstruction error vs metered energy: {:.3} %",
+                bd.reconstruction_error() * 100.0
+            );
+        }
+        Err(e) => {
+            println!("breakdown not possible yet: {e}");
+        }
+    }
+}

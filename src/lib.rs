@@ -1,0 +1,67 @@
+//! Quanto: tracking energy in networked embedded systems — a full Rust
+//! reproduction of the OSDI 2008 paper by Fonseca, Dutta, Levis and Stoica.
+//!
+//! This facade crate re-exports the whole workspace so that examples, tests
+//! and downstream users can depend on a single crate:
+//!
+//! * [`hw_model`] — energy sinks, power states, the Table 1 catalog and the
+//!   ground-truth power model,
+//! * [`energy_meter`] — the simulated iCount meter and the oscilloscope,
+//! * [`quanto_core`] — the paper's contribution: power-state and activity
+//!   tracking interfaces, the 12-byte event log and the per-node runtime,
+//! * [`os_sim`] — the TinyOS-like embedded OS simulator (tasks, timers,
+//!   arbiters, drivers, Active Messages) instrumented with Quanto,
+//! * [`net_sim`] — the multi-node radio medium with 802.11 interference,
+//! * [`analysis`] — the offline regression, breakdowns and reports, and
+//! * [`quanto_apps`] — the paper's applications and experiment drivers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use quanto::prelude::*;
+//!
+//! // Run the paper's Blink workload for 16 simulated seconds.
+//! let run = quanto_apps::run_blink(SimDuration::from_secs(16));
+//!
+//! // Regress per-component power draws out of the aggregate energy meter.
+//! let intervals = analysis::power_intervals(
+//!     &run.output.log,
+//!     &run.context.catalog,
+//!     Some(run.output.final_stamp),
+//! );
+//! let regression = analysis::regress_intervals(
+//!     &intervals,
+//!     &run.context.catalog,
+//!     run.context.energy_per_count,
+//!     analysis::RegressionOptions::default(),
+//! )
+//! .expect("Blink exercises enough power states");
+//! assert!(regression.relative_error < 0.05);
+//! ```
+
+pub use analysis;
+pub use energy_meter;
+pub use hw_model;
+pub use net_sim;
+pub use os_sim;
+pub use quanto_apps;
+pub use quanto_core;
+
+/// The most commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use analysis::{
+        breakdown, power_intervals, regress_intervals, Breakdown, BreakdownConfig,
+        RegressionOptions, RegressionResult,
+    };
+    pub use hw_model::{
+        Catalog, Current, Energy, Power, SimDuration, SimTime, SinkId, StateIndex, Voltage,
+    };
+    pub use os_sim::{
+        Application, Kernel, LplConfig, NodeConfig, NodeRunOutput, OsHandle, SensorKind,
+        Simulator, SpiMode, TaskId, TimerId,
+    };
+    pub use quanto_apps::{run_blink, run_bounce, run_lpl_experiment, ExperimentContext};
+    pub use quanto_core::{
+        ActivityId, ActivityLabel, DeviceId, LogEntry, NodeId, QuantoRuntime, Stamp,
+    };
+}

@@ -1,0 +1,201 @@
+//! End-to-end integration tests spanning the whole workspace: simulated
+//! hardware → instrumented OS → Quanto log → offline analysis.
+
+use quanto::analysis::{self, RegressionOptions};
+use quanto::prelude::*;
+use quanto::quanto_apps::{self, run_blink, run_lpl_experiment};
+use quanto::quanto_core::EntryKind;
+
+#[test]
+fn blink_end_to_end_energy_accounting_matches_ground_truth() {
+    let run = run_blink(SimDuration::from_secs(32));
+    let ctx = &run.context;
+
+    // 1. The metered (iCount) energy agrees with the simulator's ground
+    //    truth to within one pulse of quantization error per interval.
+    let metered = ctx.energy_per_count * run.output.final_stamp.icount as f64;
+    let truth = run.output.ground_truth.total;
+    let rel = (metered.as_micro_joules() - truth.as_micro_joules()).abs()
+        / truth.as_micro_joules();
+    assert!(rel < 0.01, "meter vs ground truth off by {rel}");
+
+    // 2. The full pipeline (intervals -> regression -> breakdown) closes the
+    //    loop: reconstructed energy matches metered energy.
+    let bd = breakdown(
+        &run.output.log,
+        &ctx.catalog,
+        &ctx.breakdown_config(),
+        Some(run.output.final_stamp),
+    )
+    .expect("breakdown succeeds for Blink");
+    assert!(bd.reconstruction_error() < 0.05);
+
+    // 3. Per-sink estimates track the ground truth for the big consumers.
+    for (i, led_sink) in [ctx.sinks.led0, ctx.sinks.led1, ctx.sinks.led2].iter().enumerate() {
+        let est = bd.sink_energy(*led_sink).as_milli_joules();
+        let truth = run.output.ground_truth.sink(*led_sink).as_milli_joules();
+        assert!(
+            (est - truth).abs() / truth < 0.15,
+            "LED{i}: estimated {est} mJ vs true {truth} mJ"
+        );
+    }
+
+    // 4. Per-activity energy is dominated by the three LED activities.
+    let [red, green, blue] = run.led_activities;
+    let led_total = bd.activity_energy(red) + bd.activity_energy(green) + bd.activity_energy(blue);
+    assert!(led_total.as_milli_joules() > 0.5 * bd.total_reconstructed.as_milli_joules());
+}
+
+#[test]
+fn quanto_disabled_nodes_produce_no_log_but_same_physics() {
+    use quanto::os_sim::{NodeConfig, Simulator};
+    use quanto::quanto_apps::BlinkApp;
+
+    let run_with = |enabled: bool| {
+        let config = NodeConfig {
+            quanto_enabled: enabled,
+            dco_calibration: false,
+            seed: 42,
+            ..NodeConfig::new(NodeId(1))
+        };
+        let mut sim = Simulator::new(config, Box::new(BlinkApp::new()));
+        sim.run_for(SimDuration::from_secs(8))
+    };
+    let on = run_with(true);
+    let off = run_with(false);
+    assert!(on.log.len() > 50);
+    assert!(off.log.is_empty(), "uninstrumented node must not log");
+    // Instrumentation perturbs timing slightly (logging costs CPU time and
+    // shifts LED transitions by a few hundred microseconds), but the two
+    // runs stay within a few percent of each other.
+    let e_on = on.ground_truth.total.as_milli_joules();
+    let e_off = off.ground_truth.total.as_milli_joules();
+    assert!(
+        (e_on - e_off).abs() / e_off < 0.05,
+        "instrumented {e_on} mJ vs uninstrumented {e_off} mJ"
+    );
+}
+
+#[test]
+fn log_entries_round_trip_through_the_wire_format() {
+    let run = run_blink(SimDuration::from_secs(8));
+    for entry in &run.output.log {
+        let decoded = LogEntry::decode(&entry.encode()).expect("valid entry");
+        assert_eq!(decoded, *entry);
+    }
+    // Both power-state and activity entries appear.
+    assert!(run.output.log.iter().any(|e| e.kind == EntryKind::PowerState));
+    assert!(run
+        .output
+        .log
+        .iter()
+        .any(|e| e.kind == EntryKind::ActivityChange));
+}
+
+#[test]
+fn unweighted_regression_is_no_better_than_weighted_on_quantized_data() {
+    // Ablation: the paper weights observations by sqrt(E*t) because short,
+    // low-energy intervals are dominated by quantization error.
+    let run = run_blink(SimDuration::from_secs(24));
+    let ctx = &run.context;
+    let intervals = analysis::power_intervals(
+        &run.output.log,
+        &ctx.catalog,
+        Some(run.output.final_stamp),
+    );
+    let weighted = analysis::regress_intervals(
+        &intervals,
+        &ctx.catalog,
+        ctx.energy_per_count,
+        RegressionOptions {
+            weighted: true,
+            include_constant: true,
+        },
+    )
+    .unwrap();
+    let unweighted = analysis::regress_intervals(
+        &intervals,
+        &ctx.catalog,
+        ctx.energy_per_count,
+        RegressionOptions {
+            weighted: false,
+            include_constant: true,
+        },
+    )
+    .unwrap();
+    // Compare against the true (nominal) LED0 current of 4.3 mA.
+    let err = |r: &analysis::RegressionResult| {
+        let i = r
+            .state_current(
+                &ctx.catalog,
+                ctx.sinks.led0,
+                quanto::hw_model::catalog::led_state::ON,
+                ctx.supply,
+            )
+            .unwrap()
+            .as_milli_amps();
+        (i - 4.3).abs()
+    };
+    assert!(
+        err(&weighted) <= err(&unweighted) + 0.05,
+        "weighted {} vs unweighted {}",
+        err(&weighted),
+        err(&unweighted)
+    );
+}
+
+#[test]
+fn lpl_interference_crossover_holds_across_interference_levels() {
+    // The gap between the interfered and clean channels grows with the
+    // interferer's duty cycle.
+    let light = run_lpl_experiment(17, SimDuration::from_secs(10), 0.05);
+    let heavy = run_lpl_experiment(17, SimDuration::from_secs(10), 0.5);
+    let clean = run_lpl_experiment(26, SimDuration::from_secs(10), 0.5);
+    assert!(heavy.duty_cycle > light.duty_cycle);
+    assert!(heavy.false_positives >= light.false_positives);
+    assert_eq!(clean.false_positives, 0);
+    assert!(heavy.average_power.as_milli_watts() > clean.average_power.as_milli_watts());
+}
+
+#[test]
+fn counters_mode_agrees_with_log_mode_on_cpu_time() {
+    use quanto::os_sim::{NodeConfig, Simulator};
+    use quanto::quanto_apps::BlinkApp;
+    use quanto::quanto_core::AccountingMode;
+
+    let config = NodeConfig {
+        accounting: AccountingMode::Both,
+        dco_calibration: false,
+        ..NodeConfig::new(NodeId(1))
+    };
+    let mut sim = Simulator::new(config, Box::new(BlinkApp::new()));
+    let out = sim.run_for(SimDuration::from_secs(8));
+    let ctx = quanto_apps::ExperimentContext::from_kernel(sim.node().kernel());
+
+    // Offline (log-based) CPU time per activity.
+    let segs = analysis::activity_segments(&out.log, ctx.cpu_dev, false, Some(out.final_stamp));
+    let mut offline: std::collections::HashMap<ActivityLabel, u64> = std::collections::HashMap::new();
+    for s in &segs {
+        *offline.entry(s.label).or_insert(0) += s.duration().as_micros();
+    }
+    // Online counters from the runtime.
+    let counters = sim.node().kernel().quanto().counters();
+    let mut checked = 0;
+    for (dev, label, time) in counters.times() {
+        if dev != ctx.cpu_dev {
+            continue;
+        }
+        let offline_us = offline.get(&label).copied().unwrap_or(0);
+        // The online counters stop at the last change rather than the end of
+        // the window, so allow slack for the final segment.
+        if offline_us > 10_000 {
+            let online_us = time.as_micros();
+            assert!(
+                online_us <= offline_us,
+                "online {online_us} > offline {offline_us} for {label}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "at least one activity compared");
+}
