@@ -190,9 +190,8 @@ pub fn breakdown_with_regression(
                 if seg.labels.is_empty() {
                     continue;
                 }
-                let share = SimDuration::from_micros(
-                    seg.duration().as_micros() / seg.labels.len() as u64,
-                );
+                let share =
+                    SimDuration::from_micros(seg.duration().as_micros() / seg.labels.len() as u64);
                 for l in &seg.labels {
                     *time_per_device_activity
                         .entry((*dev, *l))
@@ -332,16 +331,20 @@ mod tests {
     use quanto_core::{ActivityId, EntryKind, NodeId};
     use std::sync::Arc;
 
-    /// Builds a miniature Blink-style log by hand: the CPU paints each LED
-    /// with its own activity while toggling it through the 8 combinations.
-    fn synthetic_blink_log() -> (
+    /// Everything `synthetic_blink_log` hands to a test: the log, the
+    /// catalog, the LED sinks, devices, activities, and the final stamp.
+    type SyntheticBlinkLog = (
         Vec<LogEntry>,
         Arc<Catalog>,
         [SinkId; 3],
         [DeviceId; 3],
         [ActivityLabel; 3],
         Stamp,
-    ) {
+    );
+
+    /// Builds a miniature Blink-style log by hand: the CPU paints each LED
+    /// with its own activity while toggling it through the 8 combinations.
+    fn synthetic_blink_log() -> SyntheticBlinkLog {
         let (cat, _cpu, leds) = blink_catalog();
         let cat = Arc::new(cat);
         let model = PowerModel::ideal(cat.clone());
@@ -379,7 +382,7 @@ mod tests {
                 }
             }
             cumulative_uj += model.energy_over(&sv, step).as_micro_joules();
-            t = t + step;
+            t += step;
         }
         let final_stamp = Stamp::new(t, cumulative_uj.floor() as u32);
         (entries, cat, leds, led_devs, acts, final_stamp)
@@ -417,7 +420,11 @@ mod tests {
         assert!((blue - 9.96).abs() < 1.0, "blue {blue} mJ");
 
         // Total reconstruction matches the metered total closely.
-        assert!(bd.reconstruction_error() < 0.02, "{}", bd.reconstruction_error());
+        assert!(
+            bd.reconstruction_error() < 0.02,
+            "{}",
+            bd.reconstruction_error()
+        );
         assert_eq!(bd.total_time.as_micros(), 8_000_000);
         assert_eq!(bd.unattributed_energy, Energy::ZERO);
     }

@@ -60,11 +60,7 @@ where
 }
 
 /// Durations of each episode the sink spent in a matching state.
-pub fn episode_durations<F>(
-    intervals: &[PowerInterval],
-    sink: SinkId,
-    pred: F,
-) -> Vec<SimDuration>
+pub fn episode_durations<F>(intervals: &[PowerInterval], sink: SinkId, pred: F) -> Vec<SimDuration>
 where
     F: Fn(StateIndex) -> bool,
 {
@@ -156,7 +152,11 @@ mod tests {
 
     #[test]
     fn consecutive_on_intervals_form_one_episode() {
-        let ivs = vec![iv(0, 10, 1, true), iv(10, 20, 1, true), iv(20, 30, 0, false)];
+        let ivs = vec![
+            iv(0, 10, 1, true),
+            iv(10, 20, 1, true),
+            iv(20, 30, 0, false),
+        ];
         assert_eq!(state_episodes(&ivs, RADIO, |s| s == StateIndex(1)), 1);
         let eps = episode_durations(&ivs, RADIO, |s| s == StateIndex(1));
         assert_eq!(eps, vec![SimDuration::from_millis(20)]);
@@ -175,12 +175,19 @@ mod tests {
         let ivs = vec![iv(0, 1000, 40, false), iv(1000, 2000, 60, true)];
         let p = average_power(&ivs, Energy::from_micro_joules(8.33)).as_micro_watts();
         assert!((p - 416.5).abs() < 1e-9, "power {p}");
-        assert_eq!(average_power(&[], Energy::from_micro_joules(1.0)), Power::ZERO);
+        assert_eq!(
+            average_power(&[], Energy::from_micro_joules(1.0)),
+            Power::ZERO
+        );
     }
 
     #[test]
     fn cumulative_series_is_monotone() {
-        let ivs = vec![iv(0, 1000, 10, false), iv(1000, 2000, 30, true), iv(2000, 3000, 5, false)];
+        let ivs = vec![
+            iv(0, 1000, 10, false),
+            iv(1000, 2000, 30, true),
+            iv(2000, 3000, 5, false),
+        ];
         let series = cumulative_energy_series(&ivs, Energy::from_micro_joules(1.0));
         assert_eq!(series.len(), 4);
         assert_eq!(series[0].1, Energy::ZERO);

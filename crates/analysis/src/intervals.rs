@@ -96,7 +96,10 @@ pub fn power_intervals(
         }
     };
 
-    for ue in unwrapped.iter().filter(|u| u.entry.kind == EntryKind::PowerState) {
+    for ue in unwrapped
+        .iter()
+        .filter(|u| u.entry.kind == EntryKind::PowerState)
+    {
         let sink = ue.entry.sink().expect("power-state entry has a sink");
         push(
             cursor_time,
@@ -470,7 +473,11 @@ mod tests {
             mk(200, EntryKind::MultiAdd, lbl(2)),
             mk(400, EntryKind::MultiRemove, lbl(1)),
         ];
-        let segs = multi_segments(&entries, dev, Some(Stamp::new(SimTime::from_micros(500), 0)));
+        let segs = multi_segments(
+            &entries,
+            dev,
+            Some(Stamp::new(SimTime::from_micros(500), 0)),
+        );
         assert_eq!(segs.len(), 4);
         assert!(segs[0].labels.is_empty());
         assert_eq!(segs[1].labels, vec![lbl(1)]);

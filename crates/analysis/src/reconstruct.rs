@@ -126,7 +126,7 @@ mod tests {
                     .collect(),
             });
             prev = counts;
-            t = t + dur;
+            t += dur;
         }
         let reg = regress_intervals(
             &intervals,
@@ -149,10 +149,17 @@ mod tests {
             let m = s.measured.as_micro_watts();
             let r = s.total.as_micro_watts();
             if m > 100.0 {
-                assert!((m - r).abs() / m < 0.05, "measured {m} vs reconstructed {r}");
+                assert!(
+                    (m - r).abs() / m < 0.05,
+                    "measured {m} vs reconstructed {r}"
+                );
             }
             // Total is the sum of parts.
-            let parts: f64 = s.per_sink.iter().map(|(_, p)| p.as_micro_watts()).sum::<f64>()
+            let parts: f64 = s
+                .per_sink
+                .iter()
+                .map(|(_, p)| p.as_micro_watts())
+                .sum::<f64>()
                 + s.constant.as_micro_watts();
             assert!((parts - r).abs() < 1e-6);
         }

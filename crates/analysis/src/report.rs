@@ -180,8 +180,7 @@ mod tests {
 
     #[test]
     fn custom_alignment() {
-        let mut t =
-            TextTable::new(vec!["x", "y"]).with_aligns(vec![Align::Right, Align::Left]);
+        let mut t = TextTable::new(vec!["x", "y"]).with_aligns(vec![Align::Right, Align::Left]);
         t.row(vec!["1", "hello"]);
         let s = t.render();
         assert!(s.contains("hello"));

@@ -115,7 +115,10 @@ impl std::fmt::Display for RegressionError {
                 "underdetermined regression: {observations} observations for {unknowns} unknowns"
             ),
             RegressionError::Collinear => {
-                write!(f, "collinear power states: regression cannot disambiguate them")
+                write!(
+                    f,
+                    "collinear power states: regression cannot disambiguate them"
+                )
             }
             RegressionError::Empty => write!(f, "no observations"),
         }
@@ -292,7 +295,11 @@ pub fn regress(
         .sum::<f64>()
         .sqrt();
     let y_norm: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
-    let relative_error = if y_norm > 0.0 { resid_norm / y_norm } else { 0.0 };
+    let relative_error = if y_norm > 0.0 {
+        resid_norm / y_norm
+    } else {
+        0.0
+    };
 
     Ok(RegressionResult {
         columns,
@@ -353,7 +360,7 @@ mod tests {
                     .collect(),
             });
             prev_counts = counts_now;
-            t = t + dur;
+            t += dur;
         }
         (intervals, cat, leds, cpu)
     }
@@ -409,7 +416,11 @@ mod tests {
         // The ordering red > green > blue (Table 2) must hold.
         assert!(i0 > i1 && i1 > i2);
         // With near-ideal metering the relative error is small (paper: 0.83%).
-        assert!(result.relative_error < 0.02, "err {}", result.relative_error);
+        assert!(
+            result.relative_error < 0.02,
+            "err {}",
+            result.relative_error
+        );
         // The constant absorbs the idle CPU (a few uW); it must be small and
         // non-negative within noise.
         assert!(result.constant_power().as_milli_watts() < 0.1);
@@ -459,7 +470,8 @@ mod tests {
         let cat = Arc::new(cat);
         // LED0 and LED1 always switch together while LED2 varies freely:
         // four distinct observations, but two identical design columns.
-        let combos: [(bool, bool); 4] = [(false, false), (false, true), (true, false), (true, true)];
+        let combos: [(bool, bool); 4] =
+            [(false, false), (false, true), (true, false), (true, true)];
         let mut intervals = Vec::new();
         for (i, (pair_on, led2_on)) in combos.iter().enumerate() {
             let mut sv = StateVector::baseline(&cat);

@@ -164,15 +164,30 @@ mod tests {
         .expect("regression solvable after 24 s of Blink");
         let supply = run.context.supply;
         let i0 = reg
-            .state_current(&run.context.catalog, run.context.sinks.led0, led_state::ON, supply)
+            .state_current(
+                &run.context.catalog,
+                run.context.sinks.led0,
+                led_state::ON,
+                supply,
+            )
             .unwrap()
             .as_milli_amps();
         let i1 = reg
-            .state_current(&run.context.catalog, run.context.sinks.led1, led_state::ON, supply)
+            .state_current(
+                &run.context.catalog,
+                run.context.sinks.led1,
+                led_state::ON,
+                supply,
+            )
             .unwrap()
             .as_milli_amps();
         let i2 = reg
-            .state_current(&run.context.catalog, run.context.sinks.led2, led_state::ON, supply)
+            .state_current(
+                &run.context.catalog,
+                run.context.sinks.led2,
+                led_state::ON,
+                supply,
+            )
             .unwrap()
             .as_milli_amps();
         // Table 1 nominals: 4.3, 3.7, 1.7 mA.  Allow generous tolerance for
@@ -181,7 +196,11 @@ mod tests {
         assert!((i0 - 4.3).abs() < 0.5, "red {i0} mA");
         assert!((i1 - 3.7).abs() < 0.5, "green {i1} mA");
         assert!((i2 - 1.7).abs() < 0.5, "blue {i2} mA");
-        assert!(reg.relative_error < 0.05, "relative error {}", reg.relative_error);
+        assert!(
+            reg.relative_error < 0.05,
+            "relative error {}",
+            reg.relative_error
+        );
     }
 
     #[test]
@@ -199,7 +218,10 @@ mod tests {
         let e_green = bd.activity_energy(green).as_milli_joules();
         let e_blue = bd.activity_energy(blue).as_milli_joules();
         // Each LED is on about half the time; red draws the most.
-        assert!(e_red > e_green && e_green > e_blue, "{e_red} {e_green} {e_blue}");
+        assert!(
+            e_red > e_green && e_green > e_blue,
+            "{e_red} {e_green} {e_blue}"
+        );
         // Reconstruction matches the metered energy.
         assert!(bd.reconstruction_error() < 0.05);
         // Ground truth agreement: the reconstructed LED0 energy is close to

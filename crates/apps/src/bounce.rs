@@ -121,12 +121,22 @@ pub struct BounceRun {
 impl BounceRun {
     /// The output of a specific node.
     pub fn output(&self, id: NodeId) -> &NodeRunOutput {
-        &self.outputs.iter().find(|(n, _)| *n == id).expect("node ran").1
+        &self
+            .outputs
+            .iter()
+            .find(|(n, _)| *n == id)
+            .expect("node ran")
+            .1
     }
 
     /// The context of a specific node.
     pub fn context(&self, id: NodeId) -> &ExperimentContext {
-        &self.contexts.iter().find(|(n, _)| *n == id).expect("node ran").1
+        &self
+            .contexts
+            .iter()
+            .find(|(n, _)| *n == id)
+            .expect("node ran")
+            .1
     }
 }
 
@@ -197,8 +207,7 @@ mod tests {
         );
         // And symmetrically on node 4.
         let ctx4 = run.context(n4);
-        let segs4 =
-            activity_segments(&out4.log, ctx4.cpu_dev, true, Some(out4.final_stamp));
+        let segs4 = activity_segments(&out4.log, ctx4.cpu_dev, true, Some(out4.final_stamp));
         assert!(segs4
             .iter()
             .any(|s| s.label.origin == n1 && !s.label.is_idle()));

@@ -9,8 +9,8 @@ use crate::blink::{run_blink, BlinkRun};
 use crate::bounce::run_bounce_with;
 use crate::context::ExperimentContext;
 use analysis::{
-    activity_segments, breakdown, power_intervals, reconstruction_energy_error,
-    regress_intervals, Breakdown, RegressionOptions,
+    activity_segments, breakdown, power_intervals, reconstruction_energy_error, regress_intervals,
+    Breakdown, RegressionOptions,
 };
 use energy_meter::{linear_fit, ICountConfig, LinearFit, Oscilloscope};
 use hw_model::catalog::led_state;
@@ -199,14 +199,17 @@ pub fn blink_profile(duration: SimDuration) -> BlinkProfileResult {
     let total_us = bd.total_time.as_micros() as f64;
     let active_us: f64 = {
         use hw_model::catalog::cpu_state;
-        analysis::state_duty_cycle(&intervals, ctx.sinks.cpu, |s| s == cpu_state::ACTIVE)
-            * total_us
+        analysis::state_duty_cycle(&intervals, ctx.sinks.cpu, |s| s == cpu_state::ACTIVE) * total_us
     };
     // Energy for logging: the CPU active power times the logging time, plus
     // nothing else (the paper also attributes the constant term).
     let cpu_active_power = bd
         .regression
-        .state_power(&ctx.catalog, ctx.sinks.cpu, hw_model::catalog::cpu_state::ACTIVE)
+        .state_power(
+            &ctx.catalog,
+            ctx.sinks.cpu,
+            hw_model::catalog::cpu_state::ACTIVE,
+        )
         .unwrap_or(hw_model::Power::ZERO)
         + bd.regression.constant_power();
     let logging_energy = cpu_active_power * SimDuration::from_micros(logging_us as u64);
@@ -315,14 +318,20 @@ pub fn dma_comparison() -> DmaComparisonResult {
     }
 }
 
+/// One activity segment on a device timeline: `(start, end, activity name)`.
+pub type TimelineSegment = (SimTime, SimTime, String);
+
+/// A device's plotted timeline: `(device name, its non-idle segments)`.
+pub type DeviceTimeline = (String, Vec<TimelineSegment>);
+
 /// The per-device activity timeline used for the Figure 11/12/14/15 style
-/// plots: `(device name, segments as (start, end, activity name))`.
+/// plots.
 pub fn device_timelines(
     log: &[quanto_core::LogEntry],
     ctx: &ExperimentContext,
     final_stamp: quanto_core::Stamp,
     resolve: bool,
-) -> Vec<(String, Vec<(SimTime, SimTime, String)>)> {
+) -> Vec<DeviceTimeline> {
     let devices = [
         ctx.cpu_dev,
         ctx.led_devs[0],
@@ -479,9 +488,7 @@ mod tests {
         // Time breakdown: each LED spends roughly half the run on.
         let total = bd.total_time.as_secs_f64();
         for (i, act) in profile.run.led_activities.iter().enumerate() {
-            let on_time = bd
-                .device_activity_time(ctx.led_devs[i], *act)
-                .as_secs_f64();
+            let on_time = bd.device_activity_time(ctx.led_devs[i], *act).as_secs_f64();
             assert!(
                 (on_time / total - 0.5).abs() < 0.15,
                 "LED{i} on fraction {}",
@@ -496,13 +503,21 @@ mod tests {
             .filter(|((dev, label), _)| *dev == ctx.cpu_dev && label.is_idle())
             .map(|(_, d)| d.as_secs_f64())
             .sum();
-        assert!(idle_time / total > 0.95, "CPU idle fraction {}", idle_time / total);
+        assert!(
+            idle_time / total > 0.95,
+            "CPU idle fraction {}",
+            idle_time / total
+        );
         // Energy per activity: red > green > blue > housekeeping.
         let [red, green, blue] = profile.run.led_activities;
         assert!(bd.activity_energy(red) > bd.activity_energy(green));
         assert!(bd.activity_energy(green) > bd.activity_energy(blue));
         // Reconstruction error is tiny.
-        assert!(profile.reconstruction_error < 0.02, "{}", profile.reconstruction_error);
+        assert!(
+            profile.reconstruction_error < 0.02,
+            "{}",
+            profile.reconstruction_error
+        );
         // Logging dominates active CPU time but not total CPU time.
         assert!(profile.logging_active_fraction > 0.3);
         assert!(profile.logging_cpu_fraction < 0.02);

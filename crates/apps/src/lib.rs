@@ -26,9 +26,8 @@ pub use blink::{run_blink, run_blink_with_config, BlinkApp, BlinkRun};
 pub use bounce::{run_bounce, run_bounce_with, BounceApp, BounceRun, BOUNCE_AM_TYPE};
 pub use context::ExperimentContext;
 pub use experiments::{
-    blink_profile, calibration_experiment, device_timelines, dma_comparison,
-    instrumentation_table, BlinkProfileResult, CalibrationResult, DmaComparisonResult,
-    InstrumentationRow, TxTiming,
+    blink_profile, calibration_experiment, device_timelines, dma_comparison, instrumentation_table,
+    BlinkProfileResult, CalibrationResult, DmaComparisonResult, InstrumentationRow, TxTiming,
 };
 pub use lpl::{run_lpl_comparison, run_lpl_experiment, LplListenerApp, LplRun};
 pub use sense_send::{SenseAndSendApp, SENSE_AM_TYPE};

@@ -117,7 +117,10 @@ mod tests {
 
         // The clean channel sees no false positives; the interfered one does.
         assert_eq!(ch26.false_positives, 0, "channel 26 must be clean");
-        assert!(ch17.false_positives > 0, "channel 17 must see false wake-ups");
+        assert!(
+            ch17.false_positives > 0,
+            "channel 17 must see false wake-ups"
+        );
 
         // Duty cycle: the clean channel stays low (paper: 2.2 %); the
         // interfered channel is substantially higher (paper: 5.6 %).
@@ -142,8 +145,16 @@ mod tests {
         );
 
         // Both nodes woke up roughly every 500 ms over 14 s.
-        assert!((20..=35).contains(&ch17.wakeups), "wakeups {}", ch17.wakeups);
-        assert!((20..=35).contains(&ch26.wakeups), "wakeups {}", ch26.wakeups);
+        assert!(
+            (20..=35).contains(&ch17.wakeups),
+            "wakeups {}",
+            ch17.wakeups
+        );
+        assert!(
+            (20..=35).contains(&ch26.wakeups),
+            "wakeups {}",
+            ch26.wakeups
+        );
 
         // Cumulative energy is monotone and ends higher on the noisy channel.
         let last17 = ch17.cumulative_energy.last().unwrap().1;

@@ -124,11 +124,13 @@ mod tests {
                 .sum()
         };
         assert!(named_time(":ACT_HUM") > 0, "humidity activity saw CPU time");
-        assert!(named_time(":ACT_TEMP") > 0, "temperature activity saw CPU time");
+        assert!(
+            named_time(":ACT_TEMP") > 0,
+            "temperature activity saw CPU time"
+        );
         assert!(named_time(":ACT_PKT") > 0, "packet activity saw CPU time");
         // The sensor device was painted as well.
-        let sensor_segs =
-            activity_segments(&out.log, ctx.sensor_dev, true, Some(out.final_stamp));
+        let sensor_segs = activity_segments(&out.log, ctx.sensor_dev, true, Some(out.final_stamp));
         assert!(sensor_segs.iter().any(|s| !s.label.is_idle()));
         // At least one packet made it out (nobody is listening, but the
         // transmission itself happens).

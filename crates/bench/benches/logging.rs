@@ -11,7 +11,11 @@ use quanto_core::{
 
 fn bench_ram_logger(c: &mut Criterion) {
     let mut group = c.benchmark_group("logger");
-    for policy in [OverflowPolicy::Stop, OverflowPolicy::Wrap, OverflowPolicy::Flush] {
+    for policy in [
+        OverflowPolicy::Stop,
+        OverflowPolicy::Wrap,
+        OverflowPolicy::Flush,
+    ] {
         group.bench_function(format!("record_{policy:?}"), |b| {
             b.iter_batched(
                 || RamLogger::new(800, policy),
@@ -77,5 +81,10 @@ fn bench_entry_codec(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ram_logger, bench_runtime_sample, bench_entry_codec);
+criterion_group!(
+    benches,
+    bench_ram_logger,
+    bench_runtime_sample,
+    bench_entry_codec
+);
 criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! Criterion bench: the offline regression (Section 2.5), including the
 //! weighted-versus-unweighted ablation called out in DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use analysis::{pool_intervals, regress, regress_intervals, RegressionOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
 use hw_model::catalog::{blink_catalog, led_state};
 use hw_model::{Energy, PowerModel, SimDuration, SimTime, SinkId, StateVector};
 use std::sync::Arc;
@@ -35,7 +35,7 @@ fn blink_like_intervals(n_cycles: usize) -> (Vec<analysis::PowerInterval>, Arc<h
                     .collect(),
             });
             prev = counts;
-            t = t + dur;
+            t += dur;
         }
         let _ = cycle;
     }
@@ -46,17 +46,20 @@ fn bench_regression(c: &mut Criterion) {
     let mut group = c.benchmark_group("regression");
     for n_cycles in [8usize, 64, 256] {
         let (intervals, cat) = blink_like_intervals(n_cycles);
-        group.bench_function(format!("pool_and_regress_{}_intervals", intervals.len()), |b| {
-            b.iter(|| {
-                regress_intervals(
-                    std::hint::black_box(&intervals),
-                    &cat,
-                    Energy::from_micro_joules(1.0),
-                    RegressionOptions::default(),
-                )
-                .unwrap()
-            });
-        });
+        group.bench_function(
+            format!("pool_and_regress_{}_intervals", intervals.len()),
+            |b| {
+                b.iter(|| {
+                    regress_intervals(
+                        std::hint::black_box(&intervals),
+                        &cat,
+                        Energy::from_micro_joules(1.0),
+                        RegressionOptions::default(),
+                    )
+                    .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -9,14 +9,14 @@ use quanto_apps::run_blink;
 
 fn main() {
     let duration = quanto_bench::duration_from_args(16);
-    quanto_bench::header("Figure 10 — current traces for two Blink states", "Section 4.1");
+    quanto_bench::header(
+        "Figure 10 — current traces for two Blink states",
+        "Section 4.1",
+    );
     let run = run_blink(duration);
     let ctx = &run.context;
-    let intervals = analysis::power_intervals(
-        &run.output.log,
-        &ctx.catalog,
-        Some(run.output.final_stamp),
-    );
+    let intervals =
+        analysis::power_intervals(&run.output.log, &ctx.catalog, Some(run.output.final_stamp));
 
     let state_of = |iv: &analysis::PowerInterval| {
         (
@@ -38,7 +38,10 @@ fn main() {
         ("LED1 (green) on", (false, true, false)),
         ("All LEDs on", (true, true, true)),
     ] {
-        let Some(iv) = intervals.iter().find(|iv| state_of(iv) == want && iv.duration().as_millis_f64() > 2.0) else {
+        let Some(iv) = intervals
+            .iter()
+            .find(|iv| state_of(iv) == want && iv.duration().as_millis_f64() > 2.0)
+        else {
             println!("state {name}: not visited in this run");
             continue;
         };
@@ -49,11 +52,17 @@ fn main() {
         let mut t = TextTable::new(vec!["t (ms)", "I (mA)"]);
         for s in samples.iter().step_by(5) {
             t.row(vec![
-                format!("{:.3}", (s.time.as_micros() - iv.start.as_micros()) as f64 / 1000.0),
+                format!(
+                    "{:.3}",
+                    (s.time.as_micros() - iv.start.as_micros()) as f64 / 1000.0
+                ),
                 format!("{:.3}", s.current.as_milli_amps()),
             ]);
         }
         println!("{}", t.render());
-        println!("Mean current: {:.2} mA (paper: 3.05 mA green-only, 6.30 mA all-on)", mean.as_milli_amps());
+        println!(
+            "Mean current: {:.2} mA (paper: 3.05 mA green-only, 6.30 mA all-on)",
+            mean.as_milli_amps()
+        );
     }
 }

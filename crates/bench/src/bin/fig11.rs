@@ -7,7 +7,10 @@ use quanto_apps::{blink_profile, device_timelines};
 
 fn main() {
     let duration = quanto_bench::duration_from_args(48);
-    quanto_bench::header("Figure 11 — Blink activity and power profile", "Section 4.2.1");
+    quanto_bench::header(
+        "Figure 11 — Blink activity and power profile",
+        "Section 4.2.1",
+    );
     let profile = blink_profile(duration);
     let ctx = &profile.run.context;
     let out = &profile.run.output;
@@ -33,9 +36,10 @@ fn main() {
     println!("(b) CPU activity detail around t = 8 s:");
     let segs = analysis::activity_segments(&out.log, ctx.cpu_dev, false, Some(out.final_stamp));
     let mut t = TextTable::new(vec!["start (ms)", "end (ms)", "activity"]);
-    for s in segs.iter().filter(|s| {
-        s.start.as_millis_f64() >= 7_995.0 && s.start.as_millis_f64() <= 8_010.0
-    }) {
+    for s in segs
+        .iter()
+        .filter(|s| s.start.as_millis_f64() >= 7_995.0 && s.start.as_millis_f64() <= 8_010.0)
+    {
         t.row(vec![
             format!("{:.3}", s.start.as_millis_f64()),
             format!("{:.3}", s.end.as_millis_f64()),
@@ -47,13 +51,34 @@ fn main() {
     // (c) Stacked reconstructed power vs measured power.
     println!("(c) Stacked power reconstruction vs measured power (per steady state):");
     let intervals = analysis::power_intervals(&out.log, &ctx.catalog, Some(out.final_stamp));
-    let steps = reconstruct_power(&intervals, &ctx.catalog, &profile.breakdown.regression, ctx.energy_per_count);
-    let mut t = TextTable::new(vec!["start (s)", "dur (ms)", "reconstructed (mW)", "measured (mW)", "components"]);
-    for s in steps.iter().filter(|s| s.end.duration_since(s.start).as_millis_f64() > 100.0).take(20) {
+    let steps = reconstruct_power(
+        &intervals,
+        &ctx.catalog,
+        &profile.breakdown.regression,
+        ctx.energy_per_count,
+    );
+    let mut t = TextTable::new(vec![
+        "start (s)",
+        "dur (ms)",
+        "reconstructed (mW)",
+        "measured (mW)",
+        "components",
+    ]);
+    for s in steps
+        .iter()
+        .filter(|s| s.end.duration_since(s.start).as_millis_f64() > 100.0)
+        .take(20)
+    {
         let comps = s
             .per_sink
             .iter()
-            .map(|(sink, p)| format!("{}={:.1}mW", ctx.catalog.sink(*sink).name, p.as_milli_watts()))
+            .map(|(sink, p)| {
+                format!(
+                    "{}={:.1}mW",
+                    ctx.catalog.sink(*sink).name,
+                    p.as_milli_watts()
+                )
+            })
             .collect::<Vec<_>>()
             .join(" ");
         t.row(vec![

@@ -8,7 +8,10 @@ use quanto_core::NodeId;
 
 fn main() {
     let duration = quanto_bench::duration_from_args(4);
-    quanto_bench::header("Figure 12 — activity tracking across nodes (Bounce)", "Section 4.2.2");
+    quanto_bench::header(
+        "Figure 12 — activity tracking across nodes (Bounce)",
+        "Section 4.2.2",
+    );
     let run = run_bounce(duration);
 
     for id in [NodeId(1), NodeId(4)] {

@@ -7,7 +7,10 @@ use quanto_apps::run_lpl_comparison;
 
 fn main() {
     let duration = quanto_bench::duration_from_args(14);
-    quanto_bench::header("Figure 13 — 802.11 interference on low-power listening", "Section 4.3");
+    quanto_bench::header(
+        "Figure 13 — 802.11 interference on low-power listening",
+        "Section 4.3",
+    );
     let (ch17, ch26) = run_lpl_comparison(duration);
 
     let mut summary = TextTable::new(vec![
@@ -21,7 +24,11 @@ fn main() {
     ])
     .with_title("LPL under interference (802.11b on Wi-Fi channel 6)");
     for run in [&ch17, &ch26] {
-        let total = run.cumulative_energy.last().map(|(_, e)| *e).unwrap_or(hw_model::Energy::ZERO);
+        let total = run
+            .cumulative_energy
+            .last()
+            .map(|(_, e)| *e)
+            .unwrap_or(hw_model::Energy::ZERO);
         summary.row(vec![
             format!("{}", run.channel),
             pct(run.duty_cycle),

@@ -9,13 +9,18 @@ use quanto_apps::run_lpl_experiment;
 
 fn main() {
     let duration = quanto_bench::duration_from_args(14);
-    quanto_bench::header("Figure 14 — normal vs false-positive LPL wake-ups", "Section 4.3");
+    quanto_bench::header(
+        "Figure 14 — normal vs false-positive LPL wake-ups",
+        "Section 4.3",
+    );
     let run = run_lpl_experiment(17, duration, 0.18);
     let ctx = &run.context;
     let out = &run.output;
 
     let intervals = analysis::power_intervals(&out.log, &ctx.catalog, Some(out.final_stamp));
-    let episodes = episode_durations(&intervals, ctx.sinks.radio_rx, |s| s == radio_rx_state::LISTEN);
+    let episodes = episode_durations(&intervals, ctx.sinks.radio_rx, |s| {
+        s == radio_rx_state::LISTEN
+    });
     let mut t = TextTable::new(vec!["wake-up #", "radio on-time (ms)", "classification"])
         .with_title("Radio wake-up episodes");
     for (i, d) in episodes.iter().enumerate() {
@@ -36,8 +41,7 @@ fn main() {
     );
     println!(
         "Estimated radio listen draw from the regression: {} (paper: 18.46 mA / 61.8 mW at 3.35 V)",
-        run
-            .context
+        run.context
             .catalog
             .sink(ctx.sinks.radio_rx)
             .state(radio_rx_state::LISTEN)
@@ -45,7 +49,11 @@ fn main() {
     );
 
     println!("\nCPU activities during the first false positive:");
-    if let Some((idx, _)) = episodes.iter().enumerate().find(|(_, d)| d.as_millis_f64() > 50.0) {
+    if let Some((idx, _)) = episodes
+        .iter()
+        .enumerate()
+        .find(|(_, d)| d.as_millis_f64() > 50.0)
+    {
         // Locate that episode's time window.
         let mut seen = 0usize;
         let mut window = None;
@@ -66,9 +74,13 @@ fn main() {
             in_ep = on;
         }
         if let Some((s, e)) = window {
-            let segs = analysis::activity_segments(&out.log, ctx.cpu_dev, false, Some(out.final_stamp));
+            let segs =
+                analysis::activity_segments(&out.log, ctx.cpu_dev, false, Some(out.final_stamp));
             let mut t = TextTable::new(vec!["start (ms)", "end (ms)", "activity"]);
-            for seg in segs.iter().filter(|seg| seg.end > s && seg.start < e && !seg.label.is_idle()) {
+            for seg in segs
+                .iter()
+                .filter(|seg| seg.end > s && seg.start < e && !seg.label.is_idle())
+            {
                 t.row(vec![
                     format!("{:.3}", seg.start.as_millis_f64()),
                     format!("{:.3}", seg.end.as_millis_f64()),

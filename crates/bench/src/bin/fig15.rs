@@ -9,7 +9,10 @@ use quanto_core::NodeId;
 
 fn main() {
     let duration = quanto_bench::duration_from_args(4);
-    quanto_bench::header("Figure 15 — the always-on DCO calibration interrupt", "Section 4.3");
+    quanto_bench::header(
+        "Figure 15 — the always-on DCO calibration interrupt",
+        "Section 4.3",
+    );
 
     let config = NodeConfig::new(NodeId(32));
     let mut sim = Simulator::new(config, Box::new(TimerProbeApp::default()));
@@ -56,6 +59,8 @@ fn main() {
         .iter()
         .filter(|s| ctx2.label_name(s.label).ends_with(":int_TIMERA1"))
         .count();
-    println!("With calibration disabled: {a1_quiet} TimerA1 segments (the fix TinyOS developers wanted)");
+    println!(
+        "With calibration disabled: {a1_quiet} TimerA1 segments (the fix TinyOS developers wanted)"
+    );
     let _ = SimDuration::from_secs(1);
 }

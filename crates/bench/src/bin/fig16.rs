@@ -5,7 +5,10 @@ use analysis::TextTable;
 use quanto_apps::dma_comparison;
 
 fn main() {
-    quanto_bench::header("Figure 16 — interrupt-driven vs DMA radio transfers", "Section 4.3");
+    quanto_bench::header(
+        "Figure 16 — interrupt-driven vs DMA radio transfers",
+        "Section 4.3",
+    );
     let cmp = dma_comparison();
 
     let mut t = TextTable::new(vec![

@@ -5,10 +5,18 @@ use analysis::{si, TextTable};
 use hw_model::catalog::hydrowatch;
 
 fn main() {
-    quanto_bench::header("Table 1 — platform energy sinks and power states", "Section 2.3");
+    quanto_bench::header(
+        "Table 1 — platform energy sinks and power states",
+        "Section 2.3",
+    );
     let (catalog, _ids) = hydrowatch();
-    let mut table = TextTable::new(vec!["Energy sink", "Class", "Power state", "Nominal current"])
-        .with_title("Energy sinks and nominal draws (3 V, 1 MHz)");
+    let mut table = TextTable::new(vec![
+        "Energy sink",
+        "Class",
+        "Power state",
+        "Nominal current",
+    ])
+    .with_title("Energy sinks and nominal draws (3 V, 1 MHz)");
     for (_, sink) in catalog.sinks() {
         for state in &sink.states {
             table.row(vec![

@@ -10,8 +10,15 @@ fn main() {
     quanto_bench::header("Table 2 — Blink calibration", "Section 4.1");
     let cal = calibration_experiment(duration);
 
-    let mut obs = TextTable::new(vec!["L0", "L1", "L2", "Scope I (mA)", "Fitted I (mA)", "Time (s)"])
-        .with_title("Steady-state currents (X, Y and XΠ columns)");
+    let mut obs = TextTable::new(vec![
+        "L0",
+        "L1",
+        "L2",
+        "Scope I (mA)",
+        "Fitted I (mA)",
+        "Time (s)",
+    ])
+    .with_title("Steady-state currents (X, Y and XΠ columns)");
     for row in &cal.rows {
         obs.row(vec![
             u8::from(row.leds[0]).to_string(),
@@ -25,13 +32,28 @@ fn main() {
     println!("{}", obs.render());
 
     let mut pi = TextTable::new(vec!["Component", "I (mA)"]).with_title("Regression result (Π)");
-    pi.row(vec!["LED0 (red)".to_string(), format!("{:.3}", cal.led_currents[0].as_milli_amps())]);
-    pi.row(vec!["LED1 (green)".to_string(), format!("{:.3}", cal.led_currents[1].as_milli_amps())]);
-    pi.row(vec!["LED2 (blue)".to_string(), format!("{:.3}", cal.led_currents[2].as_milli_amps())]);
-    pi.row(vec!["Const.".to_string(), format!("{:.3}", cal.constant_current.as_milli_amps())]);
+    pi.row(vec![
+        "LED0 (red)".to_string(),
+        format!("{:.3}", cal.led_currents[0].as_milli_amps()),
+    ]);
+    pi.row(vec![
+        "LED1 (green)".to_string(),
+        format!("{:.3}", cal.led_currents[1].as_milli_amps()),
+    ]);
+    pi.row(vec![
+        "LED2 (blue)".to_string(),
+        format!("{:.3}", cal.led_currents[2].as_milli_amps()),
+    ]);
+    pi.row(vec![
+        "Const.".to_string(),
+        format!("{:.3}", cal.constant_current.as_milli_amps()),
+    ]);
     println!("{}", pi.render());
 
-    println!("Relative error ||Y - XPi|| / ||Y||: {} (paper: 0.83 %)", pct(cal.relative_error));
+    println!(
+        "Relative error ||Y - XPi|| / ||Y||: {} (paper: 0.83 %)",
+        pct(cal.relative_error)
+    );
     if let Some(fit) = cal.current_vs_frequency {
         println!(
             "I_avg vs switching frequency: I = {:.3}*f {:+.3}, R^2 = {:.5} (paper: 2.77, -0.05, 0.99995)",

@@ -7,7 +7,10 @@ use quanto_apps::blink_profile;
 
 fn main() {
     let duration = quanto_bench::duration_from_args(48);
-    quanto_bench::header("Table 3 — where the joules have gone in Blink", "Section 4.2.1");
+    quanto_bench::header(
+        "Table 3 — where the joules have gone in Blink",
+        "Section 4.2.1",
+    );
     let profile = blink_profile(duration);
     let bd = &profile.breakdown;
     let ctx = &profile.run.context;
@@ -40,7 +43,10 @@ fn main() {
     }
     tb.row(vec![
         "Const.".to_string(),
-        format!("{:.3}", bd.regression.constant_uw / ctx.supply.as_volts() / 1000.0),
+        format!(
+            "{:.3}",
+            bd.regression.constant_uw / ctx.supply.as_volts() / 1000.0
+        ),
         format!("{:.3}", bd.regression.constant_uw / 1000.0),
     ]);
     println!("{}", tb.render());
@@ -57,8 +63,14 @@ fn main() {
             format!("{:.2}", e.as_milli_joules()),
         ]);
     }
-    tc.row(vec!["Const.".to_string(), format!("{:.2}", bd.constant_energy.as_milli_joules())]);
-    tc.row(vec!["Total".to_string(), format!("{:.2}", bd.total_reconstructed.as_milli_joules())]);
+    tc.row(vec![
+        "Const.".to_string(),
+        format!("{:.2}", bd.constant_energy.as_milli_joules()),
+    ]);
+    tc.row(vec![
+        "Total".to_string(),
+        format!("{:.2}", bd.total_reconstructed.as_milli_joules()),
+    ]);
     println!("{}", tc.render());
 
     // (d) Energy per activity.
@@ -68,13 +80,25 @@ fn main() {
         if e.as_milli_joules() < 0.01 {
             continue;
         }
-        td.row(vec![ctx.label_name(*label), format!("{:.2}", e.as_milli_joules())]);
+        td.row(vec![
+            ctx.label_name(*label),
+            format!("{:.2}", e.as_milli_joules()),
+        ]);
     }
-    td.row(vec!["Const.".to_string(), format!("{:.2}", bd.constant_energy.as_milli_joules())]);
+    td.row(vec![
+        "Const.".to_string(),
+        format!("{:.2}", bd.constant_energy.as_milli_joules()),
+    ]);
     println!("{}", td.render());
 
-    println!("Total measured energy:      {:.2} mJ", bd.total_measured.as_milli_joules());
-    println!("Total reconstructed energy: {:.2} mJ", bd.total_reconstructed.as_milli_joules());
+    println!(
+        "Total measured energy:      {:.2} mJ",
+        bd.total_measured.as_milli_joules()
+    );
+    println!(
+        "Total reconstructed energy: {:.2} mJ",
+        bd.total_reconstructed.as_milli_joules()
+    );
     println!(
         "Reconstruction error: {} (paper: 0.004 %)",
         pct(profile.reconstruction_error)

@@ -11,19 +11,40 @@ fn main() {
 
     let cost = CostModel::paper();
     let mut t = TextTable::new(vec!["Quantity", "Value"]).with_title("Logging cost model");
-    t.row(vec!["Buffer size".to_string(), format!("{} samples", RamLogger::DEFAULT_CAPACITY)]);
-    t.row(vec!["Sample size".to_string(), format!("{ENTRY_SIZE_BYTES} bytes")]);
+    t.row(vec![
+        "Buffer size".to_string(),
+        format!("{} samples", RamLogger::DEFAULT_CAPACITY),
+    ]);
+    t.row(vec![
+        "Sample size".to_string(),
+        format!("{ENTRY_SIZE_BYTES} bytes"),
+    ]);
     t.row(vec![
         "Cost of logging".to_string(),
         format!("{} cycles @ 1 MHz", cost.cycles_per_sample()),
     ]);
-    t.row(vec!["  Call overhead".to_string(), format!("{} cycles", cost.call_overhead_cycles)]);
-    t.row(vec!["  Read timer".to_string(), format!("{} cycles", cost.read_timer_cycles)]);
-    t.row(vec!["  Read iCount".to_string(), format!("{} cycles", cost.read_icount_cycles)]);
-    t.row(vec!["  Others".to_string(), format!("{} cycles", cost.other_cycles)]);
+    t.row(vec![
+        "  Call overhead".to_string(),
+        format!("{} cycles", cost.call_overhead_cycles),
+    ]);
+    t.row(vec![
+        "  Read timer".to_string(),
+        format!("{} cycles", cost.read_timer_cycles),
+    ]);
+    t.row(vec![
+        "  Read iCount".to_string(),
+        format!("{} cycles", cost.read_icount_cycles),
+    ]);
+    t.row(vec![
+        "  Others".to_string(),
+        format!("{} cycles", cost.other_cycles),
+    ]);
     println!("{}", t.render());
 
-    println!("Measured on the {}-second Blink run:", duration.as_secs_f64());
+    println!(
+        "Measured on the {}-second Blink run:",
+        duration.as_secs_f64()
+    );
     let profile = blink_profile(duration);
     let mut m = TextTable::new(vec!["Quantity", "Measured", "Paper (48 s run)"]);
     m.row(vec![

@@ -26,7 +26,12 @@ fn main() {
     println!("{}", t.render());
     let core: u32 = rows
         .iter()
-        .filter(|r| matches!(r.abstraction, "Tasks" | "Timers" | "Arbiter" | "Interrupts" | "Active Msg."))
+        .filter(|r| {
+            matches!(
+                r.abstraction,
+                "Tasks" | "Timers" | "Arbiter" | "Interrupts" | "Active Msg."
+            )
+        })
         .map(|r| r.paper_lines)
         .sum();
     let drivers: u32 = rows

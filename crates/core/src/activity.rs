@@ -141,7 +141,10 @@ impl ActivityRegistry {
     ///
     /// Panics if all 255 non-idle ids on this node are exhausted.
     pub fn define(&mut self, name: impl Into<String>, kind: ActivityKind) -> ActivityLabel {
-        assert!(self.next_id != 0, "activity ids exhausted (max 255 per node)");
+        assert!(
+            self.next_id != 0,
+            "activity ids exhausted (max 255 per node)"
+        );
         let id = ActivityId(self.next_id);
         self.next_id = self.next_id.wrapping_add(1);
         self.names.push((id, name.into(), kind));
@@ -179,7 +182,10 @@ impl ActivityRegistry {
 
     /// Looks up the kind of an id registered on this node.
     pub fn kind(&self, id: ActivityId) -> Option<ActivityKind> {
-        self.names.iter().find(|(i, _, _)| *i == id).map(|(_, _, k)| *k)
+        self.names
+            .iter()
+            .find(|(i, _, _)| *i == id)
+            .map(|(_, _, k)| *k)
     }
 
     /// Renders a label as `origin:name` when the label originates here, or

@@ -186,7 +186,11 @@ impl DeviceTable {
     /// Panics if `dev` is not a registered single-activity device.
     pub fn single_get(&self, dev: DeviceId) -> ActivityLabel {
         let (kind, i) = self.index[dev.as_u8() as usize];
-        assert_eq!(kind, DeviceKind::Single, "{dev} is not a single-activity device");
+        assert_eq!(
+            kind,
+            DeviceKind::Single,
+            "{dev} is not a single-activity device"
+        );
         self.singles[i].current
     }
 
@@ -200,7 +204,11 @@ impl DeviceTable {
     /// Panics if `dev` is not a registered single-activity device.
     pub fn single_set(&mut self, dev: DeviceId, label: ActivityLabel) -> Option<ActivityLabel> {
         let (kind, i) = self.index[dev.as_u8() as usize];
-        assert_eq!(kind, DeviceKind::Single, "{dev} is not a single-activity device");
+        assert_eq!(
+            kind,
+            DeviceKind::Single,
+            "{dev} is not a single-activity device"
+        );
         let prev = self.singles[i].current;
         if prev == label {
             None
@@ -217,7 +225,11 @@ impl DeviceTable {
     /// Panics if `dev` is not a registered multi-activity device.
     pub fn multi_get(&self, dev: DeviceId) -> &[ActivityLabel] {
         let (kind, i) = self.index[dev.as_u8() as usize];
-        assert_eq!(kind, DeviceKind::Multi, "{dev} is not a multi-activity device");
+        assert_eq!(
+            kind,
+            DeviceKind::Multi,
+            "{dev} is not a multi-activity device"
+        );
         &self.multis[i].current
     }
 
@@ -233,7 +245,11 @@ impl DeviceTable {
         label: ActivityLabel,
     ) -> Result<(), MultiActivityError> {
         let (kind, i) = self.index[dev.as_u8() as usize];
-        assert_eq!(kind, DeviceKind::Multi, "{dev} is not a multi-activity device");
+        assert_eq!(
+            kind,
+            DeviceKind::Multi,
+            "{dev} is not a multi-activity device"
+        );
         if self.multis[i].current.contains(&label) {
             return Err(MultiActivityError::AlreadyPresent);
         }
@@ -253,7 +269,11 @@ impl DeviceTable {
         label: ActivityLabel,
     ) -> Result<(), MultiActivityError> {
         let (kind, i) = self.index[dev.as_u8() as usize];
-        assert_eq!(kind, DeviceKind::Multi, "{dev} is not a multi-activity device");
+        assert_eq!(
+            kind,
+            DeviceKind::Multi,
+            "{dev} is not a multi-activity device"
+        );
         let pos = self.multis[i]
             .current
             .iter()

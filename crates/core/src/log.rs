@@ -251,7 +251,13 @@ mod tests {
         assert_eq!(p.label(), None);
 
         let lbl = ActivityLabel::new(NodeId(1), ActivityId(9));
-        let a = LogEntry::activity(EntryKind::ActivityChange, SimTime::ZERO, 0, DeviceId(2), lbl);
+        let a = LogEntry::activity(
+            EntryKind::ActivityChange,
+            SimTime::ZERO,
+            0,
+            DeviceId(2),
+            lbl,
+        );
         assert_eq!(a.sink(), None);
         assert_eq!(a.device(), Some(DeviceId(2)));
         assert_eq!(a.label(), Some(lbl));

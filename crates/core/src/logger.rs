@@ -258,4 +258,87 @@ mod tests {
     fn zero_capacity_rejected() {
         let _ = RamLogger::new(0, OverflowPolicy::Stop);
     }
+
+    #[test]
+    fn filling_exactly_to_default_capacity_never_overflows() {
+        for policy in [
+            OverflowPolicy::Stop,
+            OverflowPolicy::Wrap,
+            OverflowPolicy::Flush,
+        ] {
+            let mut l = RamLogger::new(RamLogger::DEFAULT_CAPACITY, policy);
+            for i in 0..RamLogger::DEFAULT_CAPACITY as u32 {
+                assert!(l.record(entry(i)), "{policy:?} rejected entry {i}");
+            }
+            assert_eq!(l.len(), RamLogger::DEFAULT_CAPACITY);
+            assert_eq!(l.offered(), RamLogger::DEFAULT_CAPACITY as u64);
+            assert_eq!(l.overflows(), 0, "{policy:?} overflowed while not full");
+            assert_eq!(l.dropped(), 0);
+            assert_eq!(l.ram_bytes_used(), l.capacity_bytes());
+        }
+    }
+
+    #[test]
+    fn overflow_accounting_is_consistent_at_default_capacity() {
+        // Push well past the paper's 800-entry buffer (three wraps' worth)
+        // and check each policy's books balance.
+        const N: u32 = 2_500;
+        const CAP: usize = RamLogger::DEFAULT_CAPACITY;
+        let expected_overflows = N as u64 - CAP as u64;
+        for policy in [
+            OverflowPolicy::Stop,
+            OverflowPolicy::Wrap,
+            OverflowPolicy::Flush,
+        ] {
+            let mut l = RamLogger::new(CAP, policy);
+            let mut stored = 0u64;
+            for i in 0..N {
+                if l.record(entry(i)) {
+                    stored += 1;
+                }
+            }
+            assert_eq!(l.offered(), N as u64, "{policy:?} offered");
+            // The books always balance: every offered entry either survives
+            // somewhere or was counted as dropped.
+            assert_eq!(
+                l.len() as u64 + l.dropped(),
+                l.offered(),
+                "{policy:?} lost entries without accounting for them"
+            );
+            // The RAM buffer never exceeds its fixed footprint.
+            assert!(l.buffered().len() <= CAP);
+            assert!(l.ram_bytes_used() <= l.capacity_bytes());
+            match policy {
+                OverflowPolicy::Stop => {
+                    // Every record past capacity finds the buffer full and
+                    // is rejected; the oldest entries survive.
+                    assert_eq!(stored, CAP as u64);
+                    assert_eq!(l.len(), CAP);
+                    assert_eq!(l.overflows(), expected_overflows);
+                    assert_eq!(l.dropped(), expected_overflows);
+                    assert_eq!(l.entries()[0], entry(0));
+                    assert_eq!(l.entries()[CAP - 1], entry(CAP as u32 - 1));
+                }
+                OverflowPolicy::Wrap => {
+                    // Every record is accepted but the oldest are overwritten.
+                    assert_eq!(stored, N as u64);
+                    assert_eq!(l.len(), CAP);
+                    assert_eq!(l.overflows(), expected_overflows);
+                    assert_eq!(l.dropped(), expected_overflows);
+                    assert_eq!(l.entries()[0], entry(N - CAP as u32));
+                    assert_eq!(l.entries()[CAP - 1], entry(N - 1));
+                }
+                OverflowPolicy::Flush => {
+                    // Draining empties the buffer, so the logger only finds
+                    // it full once per refill — and nothing is ever lost.
+                    assert_eq!(stored, N as u64);
+                    assert_eq!(l.len(), N as usize);
+                    assert_eq!(l.overflows(), (N as u64 - CAP as u64).div_ceil(CAP as u64));
+                    assert_eq!(l.dropped(), 0);
+                    assert_eq!(l.entries()[0], entry(0));
+                    assert_eq!(l.entries()[N as usize - 1], entry(N - 1));
+                }
+            }
+        }
+    }
 }

@@ -554,7 +554,11 @@ mod tests {
         let kinds: Vec<EntryKind> = rt.logger().entries().iter().map(|e| e.kind).collect();
         assert_eq!(
             kinds,
-            vec![EntryKind::MultiAdd, EntryKind::MultiAdd, EntryKind::MultiRemove]
+            vec![
+                EntryKind::MultiAdd,
+                EntryKind::MultiAdd,
+                EntryKind::MultiRemove
+            ]
         );
     }
 

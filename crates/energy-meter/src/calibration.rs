@@ -76,7 +76,9 @@ mod tests {
 
     #[test]
     fn exact_line_recovers_parameters() {
-        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.77 * i as f64 - 0.05)).collect();
+        let pts: Vec<(f64, f64)> = (0..10)
+            .map(|i| (i as f64, 2.77 * i as f64 - 0.05))
+            .collect();
         let fit = linear_fit(&pts).unwrap();
         assert!((fit.slope - 2.77).abs() < 1e-12);
         assert!((fit.intercept + 0.05).abs() < 1e-12);

@@ -114,7 +114,9 @@ impl Default for ICountMeter {
 impl EnergyMeter for ICountMeter {
     fn read(&mut self, true_cumulative: Energy) -> MeterReading {
         let per_pulse = self.config.true_energy_per_pulse().as_micro_joules();
-        let pulses = (true_cumulative.as_micro_joules() / per_pulse).floor().max(0.0) as u64;
+        let pulses = (true_cumulative.as_micro_joules() / per_pulse)
+            .floor()
+            .max(0.0) as u64;
         MeterReading {
             counter: (pulses % (u32::MAX as u64 + 1)) as u32,
             read_cost_cycles: self.config.read_cost_cycles,

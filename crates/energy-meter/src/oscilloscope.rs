@@ -147,7 +147,10 @@ impl Oscilloscope {
     ///
     /// Panics if the sample interval is zero.
     pub fn new(sample_interval: SimDuration, noise: NoiseModel) -> Self {
-        assert!(!sample_interval.is_zero(), "sample interval must be positive");
+        assert!(
+            !sample_interval.is_zero(),
+            "sample interval must be positive"
+        );
         Oscilloscope {
             sample_interval,
             noise,
@@ -242,7 +245,11 @@ mod tests {
     fn energy_matches_mean_times_time() {
         let t = step_trace();
         let e = t
-            .energy(SimTime::ZERO, SimTime::from_millis(30), Voltage::from_volts(3.0))
+            .energy(
+                SimTime::ZERO,
+                SimTime::from_millis(30),
+                Voltage::from_volts(3.0),
+            )
             .as_micro_joules();
         // 1.5 mA * 3 V * 30 ms = 135 uJ.
         assert!((e - 135.0).abs() < 1e-9, "energy {e}");

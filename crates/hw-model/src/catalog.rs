@@ -574,11 +574,13 @@ mod tests {
 
         // Spot-check nominal currents against Table 1.
         assert_eq!(
-            cat.nominal_current(ids.cpu, cpu_state::ACTIVE).as_micro_amps(),
+            cat.nominal_current(ids.cpu, cpu_state::ACTIVE)
+                .as_micro_amps(),
             500.0
         );
         assert_eq!(
-            cat.nominal_current(ids.cpu, cpu_state::LPM3).as_micro_amps(),
+            cat.nominal_current(ids.cpu, cpu_state::LPM3)
+                .as_micro_amps(),
             2.6
         );
         assert_eq!(

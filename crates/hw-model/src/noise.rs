@@ -63,7 +63,11 @@ impl NoiseModel {
     /// Returns an RNG for sample noise, seeded independently of the bias
     /// draw so that changing one does not perturb the other.
     pub fn sample_rng(&self) -> StdRng {
-        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+        StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(1),
+        )
     }
 
     /// Applies multiplicative gaussian sample noise to a value.
@@ -119,7 +123,9 @@ mod tests {
             seed: 3,
         };
         let mut rng = m.sample_rng();
-        let samples: Vec<f64> = (0..20_000).map(|_| m.perturb_sample(&mut rng, 100.0)).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| m.perturb_sample(&mut rng, 100.0))
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 100.0).abs() < 0.5, "mean {mean} too far from 100");

@@ -247,7 +247,9 @@ mod tests {
             500.0
         );
         assert_eq!(
-            model.true_state_current(leds[0], led_state::ON).as_milli_amps(),
+            model
+                .true_state_current(leds[0], led_state::ON)
+                .as_milli_amps(),
             2.5
         );
         let mut sv = StateVector::baseline(model.catalog());
@@ -267,7 +269,9 @@ mod tests {
             NoiseModel::realistic(11),
         );
         let nominal = cat.nominal_current(leds[0], led_state::ON).as_micro_amps();
-        let actual = model.true_state_current(leds[0], led_state::ON).as_micro_amps();
+        let actual = model
+            .true_state_current(leds[0], led_state::ON)
+            .as_micro_amps();
         assert!(actual > 0.0);
         assert!((actual - nominal).abs() / nominal <= 0.05 + 1e-12);
     }
@@ -292,7 +296,10 @@ mod tests {
         assert!((led_e - 15.0).abs() < 1e-6, "led energy {led_e}");
         // Total = LED + 4 s of idle CPU.
         let total = acc.total_energy().as_milli_joules();
-        assert!((total - (15.0 + 4.0 * 0.0078)).abs() < 1e-6, "total {total}");
+        assert!(
+            (total - (15.0 + 4.0 * 0.0078)).abs() < 1e-6,
+            "total {total}"
+        );
     }
 
     #[test]

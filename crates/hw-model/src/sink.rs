@@ -95,12 +95,11 @@ pub struct EnergySink {
 
 impl EnergySink {
     /// Creates a sink whose first state is both its default and its baseline.
-    pub fn new(
-        name: impl Into<String>,
-        class: ComponentClass,
-        states: Vec<PowerStateDef>,
-    ) -> Self {
-        assert!(!states.is_empty(), "an energy sink needs at least one state");
+    pub fn new(name: impl Into<String>, class: ComponentClass, states: Vec<PowerStateDef>) -> Self {
+        assert!(
+            !states.is_empty(),
+            "an energy sink needs at least one state"
+        );
         EnergySink {
             name: name.into(),
             class,
@@ -194,7 +193,9 @@ mod tests {
 
     #[test]
     fn builder_adjusts_default_and_baseline() {
-        let s = led().with_default(StateIndex(1)).with_baseline(StateIndex(0));
+        let s = led()
+            .with_default(StateIndex(1))
+            .with_baseline(StateIndex(0));
         assert_eq!(s.default_state, StateIndex(1));
         assert_eq!(s.baseline_state, StateIndex(0));
     }

@@ -497,7 +497,10 @@ mod tests {
 
     #[test]
     fn unit_display_is_stable() {
-        assert_eq!(format!("{}", Current::from_micro_amps(500.0)), "500.0000 uA");
+        assert_eq!(
+            format!("{}", Current::from_micro_amps(500.0)),
+            "500.0000 uA"
+        );
         assert_eq!(format!("{}", SimTime::from_millis(3)), "3.000 ms");
     }
 

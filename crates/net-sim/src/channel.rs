@@ -14,7 +14,10 @@
 ///
 /// Panics if the channel is outside 11–26.
 pub fn ieee802154_center_mhz(channel: u8) -> u32 {
-    assert!((11..=26).contains(&channel), "802.15.4 channels are 11..=26");
+    assert!(
+        (11..=26).contains(&channel),
+        "802.15.4 channels are 11..=26"
+    );
     2_405 + 5 * (channel as u32 - 11)
 }
 

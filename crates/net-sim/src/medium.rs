@@ -5,10 +5,14 @@
 //! nodes hear which frames (via a simple connectivity topology).
 
 use crate::interference::WifiInterferer;
-use hw_model::SimTime;
+use hw_model::{SimDuration, SimTime};
 use os_sim::{Emission, World};
 use quanto_core::NodeId;
 use std::collections::HashSet;
+
+/// Delay between the start of a transmission and the receiver's SFD
+/// interrupt (preamble + synchronization header at 250 kbps).
+pub(crate) const SFD_DELAY: SimDuration = SimDuration::from_micros(160);
 
 /// Which pairs of nodes can hear each other.
 #[derive(Debug, Clone, Default)]
@@ -98,14 +102,14 @@ impl Medium {
         // Garbage-collect transmissions that ended long ago.
         let horizon = emission.start;
         self.on_air
-            .retain(|t| t.end + hw_model::SimDuration::from_secs(1) >= horizon);
+            .retain(|t| t.end + SimDuration::from_secs(1) >= horizon);
     }
 
     /// Whether any mote other than `node` is on the air on `channel` at `at`.
     pub fn mote_energy(&self, node: NodeId, channel: u8, at: SimTime) -> bool {
-        self.on_air.iter().any(|t| {
-            t.from != node && t.channel == channel && t.start <= at && at < t.end
-        })
+        self.on_air
+            .iter()
+            .any(|t| t.from != node && t.channel == channel && t.start <= at && at < t.end)
     }
 
     /// Whether any interferer deposits energy into `channel` at `at`.
@@ -117,6 +121,20 @@ impl Medium {
 impl World for Medium {
     fn channel_busy(&mut self, node: NodeId, channel: u8, at: SimTime) -> bool {
         self.mote_energy(node, channel, at) || self.interference_energy(channel, at)
+    }
+
+    /// Registers the frame on the air and delivers it, [`SFD_DELAY`] after
+    /// the start of transmission, to every node the topology connects to the
+    /// transmitter.
+    fn transmit(&mut self, emission: &Emission, nodes: &[NodeId]) -> Vec<(NodeId, SimTime)> {
+        self.register_transmission(emission);
+        let sfd = emission.start + SFD_DELAY;
+        nodes
+            .iter()
+            .copied()
+            .filter(|to| self.topology.connected(emission.from, *to))
+            .map(|to| (to, sfd))
+            .collect()
     }
 }
 

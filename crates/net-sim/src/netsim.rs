@@ -1,31 +1,27 @@
 //! The multi-node network simulator.
 //!
-//! [`NetSim`] owns a set of nodes and the shared [`Medium`], and advances the
-//! whole network in global time order: at every step the node with the
-//! earliest pending event runs, and any frames it emits are registered on the
-//! medium and delivered (as start-of-frame-delimiter events) to every
+//! [`NetSim`] is the N-node configuration of `os-sim`'s shared
+//! [`Engine`]: the engine advances the whole network in global time order
+//! (at every step the node with the earliest pending event runs) and routes
+//! every emitted frame through the shared [`Medium`], which registers it on
+//! the air and delivers it (as a start-of-frame-delimiter event) to every
 //! connected node.
 
-use crate::medium::{Medium, Topology};
 use crate::interference::WifiInterferer;
+use crate::medium::{Medium, Topology};
 use hw_model::{SimDuration, SimTime};
-use os_sim::{Application, Kernel, Node, NodeConfig, NodeRunOutput};
+use os_sim::{Application, Engine, Node, NodeConfig, NodeRunOutput};
 use quanto_core::NodeId;
 
-/// Delay between the start of a transmission and the receiver's SFD
-/// interrupt (preamble + synchronization header at 250 kbps).
-const SFD_DELAY: SimDuration = SimDuration::from_micros(160);
-
-/// A multi-node simulation.
+/// A multi-node simulation: the shared engine over a [`Medium`] world.
 pub struct NetSim {
-    nodes: Vec<Node>,
-    medium: Medium,
+    engine: Engine<Medium>,
 }
 
 impl std::fmt::Debug for NetSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetSim")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.engine.node_count())
             .finish()
     }
 }
@@ -40,101 +36,67 @@ impl NetSim {
     /// Creates an empty network with a quiet, fully-connected medium.
     pub fn new() -> Self {
         NetSim {
-            nodes: Vec::new(),
-            medium: Medium::new(),
+            engine: Engine::new(Medium::new()),
         }
     }
 
     /// Adds a node running `app` under `config`.  Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node with the same id is already registered.
     pub fn add_node(&mut self, config: NodeConfig, app: Box<dyn Application>) -> NodeId {
-        let id = config.node_id;
-        assert!(
-            !self.nodes.iter().any(|n| n.id() == id),
-            "duplicate node id {id}"
-        );
-        let kernel = Kernel::new(config);
-        self.nodes.push(Node::new(kernel, app));
-        id
+        self.engine.add_node(config, app)
     }
 
     /// Adds an 802.11 interference source to the medium.
     pub fn add_interferer(&mut self, interferer: WifiInterferer) {
-        self.medium.add_interferer(interferer);
+        self.engine.world_mut().add_interferer(interferer);
     }
 
     /// Replaces the connectivity topology.
     pub fn set_topology(&mut self, topology: Topology) {
-        self.medium.set_topology(topology);
+        self.engine.world_mut().set_topology(topology);
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.engine.node_count()
     }
 
     /// Read-only access to a node.
     pub fn node(&self, id: NodeId) -> Option<&Node> {
-        self.nodes.iter().find(|n| n.id() == id)
+        self.engine.node(id)
     }
 
     /// Read-only access to the medium.
     pub fn medium(&self) -> &Medium {
-        &self.medium
+        self.engine.world()
+    }
+
+    /// Read-only access to the underlying engine.
+    pub fn engine(&self) -> &Engine<Medium> {
+        &self.engine
     }
 
     /// Boots every node (applications' `boot` handlers run at time zero).
     pub fn boot_all(&mut self) {
-        for node in &mut self.nodes {
-            node.boot();
-        }
+        self.engine.boot_all();
     }
 
     /// Advances the whole network until `until` (inclusive).
     pub fn run_until(&mut self, until: SimTime) {
-        self.boot_all();
-        loop {
-            // Pick the node with the earliest pending event.
-            let next = self
-                .nodes
-                .iter()
-                .enumerate()
-                .filter_map(|(i, n)| n.next_event_time().map(|t| (t, i)))
-                .min();
-            let Some((t, idx)) = next else {
-                break;
-            };
-            if t > until {
-                break;
-            }
-            let emissions = match self.nodes[idx].process_next(&mut self.medium) {
-                Some((_, e)) => e,
-                None => continue,
-            };
-            for emission in emissions {
-                self.medium.register_transmission(&emission);
-                let sfd = emission.start + SFD_DELAY;
-                for node in &mut self.nodes {
-                    if self.medium.topology().connected(emission.from, node.id()) {
-                        node.deliver_packet(emission.packet.clone(), sfd);
-                    }
-                }
-            }
-        }
+        self.engine.run_until(until);
     }
 
     /// Runs the network for `duration` and collects every node's outputs.
     pub fn run_for(&mut self, duration: SimDuration) -> Vec<(NodeId, NodeRunOutput)> {
-        let end = SimTime::ZERO + duration;
-        self.run_until(end);
-        self.finish(end)
+        self.engine.run_for(duration)
     }
 
     /// Collects every node's outputs at `end` without running further.
     pub fn finish(&mut self, end: SimTime) -> Vec<(NodeId, NodeRunOutput)> {
-        self.nodes
-            .iter_mut()
-            .map(|n| (n.id(), n.finish(end)))
-            .collect()
+        self.engine.finish(end)
     }
 }
 
@@ -203,8 +165,16 @@ mod tests {
         assert_eq!(out.len(), 2);
         let stats1 = net.node(n1).unwrap().kernel().radio_stats();
         let stats4 = net.node(n4).unwrap().kernel().radio_stats();
-        assert!(stats1.packets_sent >= 1, "node 1 sent {}", stats1.packets_sent);
-        assert!(stats4.packets_received >= 1, "node 4 heard {}", stats4.packets_received);
+        assert!(
+            stats1.packets_sent >= 1,
+            "node 1 sent {}",
+            stats1.packets_sent
+        );
+        assert!(
+            stats4.packets_received >= 1,
+            "node 4 heard {}",
+            stats4.packets_received
+        );
         // The echo made it back at least once.
         assert!(stats4.packets_sent >= 1);
         assert!(stats1.packets_received >= 1);
@@ -217,7 +187,10 @@ mod tests {
             .filter_map(|e| e.label())
             .filter(|l| l.origin == NodeId(4))
             .count();
-        assert!(remote_on_1 > 0, "node 1 never charged work to node 4's activity");
+        assert!(
+            remote_on_1 > 0,
+            "node 1 never charged work to node 4's activity"
+        );
     }
 
     #[test]

@@ -121,7 +121,10 @@ mod tests {
     fn grant_queue_release_cycle() {
         let mut a = Arbiter::new();
         assert_eq!(a.request(BusClient::Radio, lbl(1)), GrantOutcome::Granted);
-        assert_eq!(a.request(BusClient::Radio, lbl(1)), GrantOutcome::AlreadyHeld);
+        assert_eq!(
+            a.request(BusClient::Radio, lbl(1)),
+            GrantOutcome::AlreadyHeld
+        );
         assert_eq!(a.request(BusClient::Flash, lbl(2)), GrantOutcome::Queued);
         assert_eq!(a.holder(), Some(BusClient::Radio));
         assert_eq!(a.holder_activity(), Some(lbl(1)));

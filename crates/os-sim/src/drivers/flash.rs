@@ -70,7 +70,12 @@ impl FlashState {
     /// Starts an operation over `len` bytes on behalf of `activity`.
     ///
     /// Returns the power state the chip enters, or `None` if it was busy.
-    pub fn start(&mut self, op: FlashOp, len: usize, activity: ActivityLabel) -> Option<FlashPower> {
+    pub fn start(
+        &mut self,
+        op: FlashOp,
+        len: usize,
+        activity: ActivityLabel,
+    ) -> Option<FlashPower> {
         if self.pending.is_some() {
             self.rejected += 1;
             return None;

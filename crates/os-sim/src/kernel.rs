@@ -25,8 +25,8 @@ use crate::timer::TimerTable;
 use crate::world::Emission;
 use energy_meter::{CurrentTrace, EnergyMeter, ICountMeter};
 use hw_model::catalog::{
-    self, cpu_state, led_state, radio_control_state, radio_regulator_state,
-    radio_rx_state, radio_tx_state, HydrowatchIds,
+    self, cpu_state, led_state, radio_control_state, radio_regulator_state, radio_rx_state,
+    radio_tx_state, HydrowatchIds,
 };
 use hw_model::{Catalog, EnergyAccumulator, PowerModel, SimDuration, SimTime, SinkId, StateIndex};
 use quanto_core::{
@@ -149,7 +149,11 @@ impl Kernel {
     pub fn new(config: NodeConfig) -> Self {
         let (cat, ids) = catalog::hydrowatch();
         let catalog = Arc::new(cat);
-        let model = Arc::new(PowerModel::new(catalog.clone(), config.supply, config.noise));
+        let model = Arc::new(PowerModel::new(
+            catalog.clone(),
+            config.supply,
+            config.noise,
+        ));
         let accumulator = EnergyAccumulator::new(model);
         let meter = ICountMeter::new(config.icount);
 
@@ -232,8 +236,10 @@ impl Kernel {
         // The supply supervisor is always on; record its initial trace point.
         self.set_sink(self.ids.supervisor, StateIndex(1));
         // Record the boot draw so the oscilloscope trace starts at t = 0.
-        self.trace
-            .push(SimTime::ZERO, self.accumulator.current_power() / self.config.supply);
+        self.trace.push(
+            SimTime::ZERO,
+            self.accumulator.current_power() / self.config.supply,
+        );
         if self.config.dco_calibration {
             // TimerA1 fires 16 times per second from boot (Figure 15).
             self.queue
@@ -268,7 +274,7 @@ impl Kernel {
     /// Advances the CPU work cursor by `cycles` of execution.
     pub(crate) fn charge_cycles(&mut self, cycles: u64) {
         let us = self.config.cycles_to_micros(cycles);
-        self.cursor = self.cursor + SimDuration::from_micros(us);
+        self.cursor += SimDuration::from_micros(us);
     }
 
     fn charge_quanto_overhead(&mut self) {
@@ -369,7 +375,7 @@ impl Kernel {
     /// The next posted task, with its activity restored on the CPU and its
     /// cost charged.
     pub(crate) fn next_task(&mut self) -> Option<PostedTask> {
-        let task = self.tasks.next()?;
+        let task = self.tasks.pop()?;
         // The scheduler restores the activity saved at post time.
         self.cpu_activity_set(task.saved_activity);
         self.charge_cycles(task.cost_cycles as u64);
@@ -432,7 +438,8 @@ impl Kernel {
             self.start_backoff();
         } else {
             let chunk = SimDuration::from_micros(
-                self.config.cycles_to_micros(self.config.spi_chunk_cycles as u64),
+                self.config
+                    .cycles_to_micros(self.config.spi_chunk_cycles as u64),
             );
             self.queue.push(self.cursor + chunk, NodeEvent::SpiTxChunk);
         }
@@ -511,10 +518,14 @@ impl Kernel {
         self.cpu_activity_bind(tx.activity);
         self.radio.stats.packets_sent += 1;
         self.set_sink(self.ids.radio_tx, radio_tx_state::OFF);
-        if self.radio.requested_on && self.config.lpl.is_none() {
-            self.set_sink(self.ids.radio_rx, radio_rx_state::LISTEN);
-            self.radio.power = RadioPower::Listening;
-        } else if self.config.lpl.is_some() && self.radio.lpl_wakeup_open {
+        // Listening resumes if the radio is meant to stay on: always-on mode
+        // with an outstanding request, or LPL inside an open wake-up window.
+        let resume_listen = if self.config.lpl.is_none() {
+            self.radio.requested_on
+        } else {
+            self.radio.lpl_wakeup_open
+        };
+        if resume_listen {
             self.set_sink(self.ids.radio_rx, radio_rx_state::LISTEN);
             self.radio.power = RadioPower::Listening;
         } else {
@@ -571,9 +582,7 @@ impl Kernel {
         self.irq_enter(IrqSource::Spi);
         self.charge_cycles(self.config.spi_chunk_cycles as u64);
         self.cpu_activity_set(self.pxy_rx);
-        let Some(rx) = self.radio.rx.as_mut() else {
-            return None;
-        };
+        let rx = self.radio.rx.as_mut()?;
         rx.bytes_downloaded = (rx.bytes_downloaded + 2).min(rx.packet.wire_bytes());
         if rx.bytes_downloaded >= rx.packet.wire_bytes() {
             self.finish_rx()
@@ -803,7 +812,8 @@ impl Kernel {
     pub fn start_timer(&mut self, period: SimDuration, periodic: bool) -> TimerId {
         let saved = self.cpu_activity();
         let (id, deadline) = self.timers.start(self.cursor, period, periodic, saved);
-        self.queue.push(deadline, NodeEvent::HwTimerFired { timer: id });
+        self.queue
+            .push(deadline, NodeEvent::HwTimerFired { timer: id });
         id
     }
 
@@ -945,9 +955,10 @@ impl Kernel {
                 self.queue.push(self.cursor + chunk, NodeEvent::SpiTxChunk);
             }
             SpiMode::Dma => {
-                let dur = SimDuration::from_micros(self.config.cycles_to_micros(
-                    self.config.spi_dma_cycles_per_byte as u64 * bytes as u64,
-                ));
+                let dur =
+                    SimDuration::from_micros(self.config.cycles_to_micros(
+                        self.config.spi_dma_cycles_per_byte as u64 * bytes as u64,
+                    ));
                 self.queue.push(self.cursor + dur, NodeEvent::SpiTxDmaDone);
             }
         }
@@ -977,8 +988,10 @@ impl Kernel {
         }
         let value = self.rng.gen_range(0..4096) as u16;
         let conversion = SimDuration::from_millis(75);
-        self.queue
-            .push(self.cursor + conversion, NodeEvent::SensorDone { kind, value });
+        self.queue.push(
+            self.cursor + conversion,
+            NodeEvent::SensorDone { kind, value },
+        );
         true
     }
 

@@ -13,14 +13,18 @@
 //!   accumulator, the simulated iCount meter and the Quanto runtime.
 //! * [`app::Application`] — the split-phase, event-driven application model.
 //! * [`node::Node`] — kernel + application + event dispatch.
-//! * [`sim::Simulator`] — a single-node run in a configurable [`world::World`].
+//! * [`engine::Engine`] — the shared event-driven scheduler: global time
+//!   advancement over any number of nodes in a pluggable [`world::World`].
+//! * [`sim::Simulator`] — the one-node engine configuration (quiet ether).
 //!
-//! Multi-node coordination (radio medium, interference) lives in `net-sim`.
+//! Multi-node coordination (radio medium, interference) lives in `net-sim`,
+//! whose `NetSim` is the N-node configuration of the same engine.
 
 pub mod app;
 pub mod arbiter;
 pub mod config;
 pub mod drivers;
+pub mod engine;
 pub mod event;
 pub mod kernel;
 pub mod node;
@@ -33,6 +37,7 @@ pub mod world;
 pub use app::{Application, NullApp};
 pub use arbiter::{Arbiter, BusClient, GrantOutcome};
 pub use config::{LplConfig, NodeConfig, SpiMode};
+pub use engine::Engine;
 pub use event::{FlashOp, NodeEvent, SensorKind, TaskId, TimerId};
 pub use kernel::{IrqSource, Kernel, NodeRunOutput, OsHandle};
 pub use node::Node;

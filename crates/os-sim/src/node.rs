@@ -86,23 +86,6 @@ impl Node {
         Some((effective, self.kernel.take_emissions()))
     }
 
-    /// Processes every event scheduled at or before `until`.
-    pub fn run_until(&mut self, until: SimTime, world: &mut dyn World) -> Vec<Emission> {
-        if !self.booted {
-            self.boot();
-        }
-        let mut emissions = Vec::new();
-        while let Some(t) = self.next_event_time() {
-            if t > until {
-                break;
-            }
-            if let Some((_, mut e)) = self.process_next(world) {
-                emissions.append(&mut e);
-            }
-        }
-        emissions
-    }
-
     /// Finishes the run at `end`, collecting the node's outputs.
     pub fn finish(&mut self, end: SimTime) -> NodeRunOutput {
         self.kernel.collect_output(end)

@@ -46,7 +46,7 @@ impl TaskQueue {
     }
 
     /// Dequeues the next task to run.
-    pub fn next(&mut self) -> Option<PostedTask> {
+    pub fn pop(&mut self) -> Option<PostedTask> {
         let t = self.queue.pop_front();
         if t.is_some() {
             self.ran_total += 1;
@@ -90,13 +90,13 @@ mod tests {
         q.post(TaskId(1), lbl(1), 100);
         q.post(TaskId(2), lbl(2), 200);
         assert_eq!(q.pending(), 2);
-        let a = q.next().unwrap();
+        let a = q.pop().unwrap();
         assert_eq!(a.id, TaskId(1));
         assert_eq!(a.saved_activity, lbl(1));
         assert_eq!(a.cost_cycles, 100);
-        let b = q.next().unwrap();
+        let b = q.pop().unwrap();
         assert_eq!(b.id, TaskId(2));
-        assert!(q.next().is_none());
+        assert!(q.pop().is_none());
         assert_eq!(q.posted_total(), 2);
         assert_eq!(q.ran_total(), 2);
         assert!(q.is_empty());

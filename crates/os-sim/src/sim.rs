@@ -1,20 +1,25 @@
 //! Single-node simulation driver.
 //!
 //! Most of the paper's experiments (Blink, the timer probe, the DMA study)
-//! run on a single node; [`Simulator`] wires one node to a [`World`] and runs
-//! it for a fixed duration, returning everything the offline analysis needs.
+//! run on a single node; [`Simulator`] is the one-node configuration of the
+//! shared [`Engine`]: it wires a single node to a [`World`] and runs it for a
+//! fixed duration, returning everything the offline analysis needs.  Time
+//! advancement lives entirely in the engine — the same loop `net-sim` uses
+//! for multi-node runs.
 
 use crate::app::Application;
 use crate::config::NodeConfig;
-use crate::kernel::{Kernel, NodeRunOutput};
+use crate::engine::Engine;
+use crate::kernel::NodeRunOutput;
 use crate::node::Node;
 use crate::world::{QuietWorld, World};
 use hw_model::{SimDuration, SimTime};
+use quanto_core::NodeId;
 
 /// A single-node simulation.
 pub struct Simulator<W: World = QuietWorld> {
-    node: Node,
-    world: W,
+    engine: Engine<W>,
+    id: NodeId,
 }
 
 impl Simulator<QuietWorld> {
@@ -27,32 +32,41 @@ impl Simulator<QuietWorld> {
 impl<W: World> Simulator<W> {
     /// Creates a simulation of one node in the given world.
     pub fn with_world(config: NodeConfig, app: Box<dyn Application>, world: W) -> Self {
-        let kernel = Kernel::new(config);
-        Simulator {
-            node: Node::new(kernel, app),
-            world,
-        }
+        let mut engine = Engine::new(world);
+        let id = engine.add_node(config, app);
+        Simulator { engine, id }
     }
 
     /// Read-only access to the node.
     pub fn node(&self) -> &Node {
-        &self.node
+        self.engine
+            .node(self.id)
+            .expect("a Simulator always holds exactly one node")
     }
 
     /// Mutable access to the world (e.g. to reconfigure interference).
     pub fn world_mut(&mut self) -> &mut W {
-        &mut self.world
+        self.engine.world_mut()
+    }
+
+    /// Read-only access to the underlying engine.
+    pub fn engine(&self) -> &Engine<W> {
+        &self.engine
     }
 
     /// Runs the simulation for `duration` and returns the node's outputs.
     ///
-    /// Any frames the node transmits are dropped (there is nobody to hear
-    /// them); use `net-sim` for multi-node runs.
+    /// Frames the node transmits go to [`World::transmit`]; in the default
+    /// [`QuietWorld`] nobody hears them.  Use `net-sim` for multi-node runs.
     pub fn run_for(&mut self, duration: SimDuration) -> NodeRunOutput {
         let end = SimTime::ZERO + duration;
-        self.node.boot();
-        let _ = self.node.run_until(end, &mut self.world);
-        self.node.finish(end)
+        self.engine.run_until(end);
+        let (_, output) = self
+            .engine
+            .finish(end)
+            .pop()
+            .expect("a Simulator always holds exactly one node");
+        output
     }
 }
 
@@ -179,14 +193,20 @@ mod tests {
                 && e.device() == Some(cpu_dev)
                 && e.label().map(|l| l.id.as_u8() == 1).unwrap_or(false)
         });
-        assert!(red_changes >= 8, "expected Red activity on the CPU, got {red_changes}");
+        assert!(
+            red_changes >= 8,
+            "expected Red activity on the CPU, got {red_changes}"
+        );
         let led_paints = count_entries(&out.log, |e| {
             e.kind == EntryKind::ActivityChange && e.device() == Some(led_devs[0])
         });
         // 8 toggles are scheduled but the last lands a fraction of a
         // millisecond past the 2 s window (boot work shifts the timer phase),
         // so at least 7 paints are observed.
-        assert!(led_paints >= 7, "LED device painted on each toggle, got {led_paints}");
+        assert!(
+            led_paints >= 7,
+            "LED device painted on each toggle, got {led_paints}"
+        );
     }
 
     /// An app that exercises tasks, the sensor and the flash.

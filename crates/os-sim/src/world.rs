@@ -16,6 +16,18 @@ pub trait World {
     /// Whether a clear-channel assessment on `channel` at `at` would detect
     /// energy (from other transmitters or from interference).
     fn channel_busy(&mut self, node: NodeId, channel: u8, at: SimTime) -> bool;
+
+    /// Called by the engine when a node puts a frame on the air.  The world
+    /// registers the transmission (so later assessments see the energy) and
+    /// returns, for every node that hears the frame, the time its radio sees
+    /// the start-of-frame delimiter.  `nodes` lists every node in the
+    /// simulation, transmitter included.
+    ///
+    /// The default is an ether nobody listens to: the frame vanishes.
+    fn transmit(&mut self, emission: &Emission, nodes: &[NodeId]) -> Vec<(NodeId, SimTime)> {
+        let _ = (emission, nodes);
+        Vec::new()
+    }
 }
 
 /// A world with a perfectly quiet ether.

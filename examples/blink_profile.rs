@@ -43,11 +43,23 @@ fn main() {
     println!("\nEnergy per activity [mJ]:");
     for (label, e) in &bd.energy_per_activity {
         if e.as_milli_joules() > 0.01 {
-            println!("  {:<18} {:>10.2}", ctx.label_name(*label), e.as_milli_joules());
+            println!(
+                "  {:<18} {:>10.2}",
+                ctx.label_name(*label),
+                e.as_milli_joules()
+            );
         }
     }
-    println!("  {:<18} {:>10.2}", "Const.", bd.constant_energy.as_milli_joules());
-    println!("  {:<18} {:>10.2}", "Total", bd.total_reconstructed.as_milli_joules());
+    println!(
+        "  {:<18} {:>10.2}",
+        "Const.",
+        bd.constant_energy.as_milli_joules()
+    );
+    println!(
+        "  {:<18} {:>10.2}",
+        "Total",
+        bd.total_reconstructed.as_milli_joules()
+    );
     println!(
         "\nmetered total {:.2} mJ, reconstruction error {:.4} %",
         bd.total_measured.as_milli_joules(),

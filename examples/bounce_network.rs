@@ -47,7 +47,11 @@ fn main() {
             println!("energy per activity:");
             for (label, e) in &bd.energy_per_activity {
                 if e.as_micro_joules() > 10.0 {
-                    println!("  {:<16} {:>9.3} mJ", ctx.label_name(*label), e.as_milli_joules());
+                    println!(
+                        "  {:<16} {:>9.3} mJ",
+                        ctx.label_name(*label),
+                        e.as_milli_joules()
+                    );
                 }
             }
         } else {

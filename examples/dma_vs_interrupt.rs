@@ -10,10 +10,16 @@ fn main() {
     println!("Packet transmission timing (Bounce, node 1's first packet):\n");
     for t in [&cmp.interrupt, &cmp.dma] {
         println!("{:?} mode:", t.mode);
-        println!("  FIFO load:           {:.3} ms", t.fifo_load.as_millis_f64());
+        println!(
+            "  FIFO load:           {:.3} ms",
+            t.fifo_load.as_millis_f64()
+        );
         println!("  load interrupts:     {}", t.load_interrupts);
         println!("  send() to TX done:   {:.3} ms", t.total.as_millis_f64());
         println!();
     }
-    println!("DMA loads the FIFO {:.1}x faster (the paper observes at least 2x).", cmp.speedup());
+    println!(
+        "DMA loads the FIFO {:.1}x faster (the paper observes at least 2x).",
+        cmp.speedup()
+    );
 }

@@ -8,7 +8,9 @@ use quanto::quanto_apps::run_lpl_experiment;
 
 fn main() {
     let duration = SimDuration::from_secs(14);
-    println!("LPL node, 500 ms check interval, 14 simulated seconds, 802.11b AP on Wi-Fi channel 6\n");
+    println!(
+        "LPL node, 500 ms check interval, 14 simulated seconds, 802.11b AP on Wi-Fi channel 6\n"
+    );
 
     for channel in [17u8, 26u8] {
         let run = run_lpl_experiment(channel, duration, 0.18);
@@ -20,7 +22,10 @@ fn main() {
             run.false_positives,
             run.false_positive_rate * 100.0
         );
-        println!("  average power:         {:.3} mW", run.average_power.as_milli_watts());
+        println!(
+            "  average power:         {:.3} mW",
+            run.average_power.as_milli_watts()
+        );
         let total = run
             .cumulative_energy
             .last()

@@ -53,7 +53,10 @@ fn main() {
     let ctx = ExperimentContext::from_kernel(sim.node().kernel());
 
     println!("log entries: {}", out.log.len());
-    println!("true total energy: {:.3} mJ", out.ground_truth.total.as_milli_joules());
+    println!(
+        "true total energy: {:.3} mJ",
+        out.ground_truth.total.as_milli_joules()
+    );
 
     // Offline analysis: regression + per-activity breakdown.
     match breakdown(
@@ -66,14 +69,26 @@ fn main() {
             println!("\nEnergy per activity:");
             for (label, energy) in &bd.energy_per_activity {
                 if energy.as_micro_joules() > 1.0 {
-                    println!("  {:<20} {:>10.3} mJ", ctx.label_name(*label), energy.as_milli_joules());
+                    println!(
+                        "  {:<20} {:>10.3} mJ",
+                        ctx.label_name(*label),
+                        energy.as_milli_joules()
+                    );
                 }
             }
-            println!("  {:<20} {:>10.3} mJ  (quiescent draw)", "Const.", bd.constant_energy.as_milli_joules());
+            println!(
+                "  {:<20} {:>10.3} mJ  (quiescent draw)",
+                "Const.",
+                bd.constant_energy.as_milli_joules()
+            );
             println!("\nEnergy per hardware component:");
             for (sink, energy) in &bd.energy_per_sink {
                 if energy.as_micro_joules() > 1.0 {
-                    println!("  {:<20} {:>10.3} mJ", ctx.catalog.sink(*sink).name, energy.as_milli_joules());
+                    println!(
+                        "  {:<20} {:>10.3} mJ",
+                        ctx.catalog.sink(*sink).name,
+                        energy.as_milli_joules()
+                    );
                 }
             }
             println!(

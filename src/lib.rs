@@ -57,8 +57,8 @@ pub mod prelude {
         Catalog, Current, Energy, Power, SimDuration, SimTime, SinkId, StateIndex, Voltage,
     };
     pub use os_sim::{
-        Application, Kernel, LplConfig, NodeConfig, NodeRunOutput, OsHandle, SensorKind,
-        Simulator, SpiMode, TaskId, TimerId,
+        Application, Kernel, LplConfig, NodeConfig, NodeRunOutput, OsHandle, SensorKind, Simulator,
+        SpiMode, TaskId, TimerId,
     };
     pub use quanto_apps::{run_blink, run_bounce, run_lpl_experiment, ExperimentContext};
     pub use quanto_core::{

@@ -15,8 +15,7 @@ fn blink_end_to_end_energy_accounting_matches_ground_truth() {
     //    truth to within one pulse of quantization error per interval.
     let metered = ctx.energy_per_count * run.output.final_stamp.icount as f64;
     let truth = run.output.ground_truth.total;
-    let rel = (metered.as_micro_joules() - truth.as_micro_joules()).abs()
-        / truth.as_micro_joules();
+    let rel = (metered.as_micro_joules() - truth.as_micro_joules()).abs() / truth.as_micro_joules();
     assert!(rel < 0.01, "meter vs ground truth off by {rel}");
 
     // 2. The full pipeline (intervals -> regression -> breakdown) closes the
@@ -31,7 +30,10 @@ fn blink_end_to_end_energy_accounting_matches_ground_truth() {
     assert!(bd.reconstruction_error() < 0.05);
 
     // 3. Per-sink estimates track the ground truth for the big consumers.
-    for (i, led_sink) in [ctx.sinks.led0, ctx.sinks.led1, ctx.sinks.led2].iter().enumerate() {
+    for (i, led_sink) in [ctx.sinks.led0, ctx.sinks.led1, ctx.sinks.led2]
+        .iter()
+        .enumerate()
+    {
         let est = bd.sink_energy(*led_sink).as_milli_joules();
         let truth = run.output.ground_truth.sink(*led_sink).as_milli_joules();
         assert!(
@@ -84,7 +86,11 @@ fn log_entries_round_trip_through_the_wire_format() {
         assert_eq!(decoded, *entry);
     }
     // Both power-state and activity entries appear.
-    assert!(run.output.log.iter().any(|e| e.kind == EntryKind::PowerState));
+    assert!(run
+        .output
+        .log
+        .iter()
+        .any(|e| e.kind == EntryKind::PowerState));
     assert!(run
         .output
         .log
@@ -98,11 +104,8 @@ fn unweighted_regression_is_no_better_than_weighted_on_quantized_data() {
     // low-energy intervals are dominated by quantization error.
     let run = run_blink(SimDuration::from_secs(24));
     let ctx = &run.context;
-    let intervals = analysis::power_intervals(
-        &run.output.log,
-        &ctx.catalog,
-        Some(run.output.final_stamp),
-    );
+    let intervals =
+        analysis::power_intervals(&run.output.log, &ctx.catalog, Some(run.output.final_stamp));
     let weighted = analysis::regress_intervals(
         &intervals,
         &ctx.catalog,
@@ -174,7 +177,8 @@ fn counters_mode_agrees_with_log_mode_on_cpu_time() {
 
     // Offline (log-based) CPU time per activity.
     let segs = analysis::activity_segments(&out.log, ctx.cpu_dev, false, Some(out.final_stamp));
-    let mut offline: std::collections::HashMap<ActivityLabel, u64> = std::collections::HashMap::new();
+    let mut offline: std::collections::HashMap<ActivityLabel, u64> =
+        std::collections::HashMap::new();
     for s in &segs {
         *offline.entry(s.label).or_insert(0) += s.duration().as_micros();
     }

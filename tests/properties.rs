@@ -110,7 +110,7 @@ proptest! {
                 states: (0..cat.sink_count()).map(|i| sv.state(SinkId(i as u16))).collect(),
             });
             prev = counts;
-            t = t + dur;
+            t += dur;
         }
         let reg = analysis::regress_intervals(
             &intervals,
