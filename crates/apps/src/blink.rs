@@ -101,6 +101,18 @@ pub fn run_blink_with_config(duration: SimDuration, config: NodeConfig) -> Blink
     let mut sim = Simulator::new(config, Box::new(BlinkApp::new()));
     let output = sim.run_for(duration);
     let context = ExperimentContext::from_kernel(sim.node().kernel());
+    blink_run_from_parts(node_id, output, context)
+}
+
+/// Assembles a [`BlinkRun`] from a finished Blink node's raw outputs and
+/// context, resolving the Red/Green/Blue activity labels by name — the same
+/// assembly whether the run came from [`run_blink`] or from a fleet scenario
+/// batch.
+pub fn blink_run_from_parts(
+    node_id: NodeId,
+    output: NodeRunOutput,
+    context: ExperimentContext,
+) -> BlinkRun {
     // Red/Green/Blue are the first three activities defined by the app; the
     // kernel defines its system/proxy activities first, so look them up by
     // name.

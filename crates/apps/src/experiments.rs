@@ -176,7 +176,12 @@ pub struct BlinkProfileResult {
 /// Runs the 48-second Blink profile (Section 4.2.1) and produces the Table 3
 /// breakdowns.
 pub fn blink_profile(duration: SimDuration) -> BlinkProfileResult {
-    let run = run_blink(duration);
+    blink_profile_from_run(run_blink(duration))
+}
+
+/// Produces the Table 3 breakdowns from an already-executed Blink run (e.g.
+/// one scenario of a fleet batch).
+pub fn blink_profile_from_run(run: BlinkRun) -> BlinkProfileResult {
     let ctx = &run.context;
     let intervals = power_intervals(&run.output.log, &ctx.catalog, Some(run.output.final_stamp));
     let bd = breakdown(

@@ -22,13 +22,17 @@ pub mod lpl;
 pub mod sense_send;
 pub mod timer_probe;
 
-pub use blink::{run_blink, run_blink_with_config, BlinkApp, BlinkRun};
+pub use blink::{blink_run_from_parts, run_blink, run_blink_with_config, BlinkApp, BlinkRun};
 pub use bounce::{run_bounce, run_bounce_with, BounceApp, BounceRun, BOUNCE_AM_TYPE};
 pub use context::ExperimentContext;
 pub use experiments::{
-    blink_profile, calibration_experiment, device_timelines, dma_comparison, instrumentation_table,
-    BlinkProfileResult, CalibrationResult, DmaComparisonResult, InstrumentationRow, TxTiming,
+    blink_profile, blink_profile_from_run, calibration_experiment, device_timelines,
+    dma_comparison, instrumentation_table, BlinkProfileResult, CalibrationResult,
+    DmaComparisonResult, InstrumentationRow, TxTiming,
 };
-pub use lpl::{run_lpl_comparison, run_lpl_experiment, LplListenerApp, LplRun};
+pub use lpl::{
+    analyze_lpl, lpl_node_config, paper_interference, run_lpl_comparison, run_lpl_experiment,
+    LplListenerApp, LplRun, PAPER_INTERFERENCE_SEED,
+};
 pub use sense_send::{SenseAndSendApp, SENSE_AM_TYPE};
 pub use timer_probe::TimerProbeApp;

@@ -49,28 +49,57 @@ pub struct LplRun {
     pub cumulative_energy: Vec<(SimTime, Energy)>,
 }
 
-/// Runs the LPL listener on `channel` for `duration` with an 802.11b access
-/// point on Wi-Fi channel 6 (set `interference_duty` to zero to remove it).
-pub fn run_lpl_experiment(channel: u8, duration: SimDuration, interference_duty: f64) -> LplRun {
-    let config = NodeConfig {
+/// The node configuration the LPL experiment runs: a listener on `channel`
+/// with the paper's 500 ms check interval and no DCO calibration noise.
+pub fn lpl_node_config(node: NodeId, channel: u8) -> NodeConfig {
+    NodeConfig {
         radio_channel: channel,
         lpl: Some(LplConfig::default()),
         dco_calibration: false,
-        ..NodeConfig::new(NodeId(1))
-    };
+        ..NodeConfig::new(node)
+    }
+}
+
+/// The traffic-pattern seed every Figure 13 run uses.
+pub const PAPER_INTERFERENCE_SEED: u64 = 7;
+
+/// The paper's interference source: an 802.11b access point on Wi-Fi
+/// channel 6 carrying traffic `duty` of the time.  Pass
+/// [`PAPER_INTERFERENCE_SEED`] to reproduce the Figure 13 runs; other seeds
+/// make the traffic pattern a sweep axis.
+pub fn paper_interference(duty: f64, seed: u64) -> WifiInterferer {
+    WifiInterferer {
+        busy_probability: duty,
+        ..WifiInterferer::paper_channel6(seed)
+    }
+}
+
+/// Runs the LPL listener on `channel` for `duration` with an 802.11b access
+/// point on Wi-Fi channel 6 (set `interference_duty` to zero to remove it).
+pub fn run_lpl_experiment(channel: u8, duration: SimDuration, interference_duty: f64) -> LplRun {
     let mut net = NetSim::new();
-    net.add_node(config, Box::new(LplListenerApp));
+    net.add_node(
+        lpl_node_config(NodeId(1), channel),
+        Box::new(LplListenerApp),
+    );
     if interference_duty > 0.0 {
-        net.add_interferer(WifiInterferer {
-            busy_probability: interference_duty,
-            ..WifiInterferer::paper_channel6(7)
-        });
+        net.add_interferer(paper_interference(
+            interference_duty,
+            PAPER_INTERFERENCE_SEED,
+        ));
     }
     net.run_until(SimTime::ZERO + duration);
     let context = ExperimentContext::from_kernel(net.node(NodeId(1)).unwrap().kernel());
     let mut outputs = net.finish(SimTime::ZERO + duration);
     let (_, output) = outputs.remove(0);
+    analyze_lpl(channel, output, context)
+}
 
+/// Computes the Figure 13 statistics (duty cycle, wake-up classification,
+/// average power, cumulative energy) from a finished LPL listener's raw
+/// outputs — the same analysis whether the run came from
+/// [`run_lpl_experiment`] or from a fleet scenario batch.
+pub fn analyze_lpl(channel: u8, output: NodeRunOutput, context: ExperimentContext) -> LplRun {
     let intervals = power_intervals(&output.log, &context.catalog, Some(output.final_stamp));
     let duty_cycle = state_duty_cycle(&intervals, context.sinks.radio_rx, |s| {
         s == radio_rx_state::LISTEN

@@ -1,0 +1,34 @@
+//! Host-speed calibration for the checked-in bench baseline.
+//!
+//! `BENCH_BASELINE.json` records absolute medians from one machine; this
+//! fixed-integer-workload bench measures how fast the current host is
+//! relative to that machine, and `bench_check` scales every other
+//! comparison by the ratio so hardware differences do not read as code
+//! regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_spin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration");
+    group.sample_size(10);
+    group.bench_function("spin", |b| {
+        b.iter(|| {
+            // A SplitMix64 stream folded 2^20 times: pure ALU work, no
+            // allocation, no memory pressure — a stable host-speed proxy.
+            let mut acc = 0u64;
+            let mut state = 0x1234_5678u64;
+            for _ in 0..(1u32 << 20) {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                acc = acc.wrapping_add(z ^ (z >> 31));
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spin);
+criterion_main!(benches);

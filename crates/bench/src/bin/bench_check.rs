@@ -1,0 +1,104 @@
+//! Compares a bench run against the checked-in `BENCH_BASELINE.json`.
+//!
+//! ```text
+//! bench_check <BENCH_BASELINE.json> <bench-output.txt> [--update]
+//! ```
+//!
+//! The bench output file is whatever `cargo bench` (and, appended,
+//! `fleet_sweep --smoke`) printed; only `bench <id> median <t> ...` summary
+//! lines are read.  Comparisons are normalized by the fixed-work
+//! `calibration/spin` bench so a slower or faster host does not read as a
+//! code regression; anything more than the baseline's `_tolerance` (default
+//! 25 %) over its normalized baseline fails the check.
+//!
+//! `--update` rewrites the baseline from the measured medians instead of
+//! comparing.
+
+use quanto_bench::baseline::{
+    compare, fmt_ns, parse_bench_lines, parse_flat_json, render_flat_json, TOLERANCE_KEY,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let update = args.iter().any(|a| a == "--update");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [baseline_path, bench_path] = paths.as_slice() else {
+        eprintln!("usage: bench_check <BENCH_BASELINE.json> <bench-output.txt> [--update]");
+        return ExitCode::FAILURE;
+    };
+
+    let bench_text = match std::fs::read_to_string(bench_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {bench_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let measured = parse_bench_lines(&bench_text);
+    if measured.is_empty() {
+        eprintln!("bench_check: no bench summary lines found in {bench_path}");
+        return ExitCode::FAILURE;
+    }
+
+    if update {
+        let tolerance = std::fs::read_to_string(baseline_path)
+            .ok()
+            .and_then(|t| parse_flat_json(&t).ok())
+            .and_then(|b| b.iter().find(|(k, _)| k == TOLERANCE_KEY).map(|(_, v)| *v))
+            .unwrap_or(quanto_bench::baseline::DEFAULT_TOLERANCE);
+        let mut entries = vec![(TOLERANCE_KEY.to_string(), tolerance)];
+        entries.extend(measured);
+        if let Err(e) = std::fs::write(baseline_path, render_flat_json(&entries)) {
+            eprintln!("bench_check: cannot write {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "bench_check: wrote {} entries to {baseline_path}",
+            entries.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match parse_flat_json(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_check: {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let check = compare(&baseline, &measured);
+    println!(
+        "bench_check: host speed scale {:.3}, tolerance {:.0} %",
+        check.scale,
+        check.tolerance * 100.0
+    );
+    for c in &check.comparisons {
+        let verdict = if c.regressed { "REGRESSED" } else { "ok" };
+        println!(
+            "  {verdict:>9}  {id:<48} baseline {base:>12}  measured {now:>12}  ratio {ratio:.2}",
+            id = c.id,
+            base = fmt_ns(c.baseline_ns),
+            now = fmt_ns(c.measured_ns),
+            ratio = c.ratio,
+        );
+    }
+    for id in &check.missing {
+        println!("   MISSING  {id} (in baseline, not measured — rerun or `--update`)");
+    }
+    if check.failed() {
+        eprintln!("bench_check: FAILED (regression or missing bench)");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_check: all benches within tolerance");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,9 +1,13 @@
 //! Figure 13: 802.11 b/g interference versus low-power listening — cumulative
 //! energy, radio duty cycle, false-positive rate and average power on
 //! 802.15.4 channel 17 (under the access point) versus channel 26 (clear).
+//!
+//! The two channels are independent scenarios, so they run as a fleet batch
+//! sharded across worker threads — the data-driven form of what used to be
+//! two back-to-back sequential runs (and byte-identical to them).
 
 use analysis::{pct, TextTable};
-use quanto_apps::run_lpl_comparison;
+use quanto_fleet::{scenarios, FleetRunner};
 
 fn main() {
     let duration = quanto_bench::duration_from_args(14);
@@ -11,7 +15,11 @@ fn main() {
         "Figure 13 — 802.11 interference on low-power listening",
         "Section 4.3",
     );
-    let (ch17, ch26) = run_lpl_comparison(duration);
+    let mut results = FleetRunner::host_parallel()
+        .run(scenarios::lpl_comparison(duration))
+        .into_results();
+    let ch17 = scenarios::into_lpl_run(results.remove(0));
+    let ch26 = scenarios::into_lpl_run(results.remove(0));
 
     let mut summary = TextTable::new(vec![
         "Channel",

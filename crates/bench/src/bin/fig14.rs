@@ -5,7 +5,7 @@
 
 use analysis::{episode_durations, TextTable};
 use hw_model::catalog::radio_rx_state;
-use quanto_apps::run_lpl_experiment;
+use quanto_fleet::{scenarios, FleetRunner, Scenario};
 
 fn main() {
     let duration = quanto_bench::duration_from_args(14);
@@ -13,7 +13,10 @@ fn main() {
         "Figure 14 — normal vs false-positive LPL wake-ups",
         "Section 4.3",
     );
-    let run = run_lpl_experiment(17, duration, 0.18);
+    // A one-scenario fleet batch: the same declarative spec the sweeps use,
+    // byte-identical to the old sequential run_lpl_experiment call.
+    let report = FleetRunner::sequential().run(vec![Scenario::lpl(17, 0.18, duration)]);
+    let run = scenarios::into_lpl_run(report.into_results().remove(0));
     let ctx = &run.context;
     let out = &run.output;
 

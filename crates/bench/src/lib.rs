@@ -3,6 +3,10 @@
 //! Each binary in `src/bin/` regenerates one table or figure of the paper.
 //! They all print fixed-width text tables via `analysis::report` and accept a
 //! `--seconds N` argument to shorten or lengthen the underlying simulation.
+//! [`baseline`] holds the checked-in-baseline comparison logic behind the
+//! `bench_check` binary.
+
+pub mod baseline;
 
 use hw_model::SimDuration;
 

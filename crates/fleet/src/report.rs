@@ -1,0 +1,289 @@
+//! Per-scenario results and the merged fleet report.
+
+use crate::scenario::Scenario;
+use analysis::{
+    average_power, cumulative_energy_series, pct, power_intervals, regress_intervals,
+    state_duty_cycle, RegressionOptions, TextTable,
+};
+use hw_model::catalog::radio_rx_state;
+use hw_model::{Energy, Power, SimTime};
+use os_sim::NodeRunOutput;
+use quanto_apps::ExperimentContext;
+use quanto_core::NodeId;
+
+/// The analysis-pipeline summary of one node of one scenario.
+#[derive(Debug, Clone)]
+pub struct NodeSummary {
+    /// Which node.
+    pub node: NodeId,
+    /// Surviving Quanto log entries.
+    pub log_entries: usize,
+    /// Entries the logger dropped.
+    pub log_dropped: u64,
+    /// Average metered power over the run.
+    pub average_power: Power,
+    /// Total metered energy over the run.
+    pub total_energy: Energy,
+    /// Fraction of time the radio RX path was in LISTEN.
+    pub radio_duty_cycle: f64,
+    /// Packets fully transmitted.
+    pub packets_sent: u64,
+    /// Packets fully received.
+    pub packets_received: u64,
+    /// LPL wake-ups that detected energy but received nothing.
+    pub false_wakeups: u64,
+    /// Relative error of the per-state power regression, when the run
+    /// exercised enough states for it to be solvable.
+    pub regression_error: Option<f64>,
+}
+
+/// One executed scenario: raw outputs plus the analysis summary.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// Position of the scenario in the submitted batch (reports are always
+    /// ordered by it, whatever thread ran what).
+    pub index: usize,
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Raw per-node outputs, in node insertion order.
+    pub outputs: Vec<(NodeId, NodeRunOutput)>,
+    /// Per-node analysis contexts, in the same order.
+    pub contexts: Vec<(NodeId, ExperimentContext)>,
+    /// Per-node summaries, in the same order.
+    pub summaries: Vec<NodeSummary>,
+}
+
+impl ScenarioResult {
+    /// Builds, boots, runs and analyzes one scenario.  Self-contained so the
+    /// fleet runner can execute it on any worker thread.
+    pub fn execute(index: usize, scenario: Scenario) -> ScenarioResult {
+        let mut net = scenario.build();
+        let end = SimTime::ZERO + scenario.duration;
+        net.run_until(end);
+        let contexts: Vec<(NodeId, ExperimentContext)> = scenario
+            .node_ids()
+            .into_iter()
+            .map(|id| {
+                let kernel = net.node(id).expect("scenario node exists").kernel();
+                (id, ExperimentContext::from_kernel(kernel))
+            })
+            .collect();
+        let outputs = net.finish(end);
+        let summaries = outputs
+            .iter()
+            .map(|(id, out)| {
+                let (_, ctx) = contexts
+                    .iter()
+                    .find(|(cid, _)| cid == id)
+                    .expect("context captured for every node");
+                summarize(*id, out, ctx)
+            })
+            .collect();
+        ScenarioResult {
+            index,
+            scenario,
+            outputs,
+            contexts,
+            summaries,
+        }
+    }
+
+    /// The raw output of one node.
+    pub fn output(&self, id: NodeId) -> &NodeRunOutput {
+        &self
+            .outputs
+            .iter()
+            .find(|(n, _)| *n == id)
+            .expect("node ran in this scenario")
+            .1
+    }
+
+    /// The analysis context of one node.
+    pub fn context(&self, id: NodeId) -> &ExperimentContext {
+        &self
+            .contexts
+            .iter()
+            .find(|(n, _)| *n == id)
+            .expect("node ran in this scenario")
+            .1
+    }
+
+    /// Decomposes a single-node result into its owned parts
+    /// `(node, output, context)` — the shape the `quanto-apps` analyzers
+    /// take.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario ran more than one node.
+    pub fn into_single_node_parts(mut self) -> (NodeId, NodeRunOutput, ExperimentContext) {
+        assert_eq!(
+            self.outputs.len(),
+            1,
+            "into_single_node_parts on a {}-node scenario",
+            self.outputs.len()
+        );
+        let (id, output) = self.outputs.remove(0);
+        let (_, context) = self.contexts.remove(0);
+        (id, output, context)
+    }
+
+    /// Folds this result into an FNV-1a digest: every surviving log entry's
+    /// encoded bytes, the final stamps, drop counts and radio statistics.
+    fn fold_digest(&self, h: &mut Fnv) {
+        h.write(self.scenario.name.as_bytes());
+        h.write(&(self.index as u64).to_le_bytes());
+        for (id, out) in &self.outputs {
+            h.write(&[id.as_u8()]);
+            h.write(&(out.log.len() as u64).to_le_bytes());
+            for entry in &out.log {
+                h.write(&entry.encode());
+            }
+            h.write(&out.final_stamp.time.as_micros().to_le_bytes());
+            h.write(&out.final_stamp.icount.to_le_bytes());
+            h.write(&out.log_dropped.to_le_bytes());
+            h.write(&out.radio_stats.packets_sent.to_le_bytes());
+            h.write(&out.radio_stats.packets_received.to_le_bytes());
+            h.write(&out.radio_stats.false_wakeups.to_le_bytes());
+            h.write(
+                &out.ground_truth
+                    .total
+                    .as_micro_joules()
+                    .to_bits()
+                    .to_le_bytes(),
+            );
+        }
+        for s in &self.summaries {
+            h.write(&s.average_power.as_micro_watts().to_bits().to_le_bytes());
+            h.write(&s.total_energy.as_micro_joules().to_bits().to_le_bytes());
+            h.write(&s.radio_duty_cycle.to_bits().to_le_bytes());
+        }
+    }
+}
+
+/// Runs the shared analysis pipeline over one node's raw outputs.
+fn summarize(node: NodeId, out: &NodeRunOutput, ctx: &ExperimentContext) -> NodeSummary {
+    let intervals = power_intervals(&out.log, &ctx.catalog, Some(out.final_stamp));
+    let avg = average_power(&intervals, ctx.energy_per_count);
+    let total_energy = cumulative_energy_series(&intervals, ctx.energy_per_count)
+        .last()
+        .map(|(_, e)| *e)
+        .unwrap_or(Energy::ZERO);
+    let radio_duty_cycle = state_duty_cycle(&intervals, ctx.sinks.radio_rx, |s| {
+        s == radio_rx_state::LISTEN
+    });
+    let regression_error = regress_intervals(
+        &intervals,
+        &ctx.catalog,
+        ctx.energy_per_count,
+        RegressionOptions::default(),
+    )
+    .ok()
+    .map(|r| r.relative_error);
+    NodeSummary {
+        node,
+        log_entries: out.log.len(),
+        log_dropped: out.log_dropped,
+        average_power: avg,
+        total_energy,
+        radio_duty_cycle,
+        packets_sent: out.radio_stats.packets_sent,
+        packets_received: out.radio_stats.packets_received,
+        false_wakeups: out.radio_stats.false_wakeups,
+        regression_error,
+    }
+}
+
+/// The merged, deterministically-ordered outcome of a scenario batch.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// One result per submitted scenario, in submission order.
+    pub results: Vec<ScenarioResult>,
+    /// How many worker threads executed the batch.
+    pub threads: usize,
+    /// Host wall-clock time the batch took.
+    pub wall_clock: std::time::Duration,
+}
+
+impl FleetReport {
+    /// Looks a result up by scenario name.
+    pub fn result(&self, name: &str) -> Option<&ScenarioResult> {
+        self.results.iter().find(|r| r.scenario.name == name)
+    }
+
+    /// Consumes the report, returning the results in submission order.
+    pub fn into_results(self) -> Vec<ScenarioResult> {
+        self.results
+    }
+
+    /// An FNV-1a digest over every scenario's logs, stamps and summaries —
+    /// and nothing host-dependent (thread count and wall clock are
+    /// excluded), so a batch run with 1 thread and with N threads must
+    /// produce identical digests.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write(&(self.results.len() as u64).to_le_bytes());
+        for r in &self.results {
+            r.fold_digest(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Renders the per-scenario summary table the sweep binaries print.
+    pub fn summary_table(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "#",
+            "Scenario",
+            "Node",
+            "Entries",
+            "Avg power (mW)",
+            "Energy (mJ)",
+            "RX duty",
+            "Sent",
+            "Rcvd",
+            "False wk",
+        ])
+        .with_title(format!(
+            "Fleet report — {} scenarios on {} thread(s) in {:.1?}",
+            self.results.len(),
+            self.threads,
+            self.wall_clock
+        ));
+        for r in &self.results {
+            for s in &r.summaries {
+                t.row(vec![
+                    r.index.to_string(),
+                    r.scenario.name.clone(),
+                    s.node.to_string(),
+                    s.log_entries.to_string(),
+                    format!("{:.3}", s.average_power.as_milli_watts()),
+                    format!("{:.2}", s.total_energy.as_milli_joules()),
+                    pct(s.radio_duty_cycle),
+                    s.packets_sent.to_string(),
+                    s.packets_received.to_string(),
+                    s.false_wakeups.to_string(),
+                ]);
+            }
+        }
+        t.render()
+    }
+}
+
+/// Minimal FNV-1a 64-bit hasher (no std `Hasher` ceremony needed).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= *b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}

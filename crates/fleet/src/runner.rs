@@ -1,0 +1,169 @@
+//! The fleet runner: shards a scenario batch across worker threads.
+//!
+//! Scenarios are independent simulations (each worker builds its own
+//! [`os_sim::Engine`] from the plain-data [`Scenario`]), so the only shared
+//! state is the work queue — an atomic cursor over the batch — and the
+//! result slots.  Results are merged in submission order, which together
+//! with fully-seeded scenarios makes a fleet run bit-reproducible at any
+//! thread count.
+
+use crate::report::{FleetReport, ScenarioResult};
+use crate::scenario::Scenario;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Executes batches of [`Scenario`]s, optionally in parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetRunner {
+    threads: usize,
+}
+
+impl FleetRunner {
+    /// A runner using `threads` worker threads (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        FleetRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded runner (the reference execution order).
+    pub fn sequential() -> Self {
+        FleetRunner::new(1)
+    }
+
+    /// A runner using every hardware thread the host exposes.
+    pub fn host_parallel() -> Self {
+        FleetRunner::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every scenario and merges the per-scenario results into a
+    /// [`FleetReport`] ordered by submission index — the same report
+    /// whatever the thread count.
+    pub fn run(&self, scenarios: Vec<Scenario>) -> FleetReport {
+        let started = Instant::now();
+        let total = scenarios.len();
+        let workers = self.threads.min(total.max(1));
+        let results: Vec<ScenarioResult> = if workers <= 1 {
+            scenarios
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| ScenarioResult::execute(i, s))
+                .collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<ScenarioResult>>> =
+                (0..total).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let result = ScenarioResult::execute(i, scenarios[i].clone());
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("result slot poisoned")
+                        .expect("every claimed scenario stores a result")
+                })
+                .collect()
+        };
+        FleetReport {
+            results,
+            threads: workers,
+            wall_clock: started.elapsed(),
+        }
+    }
+}
+
+impl Default for FleetRunner {
+    fn default() -> Self {
+        FleetRunner::host_parallel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use hw_model::SimDuration;
+
+    fn small_batch() -> Vec<Scenario> {
+        let d = SimDuration::from_secs(2);
+        let mut batch = scenarios::lpl_grid(&[1, 2], &[17, 26], 0.18, d);
+        batch.push(Scenario::blink(d));
+        batch.push(Scenario::bounce(d));
+        batch
+    }
+
+    /// Satellite requirement: the same batch through 1 thread and N threads
+    /// yields byte-identical reports (same seeds ⇒ same outputs, stable
+    /// ordering).
+    #[test]
+    fn parallel_report_is_byte_identical_to_sequential() {
+        let sequential = FleetRunner::sequential().run(small_batch());
+        let parallel = FleetRunner::new(3).run(small_batch());
+        assert_eq!(sequential.results.len(), parallel.results.len());
+        // Deep check first (precise failure location)…
+        for (a, b) in sequential.results.iter().zip(parallel.results.iter()) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.scenario, b.scenario);
+            for ((id_a, out_a), (id_b, out_b)) in a.outputs.iter().zip(b.outputs.iter()) {
+                assert_eq!(id_a, id_b);
+                assert_eq!(
+                    out_a.log, out_b.log,
+                    "scenario {} node {id_a} diverged across thread counts",
+                    a.scenario.name
+                );
+                assert_eq!(out_a.final_stamp, out_b.final_stamp);
+                assert_eq!(out_a.log_dropped, out_b.log_dropped);
+            }
+        }
+        // …then the digest the smoke harness relies on.
+        assert_eq!(sequential.digest(), parallel.digest());
+    }
+
+    #[test]
+    fn report_preserves_submission_order_and_names() {
+        let report = FleetRunner::new(4).run(small_batch());
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(r.index, i);
+        }
+        assert!(report.result("lpl_ch17_seed1").is_some());
+        assert!(report.result("nope").is_none());
+        let table = report.summary_table();
+        assert!(table.contains("lpl_ch26_seed2"), "table:\n{table}");
+    }
+
+    #[test]
+    fn more_threads_than_scenarios_is_fine() {
+        let d = SimDuration::from_secs(1);
+        let report = FleetRunner::new(16).run(vec![Scenario::idle(d)]);
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.threads, 1, "workers are clamped to the batch size");
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_report() {
+        let report = FleetRunner::host_parallel().run(Vec::new());
+        assert!(report.results.is_empty());
+        let digest = report.digest();
+        assert_eq!(digest, FleetRunner::sequential().run(Vec::new()).digest());
+    }
+}

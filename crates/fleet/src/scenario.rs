@@ -1,0 +1,256 @@
+//! Declarative simulation scenarios.
+//!
+//! A [`Scenario`] is plain data — which application runs, on which channel,
+//! under which interference, for how long, with which seed — from which a
+//! ready-to-run [`NetSim`] can be built on any thread.  The paper's
+//! evaluation grid (LPL on channel 17 vs 26, Blink profiles, Bounce) and
+//! arbitrary seed × channel × topology sweeps are all batches of these.
+
+use hw_model::SimDuration;
+use net_sim::{NetSim, Topology};
+use os_sim::{NodeConfig, NullApp};
+use quanto_apps::{
+    lpl_node_config, paper_interference, BlinkApp, BounceApp, LplListenerApp,
+    PAPER_INTERFERENCE_SEED,
+};
+use quanto_core::NodeId;
+
+/// Which application a scenario's nodes run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppSpec {
+    /// One Blink node (three timers toggling three LEDs) — the calibration
+    /// and profiling workload.
+    Blink,
+    /// One low-power-listening node; `interference_duty` is the fraction of
+    /// time the 802.11b access point on Wi-Fi channel 6 transmits (zero
+    /// removes the interferer).
+    LplListener {
+        /// Fraction of slots the access point is on the air (0.0–1.0).
+        interference_duty: f64,
+    },
+    /// Two Bounce nodes (ids 1 and 4, as in the paper) ping-ponging packets.
+    Bounce,
+    /// One idle node — the DCO-calibration-only baseline.
+    Idle,
+}
+
+/// Which pairs of nodes can hear each other.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// Every node hears every other node.
+    Full,
+    /// An explicit symmetric link list over raw node ids.
+    Links(Vec<(u8, u8)>),
+}
+
+impl TopologySpec {
+    fn to_topology(&self) -> Topology {
+        match self {
+            TopologySpec::Full => Topology::full(),
+            TopologySpec::Links(pairs) => {
+                let pairs: Vec<(NodeId, NodeId)> = pairs
+                    .iter()
+                    .map(|(a, b)| (NodeId(*a), NodeId(*b)))
+                    .collect();
+                Topology::from_links(&pairs)
+            }
+        }
+    }
+}
+
+/// One cell of an experiment grid: everything needed to build and run a
+/// simulation, as plain (thread-shareable) data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Display name (also the key for looking results up in a report).
+    pub name: String,
+    /// The application(s) to run.
+    pub app: AppSpec,
+    /// The 802.15.4 channel every node's radio uses (11–26).
+    pub channel: u8,
+    /// Seed for the scenario's environment (the interferer's traffic
+    /// pattern) and — when [`Scenario::seed_nodes`] — the nodes' own RNGs.
+    pub seed: u64,
+    /// When true, node RNG seeds derive from `seed` (for seed sweeps); when
+    /// false, nodes keep their id-derived defaults, which makes a scenario
+    /// byte-compatible with the legacy sequential drivers.
+    pub seed_nodes: bool,
+    /// Simulated run length.
+    pub duration: SimDuration,
+    /// Connectivity between nodes.
+    pub topology: TopologySpec,
+}
+
+impl Scenario {
+    /// The Blink profiling scenario (one node, channel 26, no radio use).
+    pub fn blink(duration: SimDuration) -> Self {
+        Scenario {
+            name: format!("blink_{}s", duration.as_secs_f64()),
+            app: AppSpec::Blink,
+            channel: 26,
+            seed: 0,
+            seed_nodes: false,
+            duration,
+            topology: TopologySpec::Full,
+        }
+    }
+
+    /// The Figure 13 LPL scenario: a listener on `channel` under an 802.11b
+    /// access point transmitting `interference_duty` of the time.  The
+    /// default seed (7) reproduces the paper drivers byte-for-byte.
+    pub fn lpl(channel: u8, interference_duty: f64, duration: SimDuration) -> Self {
+        Scenario {
+            name: format!("lpl_ch{channel}"),
+            app: AppSpec::LplListener { interference_duty },
+            channel,
+            seed: PAPER_INTERFERENCE_SEED,
+            seed_nodes: false,
+            duration,
+            topology: TopologySpec::Full,
+        }
+    }
+
+    /// The Bounce scenario: nodes 1 and 4 exchanging packets.
+    pub fn bounce(duration: SimDuration) -> Self {
+        Scenario {
+            name: format!("bounce_{}s", duration.as_secs_f64()),
+            app: AppSpec::Bounce,
+            channel: 26,
+            seed: 0,
+            seed_nodes: false,
+            duration,
+            topology: TopologySpec::Full,
+        }
+    }
+
+    /// An idle single-node baseline.
+    pub fn idle(duration: SimDuration) -> Self {
+        Scenario {
+            name: format!("idle_{}s", duration.as_secs_f64()),
+            app: AppSpec::Idle,
+            channel: 26,
+            seed: 0,
+            seed_nodes: false,
+            duration,
+            topology: TopologySpec::Full,
+        }
+    }
+
+    /// Renames the scenario.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Makes `seed` a real sweep axis: it reseeds the environment *and* the
+    /// nodes' RNGs (backoff jitter, hold-time jitter).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.seed_nodes = true;
+        self
+    }
+
+    /// Replaces the connectivity topology.
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// The node ids this scenario instantiates, in insertion order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        match self.app {
+            AppSpec::Blink | AppSpec::LplListener { .. } | AppSpec::Idle => vec![NodeId(1)],
+            AppSpec::Bounce => vec![NodeId(1), NodeId(4)],
+        }
+    }
+
+    /// Applies the scenario's channel and (optionally) seed to a node
+    /// configuration.
+    fn tweak(&self, mut config: NodeConfig) -> NodeConfig {
+        config.radio_channel = self.channel;
+        if self.seed_nodes {
+            config.seed = self
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(config.node_id.as_u8() as u64 + 1);
+        }
+        config
+    }
+
+    /// Builds a ready-to-run simulation of this scenario.
+    pub fn build(&self) -> NetSim {
+        let mut net = NetSim::new();
+        match &self.app {
+            AppSpec::Blink => {
+                net.add_node(
+                    self.tweak(NodeConfig::new(NodeId(1))),
+                    Box::new(BlinkApp::new()),
+                );
+            }
+            AppSpec::LplListener { interference_duty } => {
+                net.add_node(
+                    self.tweak(lpl_node_config(NodeId(1), self.channel)),
+                    Box::new(LplListenerApp),
+                );
+                if *interference_duty > 0.0 {
+                    net.add_interferer(paper_interference(*interference_duty, self.seed));
+                }
+            }
+            AppSpec::Bounce => {
+                let quiet = |id: u8| NodeConfig {
+                    dco_calibration: false,
+                    ..NodeConfig::new(NodeId(id))
+                };
+                net.add_node(
+                    self.tweak(quiet(1)),
+                    Box::new(BounceApp::new(NodeId(4), true)),
+                );
+                net.add_node(
+                    self.tweak(quiet(4)),
+                    Box::new(BounceApp::new(NodeId(1), true)),
+                );
+            }
+            AppSpec::Idle => {
+                net.add_node(self.tweak(NodeConfig::new(NodeId(1))), Box::new(NullApp));
+            }
+        }
+        net.set_topology(self.topology.to_topology());
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_sets_match_app_specs() {
+        let d = SimDuration::from_secs(1);
+        assert_eq!(Scenario::blink(d).node_ids(), vec![NodeId(1)]);
+        assert_eq!(Scenario::bounce(d).node_ids(), vec![NodeId(1), NodeId(4)]);
+        let net = Scenario::bounce(d).build();
+        assert_eq!(net.node_count(), 2);
+        assert!(net.node(NodeId(4)).is_some());
+    }
+
+    #[test]
+    fn seeding_nodes_changes_their_configs() {
+        let d = SimDuration::from_secs(1);
+        let plain = Scenario::bounce(d).build();
+        let seeded = Scenario::bounce(d).with_seed(99).build();
+        let a = plain.node(NodeId(1)).unwrap().kernel().config().seed;
+        let b = seeded.node(NodeId(1)).unwrap().kernel().config().seed;
+        assert_ne!(a, b, "with_seed must reseed node RNGs");
+    }
+
+    #[test]
+    fn topology_spec_translates_links() {
+        let d = SimDuration::from_secs(1);
+        let net = Scenario::bounce(d)
+            .with_topology(TopologySpec::Links(vec![]))
+            .build();
+        assert!(!net.medium().topology().connected(NodeId(1), NodeId(4)));
+        let full = Scenario::bounce(d).build();
+        assert!(full.medium().topology().connected(NodeId(1), NodeId(4)));
+    }
+}

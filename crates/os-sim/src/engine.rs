@@ -12,6 +12,17 @@
 //! [`crate::world::QuietWorld`] is the paper's single-mote bench, N nodes in
 //! `net-sim`'s `Medium` are the multi-hop experiments, and future worlds
 //! (fleets, batched runs, alternative mediums) plug in the same way.
+//!
+//! # Scheduling
+//!
+//! The per-step "which node runs next?" pick is a lazy-invalidation binary
+//! heap keyed on each node's `next_event_time`: whenever a node's queue may
+//! have changed (it processed an event, it received a frame, it booted) a
+//! fresh `(time, index)` entry is pushed, and stale entries are discarded on
+//! pop by checking them against the node's *current* next-event time.  The
+//! pick is O(log N) amortized instead of the former O(N) scan per event,
+//! which is what makes 1000-node fleets feasible.  Ties are broken by node
+//! index, matching the old linear scan's `(time, index)` minimum exactly.
 
 use crate::app::Application;
 use crate::config::NodeConfig;
@@ -20,10 +31,48 @@ use crate::node::Node;
 use crate::world::World;
 use hw_model::{SimDuration, SimTime};
 use quanto_core::NodeId;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A heap entry: "node `idx` believed to have its next event at `time`".
+///
+/// Entries are hints, not obligations — a node is only run if its current
+/// next-event time still matches, and [`Engine::step_node`] always processes
+/// the node's *actual* earliest event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pending {
+    time: SimTime,
+    idx: usize,
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest time first,
+        // breaking ties by the smallest node index (the linear scan's
+        // `(time, index).min()` order).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// A global-time discrete-event scheduler over a set of nodes in a [`World`].
 pub struct Engine<W: World> {
     nodes: Vec<Node>,
+    /// `ids[i]` is the id of `nodes[i]`; kept alongside so the emission
+    /// fan-out does not rebuild the list on every transmission.
+    ids: Vec<NodeId>,
+    /// Node id → index in `nodes`, for O(1) packet delivery.
+    index: HashMap<NodeId, usize>,
+    /// Lazy-invalidation scheduling heap (see the module docs).
+    ready: BinaryHeap<Pending>,
     world: W,
 }
 
@@ -40,6 +89,9 @@ impl<W: World> Engine<W> {
     pub fn new(world: W) -> Self {
         Engine {
             nodes: Vec::new(),
+            ids: Vec::new(),
+            index: HashMap::new(),
+            ready: BinaryHeap::new(),
             world,
         }
     }
@@ -51,12 +103,15 @@ impl<W: World> Engine<W> {
     /// Panics if a node with the same id is already registered.
     pub fn add_node(&mut self, config: NodeConfig, app: Box<dyn Application>) -> NodeId {
         let id = config.node_id;
+        let idx = self.nodes.len();
         assert!(
-            !self.nodes.iter().any(|n| n.id() == id),
+            self.index.insert(id, idx).is_none(),
             "duplicate node id {id}"
         );
         let kernel = Kernel::new(config);
         self.nodes.push(Node::new(kernel, app));
+        self.ids.push(id);
+        self.refresh(idx);
         id
     }
 
@@ -72,7 +127,7 @@ impl<W: World> Engine<W> {
 
     /// Read-only access to one node.
     pub fn node(&self, id: NodeId) -> Option<&Node> {
-        self.nodes.iter().find(|n| n.id() == id)
+        self.index.get(&id).map(|&idx| &self.nodes[idx])
     }
 
     /// Read-only access to the world.
@@ -87,57 +142,82 @@ impl<W: World> Engine<W> {
 
     /// Boots every node (applications' `boot` handlers run at time zero).
     pub fn boot_all(&mut self) {
-        for node in &mut self.nodes {
-            node.boot();
+        for idx in 0..self.nodes.len() {
+            self.nodes[idx].boot();
+            self.refresh(idx);
         }
     }
 
     /// The time of the earliest pending event across all nodes, if any.
+    ///
+    /// This is an observational O(N) scan; the run loop itself uses the
+    /// scheduling heap.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.peek_earliest().map(|(t, _)| t)
+        self.nodes.iter().filter_map(Node::next_event_time).min()
     }
 
-    /// The earliest pending event's `(time, node index)`, if any.
-    fn peek_earliest(&self) -> Option<(SimTime, usize)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| n.next_event_time().map(|t| (t, i)))
-            .min()
+    /// Pushes a fresh heap entry for the node at `idx`, if it has events.
+    fn refresh(&mut self, idx: usize) {
+        if let Some(time) = self.nodes[idx].next_event_time() {
+            self.ready.push(Pending { time, idx });
+        }
+    }
+
+    /// Pops the earliest valid `(time, node index)` pair, discarding stale
+    /// heap entries, or `None` when no node has pending events.
+    fn pop_earliest(&mut self) -> Option<(SimTime, usize)> {
+        while let Some(&Pending { time, idx }) = self.ready.peek() {
+            if self.nodes[idx].next_event_time() == Some(time) {
+                self.ready.pop();
+                return Some((time, idx));
+            }
+            // Stale: the node's queue moved on since this entry was pushed
+            // (every queue mutation pushes a fresh entry, so the real next
+            // event is represented elsewhere in the heap).
+            self.ready.pop();
+        }
+        None
     }
 
     /// Processes the single earliest pending event in the whole simulation
     /// and fans its emissions out through the world.  Returns the event's
     /// effective time, or `None` when no node has pending events.
     pub fn step(&mut self) -> Option<SimTime> {
-        let (_, idx) = self.peek_earliest()?;
-        self.step_node(idx)
+        self.step_traced().map(|(time, _)| time)
+    }
+
+    /// Like [`Engine::step`], but also reports which node ran — useful for
+    /// schedulers, tracing and the scheduler-equivalence tests.
+    pub fn step_traced(&mut self) -> Option<(SimTime, NodeId)> {
+        let (_, idx) = self.pop_earliest()?;
+        let time = self.step_node(idx)?;
+        Some((time, self.ids[idx]))
     }
 
     /// Processes the next event of the node at `idx` and fans its emissions
     /// out through the world.
     fn step_node(&mut self, idx: usize) -> Option<SimTime> {
         let (time, emissions) = self.nodes[idx].process_next(&mut self.world)?;
-        if !emissions.is_empty() {
-            let ids: Vec<NodeId> = self.nodes.iter().map(Node::id).collect();
-            for emission in emissions {
-                for (to, sfd) in self.world.transmit(&emission, &ids) {
-                    if let Some(node) = self.nodes.iter_mut().find(|n| n.id() == to) {
-                        node.deliver_packet(emission.packet.clone(), sfd);
-                    }
+        for emission in emissions {
+            for (to, sfd) in self.world.transmit(&emission, &self.ids) {
+                if let Some(&to_idx) = self.index.get(&to) {
+                    self.nodes[to_idx].deliver_packet(emission.packet.clone(), sfd);
+                    self.refresh(to_idx);
                 }
             }
         }
+        self.refresh(idx);
         Some(time)
     }
 
     /// Advances the whole simulation until `until` (inclusive).
     pub fn run_until(&mut self, until: SimTime) {
         self.boot_all();
-        // One scan per event: the (time, node) pick doubles as the bound
-        // check and the dispatch target.
-        while let Some((t, idx)) = self.peek_earliest() {
-            if t > until {
+        while let Some((time, idx)) = self.pop_earliest() {
+            if time > until {
+                // Not consumed: put the (still valid) entry back for a later
+                // `run_until` with a larger bound.
+                self.ready.push(Pending { time, idx });
                 break;
             }
             self.step_node(idx);
@@ -158,12 +238,30 @@ impl<W: World> Engine<W> {
             .map(|n| (n.id(), n.finish(end)))
             .collect()
     }
+
+    /// Test-only reference scheduler: picks the next node by the original
+    /// linear scan (`(time, index).min()`) instead of the heap.  The
+    /// equivalence tests step one engine with each strategy and require
+    /// identical `(time, node)` sequences.
+    #[cfg(test)]
+    fn step_linear_traced(&mut self) -> Option<(SimTime, NodeId)> {
+        let (_, idx) = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.next_event_time().map(|t| (t, i)))
+            .min()?;
+        let time = self.step_node(idx)?;
+        Some((time, self.ids[idx]))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::app::NullApp;
+    use crate::event::TimerId;
+    use crate::kernel::OsHandle;
     use crate::world::{Emission, QuietWorld};
 
     #[test]
@@ -196,6 +294,18 @@ mod tests {
         let mut engine = Engine::new(QuietWorld);
         engine.add_node(NodeConfig::new(NodeId(3)), Box::new(NullApp));
         engine.add_node(NodeConfig::new(NodeId(3)), Box::new(NullApp));
+    }
+
+    #[test]
+    fn nodes_are_found_by_id_after_many_insertions() {
+        let mut engine = Engine::new(QuietWorld);
+        for id in (1..=32u8).rev() {
+            engine.add_node(NodeConfig::new(NodeId(id)), Box::new(NullApp));
+        }
+        for id in 1..=32u8 {
+            assert_eq!(engine.node(NodeId(id)).map(Node::id), Some(NodeId(id)));
+        }
+        assert!(engine.node(NodeId(33)).is_none());
     }
 
     /// A world that records transmissions and echoes every frame back to the
@@ -248,5 +358,138 @@ mod tests {
         );
         engine.run_until(SimTime::from_secs(1));
         assert_eq!(engine.world().heard, 1, "the frame reached the world");
+    }
+
+    #[test]
+    fn run_until_resumes_across_bounds() {
+        // The heap entry pushed back when the bound is hit must still be
+        // consumed by a later run_until with a larger bound.
+        let build = || {
+            let mut e = Engine::new(QuietWorld);
+            e.add_node(NodeConfig::new(NodeId(1)), Box::new(NullApp));
+            e.add_node(NodeConfig::new(NodeId(2)), Box::new(NullApp));
+            e
+        };
+        let mut split = build();
+        split.run_until(SimTime::from_millis(400));
+        split.run_until(SimTime::from_secs(2));
+        let mut whole = build();
+        whole.run_until(SimTime::from_secs(2));
+        let a = split.finish(SimTime::from_secs(2));
+        let b = whole.finish(SimTime::from_secs(2));
+        for ((id_a, out_a), (id_b, out_b)) in a.iter().zip(b.iter()) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(out_a.log, out_b.log, "split run diverged on node {id_a}");
+        }
+    }
+
+    /// A deterministic SplitMix64 stream for the randomized schedules below.
+    struct Mix(u64);
+
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, bound: u64) -> u64 {
+            self.next() % bound.max(1)
+        }
+    }
+
+    /// An app that arms a pseudo-random mix of one-shot and periodic timers
+    /// at boot and occasionally re-arms from handlers (via the node's own
+    /// seeded RNG, so two identically-built engines behave identically).
+    struct ChatterApp {
+        /// `(period_ms, repeating)` timers armed at boot.  Periods are drawn
+        /// from a small set of common divisors so that cross-node ties at
+        /// identical times are frequent, exercising the tie-break.
+        timers: Vec<(u64, bool)>,
+    }
+
+    impl Application for ChatterApp {
+        fn boot(&mut self, os: &mut OsHandle) {
+            for (ms, repeating) in &self.timers {
+                os.start_timer(SimDuration::from_millis(*ms), *repeating);
+            }
+        }
+
+        fn timer_fired(&mut self, _t: TimerId, os: &mut OsHandle) {
+            if os.random(4) == 0 {
+                let extra = 1 + os.random(40) as u64;
+                os.start_timer(SimDuration::from_millis(extra), false);
+            }
+        }
+    }
+
+    fn random_engine(seed: u64) -> Engine<QuietWorld> {
+        let mut mix = Mix(seed);
+        let nodes = 2 + mix.below(5) as u8;
+        let mut engine = Engine::new(QuietWorld);
+        for id in 1..=nodes {
+            let mut timers = Vec::new();
+            for _ in 0..(1 + mix.below(4)) {
+                // Multiples of 5 ms collide across nodes constantly.
+                let period = 5 * (1 + mix.below(12));
+                timers.push((period, mix.below(2) == 0));
+            }
+            engine.add_node(
+                NodeConfig {
+                    dco_calibration: mix.below(2) == 0,
+                    ..NodeConfig::new(NodeId(id))
+                },
+                Box::new(ChatterApp { timers }),
+            );
+        }
+        engine
+    }
+
+    /// Property: across randomized schedules, the heap scheduler visits the
+    /// exact `(time, node)` sequence of the original linear scan, including
+    /// ties broken by node index.
+    #[test]
+    fn heap_scheduler_matches_linear_scan_semantics() {
+        for seed in 0..24u64 {
+            let mut heap_engine = random_engine(seed);
+            let mut linear_engine = random_engine(seed);
+            heap_engine.boot_all();
+            linear_engine.boot_all();
+            for step in 0..600 {
+                let a = heap_engine.step_traced();
+                let b = linear_engine.step_linear_traced();
+                assert_eq!(
+                    a, b,
+                    "seed {seed}: schedulers diverged at step {step} (heap {a:?} vs linear {b:?})"
+                );
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The heap never starves a node whose next event moved *earlier* after
+    /// a delivery: a frame delivered mid-run must be seen before later
+    /// timers.  (EchoWorld loops frames back to the other node.)
+    #[test]
+    fn delivery_reschedules_the_receiver() {
+        let mut engine = Engine::new(EchoWorld { heard: 0 });
+        let cfg = |id: u8| NodeConfig {
+            dco_calibration: false,
+            ..NodeConfig::new(NodeId(id))
+        };
+        engine.add_node(cfg(1), Box::new(SendOnce));
+        engine.add_node(cfg(2), Box::new(NullApp));
+        engine.run_until(SimTime::from_secs(1));
+        assert_eq!(engine.world().heard, 1);
+        // Node 2's radio was off, so the frame was dropped — but its SFD
+        // event was scheduled mid-run and must have been consumed (the run
+        // ends with an empty queue, not a stranded delivery).
+        let stats = engine.node(NodeId(2)).unwrap().kernel().radio_stats();
+        assert_eq!(stats.packets_sent, 0);
+        assert_eq!(engine.next_event_time(), None);
     }
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Runs the whole bench suite plus the fleet smoke sweep and compares the
+# measured medians against the checked-in BENCH_BASELINE.json (normalized by
+# the calibration/spin bench, >25 % over normalized baseline fails).
+#
+#   scripts/check_bench.sh            # compare against the baseline
+#   scripts/check_bench.sh --update   # re-record the baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+cargo bench | tee "$out"
+cargo run --release -q -p quanto-bench --bin fleet_sweep -- --smoke | tee -a "$out"
+cargo run --release -q -p quanto-bench --bin bench_check -- BENCH_BASELINE.json "$out" "$@"

@@ -12,8 +12,9 @@
 //! * [`os_sim`] — the TinyOS-like embedded OS simulator (tasks, timers,
 //!   arbiters, drivers, Active Messages) instrumented with Quanto,
 //! * [`net_sim`] — the multi-node radio medium with 802.11 interference,
-//! * [`analysis`] — the offline regression, breakdowns and reports, and
-//! * [`quanto_apps`] — the paper's applications and experiment drivers.
+//! * [`analysis`] — the offline regression, breakdowns and reports,
+//! * [`quanto_apps`] — the paper's applications and experiment drivers, and
+//! * [`quanto_fleet`] — declarative scenarios and the parallel sweep runner.
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@ pub use net_sim;
 pub use os_sim;
 pub use quanto_apps;
 pub use quanto_core;
+pub use quanto_fleet;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
@@ -64,4 +66,5 @@ pub mod prelude {
     pub use quanto_core::{
         ActivityId, ActivityLabel, DeviceId, LogEntry, NodeId, QuantoRuntime, Stamp,
     };
+    pub use quanto_fleet::{AppSpec, FleetReport, FleetRunner, Scenario, TopologySpec};
 }
