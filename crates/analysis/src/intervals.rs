@@ -30,22 +30,11 @@ pub struct UnwrappedEntry {
 ///
 /// Entries must be in the order they were logged (which the logger
 /// guarantees); each backwards jump in the 32-bit value is interpreted as one
-/// wrap of the counter.
+/// wrap of the counter.  This is the batch wrapper over the incremental
+/// [`crate::streaming::TimeUnwrapper`].
 pub fn unwrap_times(entries: &[LogEntry]) -> Vec<UnwrappedEntry> {
-    let mut out = Vec::with_capacity(entries.len());
-    let mut high: u64 = 0;
-    let mut prev: u32 = 0;
-    for (i, e) in entries.iter().enumerate() {
-        if i > 0 && e.time_us < prev {
-            high += 1 << 32;
-        }
-        prev = e.time_us;
-        out.push(UnwrappedEntry {
-            time: SimTime::from_micros(high + e.time_us as u64),
-            entry: *e,
-        });
-    }
-    out
+    let mut unwrapper = crate::streaming::TimeUnwrapper::new();
+    entries.iter().map(|e| unwrapper.unwrap_entry(e)).collect()
 }
 
 /// A span during which the set of active power states was constant.
@@ -74,54 +63,19 @@ impl PowerInterval {
 /// state and with the iCount counter at zero.  If `final_stamp` is given it
 /// closes the last interval (the simulator records one at the end of a run);
 /// otherwise the span after the final power-state entry is dropped.
+///
+/// This is the batch wrapper over the incremental
+/// [`crate::streaming::IntervalBuilder`], which accepts the log in chunks
+/// and emits intervals eagerly; use the builder when the log is too large
+/// (or too long-lived) to hold as one slice.
 pub fn power_intervals(
     entries: &[LogEntry],
     catalog: &Catalog,
     final_stamp: Option<Stamp>,
 ) -> Vec<PowerInterval> {
-    let unwrapped = unwrap_times(entries);
-    let mut states: Vec<StateIndex> = catalog.sinks().map(|(_, s)| s.default_state).collect();
-    let mut intervals = Vec::new();
-    let mut cursor_time = SimTime::ZERO;
-    let mut cursor_counts: u32 = 0;
-
-    let mut push = |start: SimTime, end: SimTime, counts: u32, states: &[StateIndex]| {
-        if end > start {
-            intervals.push(PowerInterval {
-                start,
-                end,
-                counts,
-                states: states.to_vec(),
-            });
-        }
-    };
-
-    for ue in unwrapped
-        .iter()
-        .filter(|u| u.entry.kind == EntryKind::PowerState)
-    {
-        let sink = ue.entry.sink().expect("power-state entry has a sink");
-        push(
-            cursor_time,
-            ue.time,
-            ue.entry.icount.wrapping_sub(cursor_counts),
-            &states,
-        );
-        if sink.as_usize() < states.len() {
-            states[sink.as_usize()] = StateIndex(ue.entry.value as u8);
-        }
-        cursor_time = ue.time;
-        cursor_counts = ue.entry.icount;
-    }
-    if let Some(end) = final_stamp {
-        push(
-            cursor_time,
-            end.time,
-            end.icount.wrapping_sub(cursor_counts),
-            &states,
-        );
-    }
-    intervals
+    let mut builder = crate::streaming::IntervalBuilder::new(catalog);
+    builder.push_chunk(entries);
+    builder.finish(final_stamp)
 }
 
 /// A span during which one device worked on behalf of one activity.
@@ -164,55 +118,9 @@ pub fn activity_segments(
     resolve_bindings: bool,
     final_stamp: Option<Stamp>,
 ) -> Vec<ActivitySegment> {
-    let unwrapped = unwrap_times(entries);
-    let mut segments: Vec<ActivitySegment> = Vec::new();
-    let mut current = ActivityLabel::IDLE;
-    let mut seg_start = SimTime::ZERO;
-    let mut seg_counts: u32 = 0;
-
-    for ue in unwrapped.iter().filter(|u| {
-        u.entry.device() == Some(device)
-            && matches!(
-                u.entry.kind,
-                EntryKind::ActivityChange | EntryKind::ActivityBind
-            )
-    }) {
-        let new_label = ue.entry.label().expect("activity entry has a label");
-        if ue.time > seg_start {
-            segments.push(ActivitySegment {
-                start: seg_start,
-                end: ue.time,
-                label: current,
-                counts: ue.entry.icount.wrapping_sub(seg_counts),
-            });
-        }
-        if resolve_bindings && ue.entry.kind == EntryKind::ActivityBind {
-            // Charge the just-finished run of `current`-labelled segments to
-            // the activity it is being bound to.
-            let proxy = current;
-            for seg in segments.iter_mut().rev() {
-                if seg.label == proxy {
-                    seg.label = new_label;
-                } else {
-                    break;
-                }
-            }
-        }
-        current = new_label;
-        seg_start = ue.time;
-        seg_counts = ue.entry.icount;
-    }
-    if let Some(end) = final_stamp {
-        if end.time > seg_start {
-            segments.push(ActivitySegment {
-                start: seg_start,
-                end: end.time,
-                label: current,
-                counts: end.icount.wrapping_sub(seg_counts),
-            });
-        }
-    }
-    segments
+    let mut builder = crate::streaming::SegmentBuilder::new(device, resolve_bindings);
+    builder.push_chunk(entries);
+    builder.finish(final_stamp)
 }
 
 /// A span during which a multi-activity device served a fixed set of
@@ -247,44 +155,9 @@ pub fn multi_segments(
     device: DeviceId,
     final_stamp: Option<Stamp>,
 ) -> Vec<MultiSegment> {
-    let unwrapped = unwrap_times(entries);
-    let mut segments = Vec::new();
-    let mut current: Vec<ActivityLabel> = Vec::new();
-    let mut seg_start = SimTime::ZERO;
-
-    for ue in unwrapped.iter().filter(|u| {
-        u.entry.device() == Some(device)
-            && matches!(u.entry.kind, EntryKind::MultiAdd | EntryKind::MultiRemove)
-    }) {
-        let label = ue.entry.label().expect("multi entry has a label");
-        if ue.time > seg_start {
-            segments.push(MultiSegment {
-                start: seg_start,
-                end: ue.time,
-                labels: current.clone(),
-            });
-        }
-        match ue.entry.kind {
-            EntryKind::MultiAdd => {
-                if !current.contains(&label) {
-                    current.push(label);
-                }
-            }
-            EntryKind::MultiRemove => current.retain(|l| *l != label),
-            _ => unreachable!("filtered to multi entries"),
-        }
-        seg_start = ue.time;
-    }
-    if let Some(end) = final_stamp {
-        if end.time > seg_start {
-            segments.push(MultiSegment {
-                start: seg_start,
-                end: end.time,
-                labels: current,
-            });
-        }
-    }
-    segments
+    let mut builder = crate::streaming::MultiSegmentBuilder::new(device);
+    builder.push_chunk(entries);
+    builder.finish(final_stamp)
 }
 
 /// Returns, for each device id present in the log, whether it ever appears in

@@ -9,6 +9,8 @@
 //! * [`matrix`] — the small dense linear algebra the estimator needs,
 //! * [`intervals`] — log parsing: power intervals, activity segments,
 //!   proxy-binding resolution, timestamp unwrapping,
+//! * [`streaming`] — the incremental (chunk-wise) builders behind
+//!   [`intervals`], for consumers that cannot hold whole logs,
 //! * [`wls`] — the weighted multivariate least-squares regression of
 //!   Section 2.5,
 //! * [`breakdown`] — time per (device, activity), energy per hardware
@@ -26,6 +28,7 @@ pub mod intervals;
 pub mod matrix;
 pub mod reconstruct;
 pub mod report;
+pub mod streaming;
 pub mod wls;
 
 pub use breakdown::{breakdown, Breakdown, BreakdownConfig};
@@ -39,7 +42,8 @@ pub use intervals::{
 pub use matrix::{weighted_least_squares, Matrix, MatrixError};
 pub use reconstruct::{reconstruct_power, reconstruction_energy_error, StackedStep};
 pub use report::{pct, si, Align, TextTable};
+pub use streaming::{IntervalBuilder, MultiSegmentBuilder, SegmentBuilder, TimeUnwrapper};
 pub use wls::{
-    pool_intervals, regress, regress_intervals, Observation, RegressionError, RegressionOptions,
-    RegressionResult,
+    pool_intervals, regress, regress_intervals, Observation, ObservationPool, RegressionError,
+    RegressionOptions, RegressionResult,
 };

@@ -46,24 +46,77 @@ impl Observation {
     }
 }
 
-/// Pools power intervals by their state combination (the grouping step of
-/// Section 2.5) and converts pulse counts into nominal energy.
-pub fn pool_intervals(intervals: &[PowerInterval], energy_per_count: Energy) -> Vec<Observation> {
-    let mut grouped: BTreeMap<Vec<u8>, (SimDuration, u64)> = BTreeMap::new();
-    for iv in intervals {
-        let key: Vec<u8> = iv.states.iter().map(|s| s.as_u8()).collect();
-        let slot = grouped.entry(key).or_insert((SimDuration::ZERO, 0));
-        slot.0 += iv.duration();
-        slot.1 += iv.counts as u64;
+/// Incrementally pools power intervals by their state combination (the
+/// grouping step of Section 2.5).  Because pooling sums integer times and
+/// pulse counts per *distinct state combination*, its memory is bounded by
+/// the number of combinations the platform can express — not by the number
+/// of intervals — which is what lets a streaming consumer regress a
+/// week-long log without holding it.
+#[derive(Debug, Clone, Default)]
+pub struct ObservationPool {
+    grouped: BTreeMap<Vec<u8>, (SimDuration, u64)>,
+}
+
+impl ObservationPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ObservationPool::default()
     }
-    grouped
-        .into_iter()
-        .map(|(key, (time, counts))| Observation {
-            states: key.into_iter().map(StateIndex).collect(),
-            time,
-            energy: energy_per_count * counts as f64,
-        })
-        .collect()
+
+    /// Folds one interval into the pool.
+    pub fn add(&mut self, interval: &PowerInterval) {
+        let key: Vec<u8> = interval.states.iter().map(|s| s.as_u8()).collect();
+        let slot = self.grouped.entry(key).or_insert((SimDuration::ZERO, 0));
+        slot.0 += interval.duration();
+        slot.1 += interval.counts as u64;
+    }
+
+    /// Number of distinct state combinations seen.
+    pub fn len(&self) -> usize {
+        self.grouped.len()
+    }
+
+    /// Whether any interval has been pooled.
+    pub fn is_empty(&self) -> bool {
+        self.grouped.is_empty()
+    }
+
+    /// Converts the pooled sums into regression observations, pricing pulse
+    /// counts at `energy_per_count`.
+    pub fn observations(&self, energy_per_count: Energy) -> Vec<Observation> {
+        self.grouped
+            .iter()
+            .map(|(key, (time, counts))| Observation {
+                states: key.iter().copied().map(StateIndex).collect(),
+                time: *time,
+                energy: energy_per_count * *counts as f64,
+            })
+            .collect()
+    }
+
+    /// Like [`ObservationPool::observations`], but consumes the pool and
+    /// reuses its key allocations — the batch path.
+    pub fn into_observations(self, energy_per_count: Energy) -> Vec<Observation> {
+        self.grouped
+            .into_iter()
+            .map(|(key, (time, counts))| Observation {
+                states: key.into_iter().map(StateIndex).collect(),
+                time,
+                energy: energy_per_count * counts as f64,
+            })
+            .collect()
+    }
+}
+
+/// Pools power intervals by their state combination (the grouping step of
+/// Section 2.5) and converts pulse counts into nominal energy.  Batch
+/// wrapper over [`ObservationPool`].
+pub fn pool_intervals(intervals: &[PowerInterval], energy_per_count: Energy) -> Vec<Observation> {
+    let mut pool = ObservationPool::new();
+    for iv in intervals {
+        pool.add(iv);
+    }
+    pool.into_observations(energy_per_count)
 }
 
 /// Options controlling the regression.

@@ -15,7 +15,9 @@ fn main() {
         "Figure 13 — 802.11 interference on low-power listening",
         "Section 4.3",
     );
+    // retain_raw: the LPL analysis below re-reads the raw logs.
     let mut results = FleetRunner::host_parallel()
+        .retain_raw()
         .run(scenarios::lpl_comparison(duration))
         .into_results();
     let ch17 = scenarios::into_lpl_run(results.remove(0));

@@ -15,7 +15,10 @@ fn main() {
     );
     // A one-scenario fleet batch: the same declarative spec the sweeps use,
     // byte-identical to the old sequential run_lpl_experiment call.
-    let report = FleetRunner::sequential().run(vec![Scenario::lpl(17, 0.18, duration)]);
+    // retain_raw: the wake-up classification re-reads the raw log.
+    let report = FleetRunner::sequential()
+        .retain_raw()
+        .run(vec![Scenario::lpl(17, 0.18, duration)]);
     let run = scenarios::into_lpl_run(report.into_results().remove(0));
     let ctx = &run.context;
     let out = &run.output;

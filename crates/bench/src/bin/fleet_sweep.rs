@@ -2,18 +2,24 @@
 //!
 //! Runs a seed × channel LPL grid (plus a Blink profile and a Bounce
 //! exchange) through `quanto-fleet`'s `FleetRunner`, sharded across worker
-//! threads, and prints the merged per-scenario summary table.
+//! threads.  Progress streams over a channel as scenarios merge — partial
+//! results print mid-sweep — and the merged per-scenario summary table (or,
+//! with `--json`, a machine-readable JSON document) prints at the end.
 //!
 //! ```text
-//! fleet_sweep [--seconds N] [--threads N] [--seeds N] [--smoke]
+//! fleet_sweep [--seconds N] [--threads N] [--seeds N] [--json] [--smoke]
 //! ```
 //!
 //! `--smoke` is the CI job: it runs the grid twice on 1 thread and twice on
 //! 4, verifies all four reports are byte-identical (the determinism contract
 //! of the fleet subsystem), prints the best wall-clock per thread count as
-//! bench-compatible summary lines for `bench_check`, and — on hosts with
-//! more than one CPU — fails unless the 4-thread run shows at least the
-//! required speedup (default 1.5×, `--min-speedup X` to override).
+//! bench-compatible summary lines for `bench_check`, on hosts with more than
+//! one CPU fails unless the 4-thread run shows at least the required speedup
+//! (default 1.5×, `--min-speedup X` to override), and finally runs a
+//! 64-scenario batch through the summarize-and-drop path asserting the peak
+//! number of raw log entries held at once stays under a fixed fraction of
+//! the batch — the gate that catches accidental re-buffering regressions in
+//! the streaming pipeline.
 //!
 //! Note on the baseline: the `fleet/sweep_smoke_t4` wall-clock depends on
 //! the recording host's core count, which the single-core `calibration/spin`
@@ -23,8 +29,9 @@
 
 use hw_model::SimDuration;
 use quanto_bench::baseline::bench_line;
-use quanto_fleet::{scenarios, FleetRunner, Scenario};
+use quanto_fleet::{scenarios, FleetProgress, FleetRunner, Scenario};
 use std::process::ExitCode;
+use std::sync::mpsc;
 use std::time::Duration;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -70,6 +77,39 @@ fn run_timed(threads: usize, batch: Vec<Scenario>) -> (u64, Duration, String) {
     (report.digest(), report.wall_clock, report.summary_table())
 }
 
+/// The streaming-retention gate: a 64-scenario batch through the default
+/// summarize-and-drop path must never hold more than a quarter of its raw
+/// entries at once (≈ 16 scenarios' worth — generous next to the real
+/// out-of-order window of ~4, but far below the 64 a re-buffering
+/// regression would retain).
+fn smoke_retention_gate() -> Result<(), String> {
+    let seeds: Vec<u64> = (1..=32).collect();
+    let batch = scenarios::lpl_grid(&seeds, &[17, 26], 0.18, SimDuration::from_secs(60));
+    assert_eq!(batch.len(), 64);
+    let report = FleetRunner::new(4).run(batch);
+    let total = report.total_log_entries();
+    let peak = report.peak_entries_held();
+    println!(
+        "Retention: 64-scenario batch produced {total} raw entries, peak held {peak} \
+         ({:.1} %)",
+        100.0 * peak as f64 / total.max(1) as f64
+    );
+    if report.results.iter().any(|r| r.has_raw()) {
+        return Err("raw NodeRunOutput retained after merge without retain_raw()".into());
+    }
+    if total == 0 {
+        return Err("retention gate batch produced no log entries".into());
+    }
+    let bound = total / 4;
+    if peak > bound {
+        return Err(format!(
+            "peak retained entries {peak} exceeds the fixed bound {bound} \
+             (total {total}) — is something re-buffering the sweep?"
+        ));
+    }
+    Ok(())
+}
+
 fn smoke(min_speedup: f64) -> ExitCode {
     let batch = smoke_grid();
     println!("Smoke grid: {} scenarios", batch.len());
@@ -109,12 +149,15 @@ fn smoke(min_speedup: f64) -> ExitCode {
         .unwrap_or(1);
     if cores < 2 {
         println!("(single-CPU host: speedup threshold not enforced, determinism was)");
-        return ExitCode::SUCCESS;
-    }
-    if speedup < min_speedup {
+    } else if speedup < min_speedup {
         eprintln!(
             "fleet_sweep: SPEEDUP FAILURE — {speedup:.2}x < required {min_speedup:.2}x on a {cores}-CPU host"
         );
+        return ExitCode::FAILURE;
+    }
+
+    if let Err(why) = smoke_retention_gate() {
+        eprintln!("fleet_sweep: RETENTION FAILURE — {why}");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -126,9 +169,13 @@ fn main() -> ExitCode {
     let min_speedup: f64 = arg_value(&args, "--min-speedup")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.5);
+    let json = args.iter().any(|a| a == "--json");
 
     if args.iter().any(|a| a == "--smoke") {
-        quanto_bench::header("fleet_sweep --smoke", "determinism + speedup gate");
+        quanto_bench::header(
+            "fleet_sweep --smoke",
+            "determinism + speedup + retention gate",
+        );
         return smoke(min_speedup);
     }
 
@@ -139,23 +186,66 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| FleetRunner::host_parallel().threads());
 
-    quanto_bench::header(
-        "Fleet sweep — seed × channel grid over the shared engine",
-        "ROADMAP: parallel multi-node runs",
-    );
+    if !json {
+        quanto_bench::header(
+            "Fleet sweep — seed × channel grid over the shared engine",
+            "ROADMAP: parallel multi-node runs, streamed summaries",
+        );
+    }
     let batch = grid(seeds, duration);
-    println!(
-        "{} scenarios ({} LPL + blink + bounce), {} worker thread(s), {:.0} s simulated each",
-        batch.len(),
-        batch.len() - 2,
-        threads,
-        duration.as_secs_f64()
-    );
-    let report = FleetRunner::new(threads).run(batch);
-    println!("{}", report.summary_table());
-    println!(
-        "Batch digest {:#018x} — identical for any --threads value.",
-        report.digest()
-    );
+    if !json {
+        println!(
+            "{} scenarios ({} LPL + blink + bounce), {} worker thread(s), {:.0} s simulated each",
+            batch.len(),
+            batch.len() - 2,
+            threads,
+            duration.as_secs_f64()
+        );
+    }
+
+    // Partial results stream over a channel while the sweep runs; a printer
+    // thread drains it so progress appears as scenarios merge, not at the
+    // end.
+    let (tx, rx) = mpsc::channel::<FleetProgress>();
+    let printer = std::thread::spawn(move || {
+        for p in rx {
+            if json {
+                println!("{}", p.to_json());
+            } else {
+                let summary = p
+                    .summaries
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "node {}: {:.3} mW, {} entries",
+                            s.node,
+                            s.average_power.as_milli_watts(),
+                            s.log_entries
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                println!("[{}/{}] {} — {summary}", p.completed, p.total, p.name);
+            }
+        }
+    });
+    let report = FleetRunner::new(threads).run_to_channel(batch, tx);
+    printer.join().expect("progress printer thread");
+
+    if json {
+        println!("{}", report.summary_json());
+    } else {
+        println!("{}", report.summary_table());
+        println!(
+            "Batch digest {:#018x} — identical for any --threads value.",
+            report.digest()
+        );
+        println!(
+            "Raw entries: {} total, peak held {} (summarize-and-drop keeps the sweep \
+             memory-bounded).",
+            report.total_log_entries(),
+            report.peak_entries_held()
+        );
+    }
     ExitCode::SUCCESS
 }

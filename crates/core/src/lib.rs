@@ -10,9 +10,11 @@
 //!    *activities* are the resource principal; labels are propagated across
 //!    devices ("painting" them) and across nodes (inside packets), with proxy
 //!    activities standing in until an interrupt's real activity is known.
-//! 3. **Cheap logging** ([`log`], [`logger`], [`cost`]): every change is
-//!    recorded as a 12-byte entry containing the local time and the iCount
-//!    energy reading, at a cost of ~102 CPU cycles per sample.
+//! 3. **Cheap logging** ([`log`], [`logger`], [`cost`], [`sink`]): every
+//!    change is recorded as a 12-byte entry containing the local time and the
+//!    iCount energy reading, at a cost of ~102 CPU cycles per sample; the
+//!    asynchronous half streams drained chunks through the [`sink::LogSink`]
+//!    seam so host-side consumers need not buffer whole logs.
 //! 4. **The runtime** ([`runtime`]): the per-node component that ties the
 //!    three together and that the instrumented OS calls into.
 //!
@@ -28,6 +30,7 @@ pub mod log;
 pub mod logger;
 pub mod power_state;
 pub mod runtime;
+pub mod sink;
 
 pub use activity::{ActivityId, ActivityKind, ActivityLabel, ActivityRegistry, NodeId};
 pub use cost::{CostModel, CostStats};
@@ -38,3 +41,4 @@ pub use power_state::{PowerStateTable, PowerStateTrack, PowerStateValue};
 pub use runtime::{
     AccountingMode, OnlineCounters, QuantoRuntime, RuntimeConfig, Stamp, TrackListener,
 };
+pub use sink::{CountingSink, LogSink, VecSink};

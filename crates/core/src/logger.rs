@@ -7,9 +7,16 @@
 //! low-priority task that drains it continuously to an external port.
 //!
 //! The simulated logger models the same three policies and keeps the
-//! statistics the cost analysis (Table 4, Section 4.4) needs.
+//! statistics the cost analysis (Table 4, Section 4.4) needs.  The
+//! asynchronous half is the [`LogSink`] seam: with a sink attached, every
+//! `Flush`-policy drain hands the full buffer to the sink as one chunk and
+//! the logger's own memory stays bounded by its capacity; without one, the
+//! drained entries accumulate host-side in `drained` (the legacy batch
+//! behaviour the analysis wrappers still rely on).
 
 use crate::log::{LogEntry, ENTRY_SIZE_BYTES};
+use crate::sink::LogSink;
+use std::fmt;
 
 /// What to do when the RAM buffer fills up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,19 +33,38 @@ pub enum OverflowPolicy {
 }
 
 /// Fixed-capacity in-RAM event log with overflow statistics.
-#[derive(Debug, Clone)]
 pub struct RamLogger {
     capacity: usize,
     policy: OverflowPolicy,
     buffer: Vec<LogEntry>,
-    /// Entries already moved out of the RAM buffer (Flush policy).
+    /// Entries already moved out of the RAM buffer (Flush policy) but still
+    /// held host-side because no sink is attached.
     drained: Vec<LogEntry>,
+    /// Streaming consumer of drained chunks; when attached, `Flush` drains
+    /// and end-of-run takes go through it instead of growing `drained`.
+    sink: Option<Box<dyn LogSink>>,
+    /// Entries that left the logger through a sink (attached or explicit).
+    flushed: u64,
     /// Entries lost to overflow (Stop) or overwritten (Wrap).
     dropped: u64,
     /// Total entries ever offered to the logger.
     offered: u64,
     /// Number of times the buffer filled up.
     overflows: u64,
+}
+
+impl fmt::Debug for RamLogger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RamLogger")
+            .field("capacity", &self.capacity)
+            .field("policy", &self.policy)
+            .field("buffered", &self.buffer.len())
+            .field("drained", &self.drained.len())
+            .field("sink", &self.sink.is_some())
+            .field("flushed", &self.flushed)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
 }
 
 impl RamLogger {
@@ -57,6 +83,8 @@ impl RamLogger {
             policy,
             buffer: Vec::with_capacity(capacity),
             drained: Vec::new(),
+            sink: None,
+            flushed: 0,
             dropped: 0,
             offered: 0,
             overflows: 0,
@@ -84,6 +112,29 @@ impl RamLogger {
         self.policy
     }
 
+    /// Attaches the streaming consumer of drained chunks.  Entries already
+    /// sitting in `drained` are handed to the sink first, so the sink sees
+    /// every surviving entry exactly once and in order.
+    pub fn set_sink(&mut self, mut sink: Box<dyn LogSink>) {
+        if !self.drained.is_empty() {
+            sink.accept(&self.drained);
+            self.flushed += self.drained.len() as u64;
+            self.drained.clear();
+        }
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the sink, if one was attached.  Entries flushed
+    /// so far stay wherever the sink put them.
+    pub fn take_sink(&mut self) -> Option<Box<dyn LogSink>> {
+        self.sink.take()
+    }
+
+    /// Whether a streaming sink is attached.
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
     /// Appends an entry, applying the overflow policy if the buffer is full.
     ///
     /// Returns `true` if the entry was stored (possibly evicting another),
@@ -107,7 +158,13 @@ impl RamLogger {
                 true
             }
             OverflowPolicy::Flush => {
-                self.drained.append(&mut self.buffer);
+                if let Some(sink) = self.sink.as_mut() {
+                    sink.accept(&self.buffer);
+                    self.flushed += self.buffer.len() as u64;
+                    self.buffer.clear();
+                } else {
+                    self.drained.append(&mut self.buffer);
+                }
                 self.buffer.push(entry);
                 true
             }
@@ -119,24 +176,28 @@ impl RamLogger {
         &self.buffer
     }
 
-    /// Entries that were flushed out of the buffer.
+    /// Entries that were flushed out of the buffer and are still held
+    /// host-side (always empty while a sink is attached).
     pub fn drained(&self) -> &[LogEntry] {
         &self.drained
     }
 
-    /// All surviving entries in chronological order (drained then buffered).
-    pub fn entries(&self) -> Vec<LogEntry> {
-        let mut all = self.drained.clone();
-        all.extend_from_slice(&self.buffer);
-        all
+    /// The surviving held entries as chunks in chronological order (drained
+    /// then buffered) — the non-destructive, copy-free view a [`LogSink`]
+    /// consumer iterates.
+    pub fn chunks(&self) -> impl Iterator<Item = &[LogEntry]> {
+        [self.drained.as_slice(), self.buffer.as_slice()]
+            .into_iter()
+            .filter(|c| !c.is_empty())
     }
 
-    /// Number of surviving entries.
+    /// Number of surviving entries still held by the logger (entries that
+    /// already left through a sink are counted by [`RamLogger::flushed`]).
     pub fn len(&self) -> usize {
         self.drained.len() + self.buffer.len()
     }
 
-    /// Returns true if nothing has been recorded.
+    /// Returns true if the logger holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -151,6 +212,11 @@ impl RamLogger {
         self.dropped
     }
 
+    /// Entries that left the logger through a sink.
+    pub fn flushed(&self) -> u64 {
+        self.flushed
+    }
+
     /// Number of times the buffer was found full.
     pub fn overflows(&self) -> u64 {
         self.overflows
@@ -162,12 +228,38 @@ impl RamLogger {
         self.buffer.len() * ENTRY_SIZE_BYTES
     }
 
-    /// Simulates the host pulling the whole log off the node: returns every
-    /// surviving entry and clears the logger.
-    pub fn take(&mut self) -> Vec<LogEntry> {
-        let all = self.entries();
-        self.buffer.clear();
+    /// Streams every held entry (drained then buffered, in chronological
+    /// order) through `sink` and clears the logger — the end-of-run "host
+    /// pulls the log off the node" step, without materialising an
+    /// intermediate `Vec`.
+    pub fn drain_to(&mut self, sink: &mut dyn LogSink) {
+        for chunk in [self.drained.as_slice(), self.buffer.as_slice()] {
+            if !chunk.is_empty() {
+                sink.accept(chunk);
+            }
+        }
+        self.flushed += self.len() as u64;
         self.drained.clear();
+        self.buffer.clear();
+    }
+
+    /// Streams every remaining held entry through the *attached* sink and
+    /// clears the logger.  No-op (returning `false`) when no sink is
+    /// attached.
+    pub fn drain_to_attached_sink(&mut self) -> bool {
+        let Some(mut sink) = self.sink.take() else {
+            return false;
+        };
+        self.drain_to(sink.as_mut());
+        self.sink = Some(sink);
+        true
+    }
+
+    /// Simulates the host pulling the whole log off the node: returns every
+    /// surviving held entry and clears the logger.
+    pub fn take(&mut self) -> Vec<LogEntry> {
+        let mut all = Vec::with_capacity(self.len());
+        self.drain_to(&mut |chunk: &[LogEntry]| all.extend_from_slice(chunk));
         all
     }
 }
@@ -181,10 +273,18 @@ impl Default for RamLogger {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::CountingSink;
     use hw_model::{SimTime, SinkId};
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     fn entry(i: u32) -> LogEntry {
         LogEntry::power_state(SimTime::from_micros(i as u64), i, SinkId(1), (i % 4) as u16)
+    }
+
+    /// Every held entry in chronological order (the old `entries()` view).
+    fn held(l: &RamLogger) -> Vec<LogEntry> {
+        l.chunks().flatten().copied().collect()
     }
 
     #[test]
@@ -194,6 +294,7 @@ mod tests {
         assert_eq!(l.capacity_bytes(), 9600);
         assert_eq!(l.policy(), OverflowPolicy::Stop);
         assert!(l.is_empty());
+        assert!(!l.has_sink());
     }
 
     #[test]
@@ -206,9 +307,11 @@ mod tests {
         assert_eq!(l.dropped(), 2);
         assert_eq!(l.offered(), 5);
         assert_eq!(l.overflows(), 2);
-        // The first three survive.
-        assert_eq!(l.entries()[0], entry(0));
-        assert_eq!(l.entries()[2], entry(2));
+        // The first three survive, all of them still in the RAM buffer.
+        assert_eq!(held(&l)[0], entry(0));
+        assert_eq!(held(&l)[2], entry(2));
+        assert_eq!(l.buffered(), &[entry(0), entry(1), entry(2)][..]);
+        assert!(l.drained().is_empty(), "Stop never drains");
     }
 
     #[test]
@@ -219,9 +322,12 @@ mod tests {
         }
         assert_eq!(l.len(), 3);
         assert_eq!(l.dropped(), 2);
-        let e = l.entries();
+        let e = held(&l);
         assert_eq!(e[0], entry(2));
         assert_eq!(e[2], entry(4));
+        // The ring lives entirely in the RAM buffer.
+        assert_eq!(l.buffered(), &[entry(2), entry(3), entry(4)][..]);
+        assert!(l.drained().is_empty(), "Wrap never drains");
     }
 
     #[test]
@@ -233,13 +339,68 @@ mod tests {
         assert_eq!(l.dropped(), 0);
         assert_eq!(l.len(), 7);
         // Chronological order is preserved across drain boundaries.
-        let e = l.entries();
+        let e = held(&l);
         for (i, entry_i) in e.iter().enumerate() {
             assert_eq!(*entry_i, entry(i as u32));
         }
         assert!(l.ram_bytes_used() <= 2 * ENTRY_SIZE_BYTES);
         assert!(!l.drained().is_empty());
         assert!(!l.buffered().is_empty());
+    }
+
+    #[test]
+    fn attached_sink_bounds_logger_memory() {
+        let collected: Rc<RefCell<Vec<LogEntry>>> = Rc::new(RefCell::new(Vec::new()));
+        let tap = collected.clone();
+        let mut l = RamLogger::new(4, OverflowPolicy::Flush);
+        l.set_sink(Box::new(move |chunk: &[LogEntry]| {
+            tap.borrow_mut().extend_from_slice(chunk);
+        }));
+        assert!(l.has_sink());
+        const N: u32 = 23;
+        for i in 0..N {
+            assert!(l.record(entry(i)));
+            // With a sink attached, nothing accumulates host-side.
+            assert!(l.drained().is_empty());
+            assert!(l.len() <= l.capacity());
+        }
+        // The end-of-run take goes through the same sink.
+        assert!(l.drain_to_attached_sink());
+        assert!(l.is_empty());
+        assert_eq!(l.flushed(), N as u64);
+        assert_eq!(l.dropped(), 0);
+        let seen = collected.borrow();
+        assert_eq!(seen.len(), N as usize);
+        for (i, e) in seen.iter().enumerate() {
+            assert_eq!(*e, entry(i as u32), "sink order preserved");
+        }
+    }
+
+    #[test]
+    fn set_sink_forwards_already_drained_entries() {
+        let mut l = RamLogger::new(2, OverflowPolicy::Flush);
+        for i in 0..5 {
+            l.record(entry(i));
+        }
+        let drained_before = l.drained().len();
+        assert!(drained_before > 0);
+        let collected: Rc<RefCell<Vec<LogEntry>>> = Rc::new(RefCell::new(Vec::new()));
+        let tap = collected.clone();
+        l.set_sink(Box::new(move |chunk: &[LogEntry]| {
+            tap.borrow_mut().extend_from_slice(chunk);
+        }));
+        assert!(l.drained().is_empty(), "drained handed to the sink");
+        assert_eq!(l.flushed(), drained_before as u64);
+        assert_eq!(collected.borrow().len(), drained_before);
+        assert_eq!(collected.borrow()[0], entry(0));
+    }
+
+    #[test]
+    fn drain_to_attached_sink_without_sink_is_a_noop() {
+        let mut l = RamLogger::new(2, OverflowPolicy::Flush);
+        l.record(entry(0));
+        assert!(!l.drain_to_attached_sink());
+        assert_eq!(l.len(), 1);
     }
 
     #[test]
@@ -251,6 +412,21 @@ mod tests {
         assert_eq!(taken.len(), 2);
         assert!(l.is_empty());
         assert_eq!(l.ram_bytes_used(), 0);
+        assert_eq!(l.flushed(), 2, "take is sink-based draining");
+    }
+
+    #[test]
+    fn drain_to_streams_in_chunk_order() {
+        let mut l = RamLogger::new(2, OverflowPolicy::Flush);
+        for i in 0..5 {
+            l.record(entry(i));
+        }
+        let mut counter = CountingSink::new();
+        l.drain_to(&mut counter);
+        // One drained chunk plus one buffered chunk.
+        assert_eq!(counter.chunks(), 2);
+        assert_eq!(counter.entries(), 5);
+        assert!(l.is_empty());
     }
 
     #[test]
@@ -301,7 +477,7 @@ mod tests {
             // The books always balance: every offered entry either survives
             // somewhere or was counted as dropped.
             assert_eq!(
-                l.len() as u64 + l.dropped(),
+                l.len() as u64 + l.flushed() + l.dropped(),
                 l.offered(),
                 "{policy:?} lost entries without accounting for them"
             );
@@ -316,8 +492,8 @@ mod tests {
                     assert_eq!(l.len(), CAP);
                     assert_eq!(l.overflows(), expected_overflows);
                     assert_eq!(l.dropped(), expected_overflows);
-                    assert_eq!(l.entries()[0], entry(0));
-                    assert_eq!(l.entries()[CAP - 1], entry(CAP as u32 - 1));
+                    assert_eq!(held(&l)[0], entry(0));
+                    assert_eq!(held(&l)[CAP - 1], entry(CAP as u32 - 1));
                 }
                 OverflowPolicy::Wrap => {
                     // Every record is accepted but the oldest are overwritten.
@@ -325,8 +501,8 @@ mod tests {
                     assert_eq!(l.len(), CAP);
                     assert_eq!(l.overflows(), expected_overflows);
                     assert_eq!(l.dropped(), expected_overflows);
-                    assert_eq!(l.entries()[0], entry(N - CAP as u32));
-                    assert_eq!(l.entries()[CAP - 1], entry(N - 1));
+                    assert_eq!(held(&l)[0], entry(N - CAP as u32));
+                    assert_eq!(held(&l)[CAP - 1], entry(N - 1));
                 }
                 OverflowPolicy::Flush => {
                     // Draining empties the buffer, so the logger only finds
@@ -335,10 +511,34 @@ mod tests {
                     assert_eq!(l.len(), N as usize);
                     assert_eq!(l.overflows(), (N as u64 - CAP as u64).div_ceil(CAP as u64));
                     assert_eq!(l.dropped(), 0);
-                    assert_eq!(l.entries()[0], entry(0));
-                    assert_eq!(l.entries()[N as usize - 1], entry(N - 1));
+                    assert_eq!(held(&l)[0], entry(0));
+                    assert_eq!(held(&l)[N as usize - 1], entry(N - 1));
                 }
             }
         }
+    }
+
+    #[test]
+    fn sink_backed_flush_books_balance_too() {
+        const N: u32 = 2_500;
+        const CAP: usize = 800;
+        let mut l = RamLogger::new(CAP, OverflowPolicy::Flush);
+        let counter = Rc::new(RefCell::new(CountingSink::new()));
+        let tap = counter.clone();
+        l.set_sink(Box::new(move |chunk: &[LogEntry]| {
+            tap.borrow_mut().accept(chunk);
+        }));
+        for i in 0..N {
+            assert!(l.record(entry(i)));
+        }
+        assert_eq!(
+            l.len() as u64 + l.flushed() + l.dropped(),
+            l.offered(),
+            "sink-backed books must balance"
+        );
+        assert_eq!(l.flushed(), counter.borrow().entries());
+        l.drain_to_attached_sink();
+        assert_eq!(counter.borrow().entries(), N as u64);
+        assert_eq!(l.dropped(), 0);
     }
 }

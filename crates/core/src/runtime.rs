@@ -441,6 +441,24 @@ impl QuantoRuntime {
         &self.logger
     }
 
+    /// Attaches a streaming consumer of drained log chunks: `Flush`-policy
+    /// drains and end-of-run takes go through it instead of accumulating
+    /// host-side (see [`crate::sink::LogSink`]).
+    pub fn set_log_sink(&mut self, sink: Box<dyn crate::sink::LogSink>) {
+        self.logger.set_sink(sink);
+    }
+
+    /// Streams every held log entry through `sink` and clears the log.
+    pub fn drain_log_to(&mut self, sink: &mut dyn crate::sink::LogSink) {
+        self.logger.drain_to(sink);
+    }
+
+    /// Streams every remaining held entry through the attached sink (if any)
+    /// and clears the log.  Returns whether a sink was attached.
+    pub fn drain_log_to_attached_sink(&mut self) -> bool {
+        self.logger.drain_to_attached_sink()
+    }
+
     /// Pulls the whole log off the node, clearing it.
     pub fn take_log(&mut self) -> Vec<LogEntry> {
         self.logger.take()
@@ -488,6 +506,12 @@ mod tests {
         Stamp::new(SimTime::from_micros(us), ic)
     }
 
+    /// Every held log entry in chronological order (the sink-era replacement
+    /// for the removed `entries()` double-clone).
+    fn held_log(rt: &QuantoRuntime) -> Vec<LogEntry> {
+        rt.logger().chunks().flatten().copied().collect()
+    }
+
     #[test]
     fn power_state_changes_are_logged_once() {
         let (mut rt, _cpu, leds) = runtime();
@@ -495,7 +519,7 @@ mod tests {
         // Idempotent second call.
         assert!(!rt.set_power_state(stamp(20, 2), leds[0], led_state::ON.as_u8() as u16));
         assert!(rt.set_power_state(stamp(30, 3), leds[0], led_state::OFF.as_u8() as u16));
-        let log = rt.logger().entries();
+        let log = held_log(&rt);
         assert_eq!(log.len(), 2);
         assert_eq!(log[0].kind, EntryKind::PowerState);
         assert_eq!(log[0].sink(), Some(leds[0]));
@@ -518,7 +542,7 @@ mod tests {
         assert!(rt.activity_transfer(stamp(120, 12), cpu, radio));
         assert_eq!(rt.activity_get(radio), act);
 
-        let log = rt.logger().entries();
+        let log = held_log(&rt);
         assert_eq!(log.len(), 2);
         assert_eq!(log[0].device(), Some(cpu));
         assert_eq!(log[0].label(), Some(act));
@@ -534,7 +558,7 @@ mod tests {
 
         rt.activity_set(stamp(10, 0), cpu, proxy);
         assert!(rt.activity_bind(stamp(50, 3), cpu, real));
-        let log = rt.logger().entries();
+        let log = held_log(&rt);
         assert_eq!(log[1].kind, EntryKind::ActivityBind);
         assert_eq!(log[1].label(), Some(real));
         assert_eq!(rt.activity_get(cpu), real);
@@ -551,7 +575,7 @@ mod tests {
         assert!(rt.multi_add(stamp(3, 0), timer, a).is_err());
         rt.multi_remove(stamp(4, 0), timer, a).unwrap();
         assert_eq!(rt.multi_get(timer), &[b]);
-        let kinds: Vec<EntryKind> = rt.logger().entries().iter().map(|e| e.kind).collect();
+        let kinds: Vec<EntryKind> = held_log(&rt).iter().map(|e| e.kind).collect();
         assert_eq!(
             kinds,
             vec![

@@ -1,0 +1,135 @@
+//! The log-consumption seam.
+//!
+//! On the real platform the asynchronous half of Quanto's logging gets
+//! entries *off the node* — over the UART, to flash, or to a host-side
+//! collector — while the synchronous half keeps appending to the fixed RAM
+//! buffer.  [`LogSink`] is that seam in the simulation: a chunk-wise consumer
+//! of [`LogEntry`] slices.  The [`crate::logger::RamLogger`] pushes each
+//! buffer's worth through the sink when the `Flush` overflow policy drains
+//! it, and again at the end of a run, so a consumer that processes chunks
+//! incrementally (the `analysis` crate's interval builders) holds memory
+//! proportional to its *open* state, not to the total number of events.
+
+use crate::log::LogEntry;
+
+/// A chunk-wise consumer of log entries.
+///
+/// Chunks arrive in chronological log order; a sink sees every surviving
+/// entry exactly once.  Chunk boundaries carry no meaning — they are whatever
+/// the producer's buffer happened to hold — so implementations must not
+/// assume alignment with any logical boundary (intervals, wraps, packets).
+pub trait LogSink {
+    /// Consumes one chunk of entries, in log order.
+    fn accept(&mut self, chunk: &[LogEntry]);
+}
+
+/// Every `FnMut(&[LogEntry])` closure is a sink.
+impl<F: FnMut(&[LogEntry])> LogSink for F {
+    fn accept(&mut self, chunk: &[LogEntry]) {
+        self(chunk)
+    }
+}
+
+/// A sink that concatenates every chunk into one `Vec` — the adapter from
+/// the streaming world back to the batch world.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    entries: Vec<LogEntry>,
+}
+
+impl VecSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// The entries collected so far.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Consumes the sink, returning everything it collected.
+    pub fn into_entries(self) -> Vec<LogEntry> {
+        self.entries
+    }
+}
+
+impl LogSink for VecSink {
+    fn accept(&mut self, chunk: &[LogEntry]) {
+        self.entries.extend_from_slice(chunk);
+    }
+}
+
+/// A sink that only counts — for instrumentation and tests that assert how
+/// much data flowed without retaining it.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingSink {
+    entries: u64,
+    chunks: u64,
+}
+
+impl CountingSink {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Total entries seen.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Total chunks seen.
+    pub fn chunks(&self) -> u64 {
+        self.chunks
+    }
+}
+
+impl LogSink for CountingSink {
+    fn accept(&mut self, chunk: &[LogEntry]) {
+        self.entries += chunk.len() as u64;
+        self.chunks += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hw_model::{SimTime, SinkId};
+
+    fn entry(i: u32) -> LogEntry {
+        LogEntry::power_state(SimTime::from_micros(i as u64), i, SinkId(0), 1)
+    }
+
+    #[test]
+    fn vec_sink_concatenates_chunks_in_order() {
+        let mut sink = VecSink::new();
+        sink.accept(&[entry(0), entry(1)]);
+        sink.accept(&[]);
+        sink.accept(&[entry(2)]);
+        assert_eq!(sink.entries().len(), 3);
+        let all = sink.into_entries();
+        assert_eq!(all[0], entry(0));
+        assert_eq!(all[2], entry(2));
+    }
+
+    #[test]
+    fn counting_sink_counts_without_retaining() {
+        let mut sink = CountingSink::new();
+        sink.accept(&[entry(0), entry(1), entry(2)]);
+        sink.accept(&[entry(3)]);
+        assert_eq!(sink.entries(), 4);
+        assert_eq!(sink.chunks(), 2);
+    }
+
+    #[test]
+    fn closures_are_sinks() {
+        let mut seen = 0usize;
+        {
+            let mut f = |chunk: &[LogEntry]| seen += chunk.len();
+            let sink: &mut dyn LogSink = &mut f;
+            sink.accept(&[entry(0), entry(1)]);
+        }
+        assert_eq!(seen, 2);
+    }
+}

@@ -9,10 +9,14 @@
 //! * [`Scenario`] — a declarative, plain-data spec (app kind, topology,
 //!   channel, seed, duration) from which a ready-to-run simulation is built;
 //! * [`FleetRunner`] — shards an arbitrary batch of scenarios across worker
-//!   threads (each worker drives its own independent `os_sim::Engine`);
+//!   threads (each worker drives its own independent `os_sim::Engine`),
+//!   streams completions through a merge loop that folds the digest and
+//!   summarizes-and-drops raw outputs (opt out with
+//!   [`FleetRunner::retain_raw`]), and emits per-scenario
+//!   [`FleetProgress`] events mid-sweep;
 //! * [`FleetReport`] — the merged, submission-ordered results, fed through
-//!   the existing `analysis` pipeline (duty cycle, energy, regression) and
-//!   hashable into a digest for bit-reproducibility checks;
+//!   the `analysis` crate's *incremental* interval builders (duty cycle,
+//!   energy, regression) and digested for bit-reproducibility checks;
 //! * [`scenarios`] — the paper's experiment grids expressed as scenario
 //!   batches, plus adapters back into the `quanto-apps` result types.
 //!
@@ -37,8 +41,8 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
-pub use report::{FleetReport, NodeSummary, ScenarioResult};
-pub use runner::FleetRunner;
+pub use report::{FleetReport, NodeSummary, RawAccessError, RawScenarioOutputs, ScenarioResult};
+pub use runner::{FleetProgress, FleetRunner};
 pub use scenario::{AppSpec, Scenario, TopologySpec};
 
 /// The paper's experiment grids as scenario batches, and adapters from
@@ -83,7 +87,8 @@ pub mod scenarios {
 
     /// Converts a finished LPL scenario into the `quanto-apps` [`LplRun`]
     /// (duty cycle, wake-up classification, cumulative energy) the Figure 13
-    /// and 14 harnesses consume.
+    /// and 14 harnesses consume.  Needs raw outputs — run the batch with
+    /// [`crate::FleetRunner::retain_raw`].
     pub fn into_lpl_run(result: ScenarioResult) -> LplRun {
         let channel = result.scenario.channel;
         let (_, output, context) = result.into_single_node_parts();
@@ -91,7 +96,8 @@ pub mod scenarios {
     }
 
     /// Converts a finished Blink scenario into the `quanto-apps`
-    /// [`BlinkRun`] the calibration and Table 3 profiling consume.
+    /// [`BlinkRun`] the calibration and Table 3 profiling consume.  Needs
+    /// raw outputs — run the batch with [`crate::FleetRunner::retain_raw`].
     pub fn into_blink_run(result: ScenarioResult) -> BlinkRun {
         let (id, output, context) = result.into_single_node_parts();
         blink_run_from_parts(id, output, context)
@@ -108,7 +114,9 @@ mod tests {
     #[test]
     fn fleet_lpl_comparison_matches_sequential_driver() {
         let duration = SimDuration::from_secs(4);
-        let report = FleetRunner::new(2).run(scenarios::lpl_comparison(duration));
+        let report = FleetRunner::new(2)
+            .retain_raw()
+            .run(scenarios::lpl_comparison(duration));
         let mut results = report.into_results();
         let ch17_fleet = scenarios::into_lpl_run(results.remove(0));
         let ch26_fleet = scenarios::into_lpl_run(results.remove(0));
@@ -125,7 +133,9 @@ mod tests {
     #[test]
     fn fleet_blink_scenario_feeds_the_profile_pipeline() {
         let duration = SimDuration::from_secs(16);
-        let report = FleetRunner::sequential().run(vec![Scenario::blink(duration)]);
+        let report = FleetRunner::sequential()
+            .retain_raw()
+            .run(vec![Scenario::blink(duration)]);
         let run = scenarios::into_blink_run(report.into_results().remove(0));
         let profile = quanto_apps::blink_profile_from_run(run);
         assert!(profile.log_entries > 100);

@@ -1,15 +1,23 @@
 //! Per-scenario results and the merged fleet report.
+//!
+//! Since the streaming refactor the report is *summaries-first*: every
+//! scenario is summarized through the incremental analysis builders as it
+//! finishes, and the raw [`NodeRunOutput`]s are dropped at merge time unless
+//! the runner was built with [`crate::FleetRunner::retain_raw`].  The digest
+//! is folded in submission order during the merge, so it is byte-identical
+//! to the old whole-batch computation at any thread count — with or without
+//! raw retention.
 
 use crate::scenario::Scenario;
-use analysis::{
-    average_power, cumulative_energy_series, pct, power_intervals, regress_intervals,
-    state_duty_cycle, RegressionOptions, TextTable,
-};
+use analysis::{pct, PowerInterval};
+use analysis::{regress, IntervalBuilder, ObservationPool, RegressionOptions, TextTable};
 use hw_model::catalog::radio_rx_state;
-use hw_model::{Energy, Power, SimTime};
+use hw_model::{Energy, Power, SimDuration, SimTime, SinkId};
 use os_sim::NodeRunOutput;
 use quanto_apps::ExperimentContext;
 use quanto_core::NodeId;
+use std::collections::HashMap;
+use std::fmt;
 
 /// The analysis-pipeline summary of one node of one scenario.
 #[derive(Debug, Clone)]
@@ -37,7 +45,60 @@ pub struct NodeSummary {
     pub regression_error: Option<f64>,
 }
 
-/// One executed scenario: raw outputs plus the analysis summary.
+/// Why a raw-output lookup on a [`ScenarioResult`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawAccessError {
+    /// The runner summarized and dropped the raw outputs (the default).
+    /// Build the runner with [`crate::FleetRunner::retain_raw`] to keep them.
+    NotRetained {
+        /// The scenario whose raw outputs were requested.
+        scenario: String,
+    },
+    /// The scenario never ran a node with this id.
+    UnknownNode {
+        /// The scenario whose raw outputs were requested.
+        scenario: String,
+        /// The id that was asked for.
+        node: NodeId,
+        /// The ids the scenario did run.
+        known: Vec<NodeId>,
+    },
+}
+
+impl fmt::Display for RawAccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RawAccessError::NotRetained { scenario } => write!(
+                f,
+                "raw outputs of scenario {scenario:?} were summarized and dropped; \
+                 build the runner with FleetRunner::retain_raw() to keep them"
+            ),
+            RawAccessError::UnknownNode {
+                scenario,
+                node,
+                known,
+            } => write!(
+                f,
+                "scenario {scenario:?} ran no node {node}; it ran {known:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RawAccessError {}
+
+/// The raw per-node data of one executed scenario, kept only when the runner
+/// retains it.
+#[derive(Debug)]
+pub struct RawScenarioOutputs {
+    /// Raw per-node outputs, in node insertion order.
+    pub outputs: Vec<(NodeId, NodeRunOutput)>,
+    /// Per-node analysis contexts, in the same order.
+    pub contexts: Vec<(NodeId, ExperimentContext)>,
+}
+
+/// One executed scenario: the analysis summary, plus the raw outputs while
+/// they are retained.
 #[derive(Debug)]
 pub struct ScenarioResult {
     /// Position of the scenario in the submitted batch (reports are always
@@ -45,17 +106,17 @@ pub struct ScenarioResult {
     pub index: usize,
     /// The scenario that ran.
     pub scenario: Scenario,
-    /// Raw per-node outputs, in node insertion order.
-    pub outputs: Vec<(NodeId, NodeRunOutput)>,
-    /// Per-node analysis contexts, in the same order.
-    pub contexts: Vec<(NodeId, ExperimentContext)>,
-    /// Per-node summaries, in the same order.
+    /// Per-node summaries, in node insertion order.
     pub summaries: Vec<NodeSummary>,
+    /// Raw outputs; `None` once the merge has summarized-and-dropped them.
+    raw: Option<RawScenarioOutputs>,
 }
 
 impl ScenarioResult {
     /// Builds, boots, runs and analyzes one scenario.  Self-contained so the
-    /// fleet runner can execute it on any worker thread.
+    /// fleet runner can execute it on any worker thread.  The summaries are
+    /// computed by feeding the log through the incremental interval builder
+    /// in chunks — the streaming path is the *only* path.
     pub fn execute(index: usize, scenario: Scenario) -> ScenarioResult {
         let mut net = scenario.build();
         let end = SimTime::ZERO + scenario.duration;
@@ -82,30 +143,78 @@ impl ScenarioResult {
         ScenarioResult {
             index,
             scenario,
-            outputs,
-            contexts,
             summaries,
+            raw: Some(RawScenarioOutputs { outputs, contexts }),
         }
     }
 
+    /// The raw per-node data, while retained.
+    pub fn raw(&self) -> Option<&RawScenarioOutputs> {
+        self.raw.as_ref()
+    }
+
+    /// Whether the raw outputs are still retained.
+    pub fn has_raw(&self) -> bool {
+        self.raw.is_some()
+    }
+
+    /// Raw log entries currently held by this result.
+    pub(crate) fn log_entries_held(&self) -> u64 {
+        self.raw
+            .as_ref()
+            .map(|raw| raw.outputs.iter().map(|(_, o)| o.log.len() as u64).sum())
+            .unwrap_or(0)
+    }
+
+    /// Releases the raw outputs, returning how many log entries that freed.
+    pub(crate) fn drop_raw(&mut self) -> u64 {
+        let held = self.log_entries_held();
+        self.raw = None;
+        held
+    }
+
     /// The raw output of one node.
-    pub fn output(&self, id: NodeId) -> &NodeRunOutput {
-        &self
-            .outputs
+    pub fn output(&self, id: NodeId) -> Result<&NodeRunOutput, RawAccessError> {
+        let raw = self
+            .raw
+            .as_ref()
+            .ok_or_else(|| RawAccessError::NotRetained {
+                scenario: self.scenario.name.clone(),
+            })?;
+        raw.outputs
             .iter()
             .find(|(n, _)| *n == id)
-            .expect("node ran in this scenario")
-            .1
+            .map(|(_, o)| o)
+            .ok_or_else(|| RawAccessError::UnknownNode {
+                scenario: self.scenario.name.clone(),
+                node: id,
+                known: raw.outputs.iter().map(|(n, _)| *n).collect(),
+            })
     }
 
     /// The analysis context of one node.
-    pub fn context(&self, id: NodeId) -> &ExperimentContext {
-        &self
-            .contexts
+    pub fn context(&self, id: NodeId) -> Result<&ExperimentContext, RawAccessError> {
+        let raw = self
+            .raw
+            .as_ref()
+            .ok_or_else(|| RawAccessError::NotRetained {
+                scenario: self.scenario.name.clone(),
+            })?;
+        raw.contexts
             .iter()
             .find(|(n, _)| *n == id)
-            .expect("node ran in this scenario")
-            .1
+            .map(|(_, c)| c)
+            .ok_or_else(|| RawAccessError::UnknownNode {
+                scenario: self.scenario.name.clone(),
+                node: id,
+                known: raw.contexts.iter().map(|(n, _)| *n).collect(),
+            })
+    }
+
+    /// The summary of one node, if it ran in this scenario.  Always
+    /// available — summaries survive the raw drop.
+    pub fn summary(&self, id: NodeId) -> Option<&NodeSummary> {
+        self.summaries.iter().find(|s| s.node == id)
     }
 
     /// Decomposes a single-node result into its owned parts
@@ -114,25 +223,43 @@ impl ScenarioResult {
     ///
     /// # Panics
     ///
-    /// Panics if the scenario ran more than one node.
-    pub fn into_single_node_parts(mut self) -> (NodeId, NodeRunOutput, ExperimentContext) {
+    /// Panics if the scenario ran more than one node, or if the raw outputs
+    /// were not retained (build the runner with
+    /// [`crate::FleetRunner::retain_raw`]).
+    pub fn into_single_node_parts(self) -> (NodeId, NodeRunOutput, ExperimentContext) {
+        let name = self.scenario.name;
+        let mut raw = self.raw.unwrap_or_else(|| {
+            panic!(
+                "into_single_node_parts on scenario {name:?} whose raw outputs were \
+                 dropped; build the runner with FleetRunner::retain_raw()"
+            )
+        });
         assert_eq!(
-            self.outputs.len(),
+            raw.outputs.len(),
             1,
-            "into_single_node_parts on a {}-node scenario",
-            self.outputs.len()
+            "into_single_node_parts on {}-node scenario {name:?}",
+            raw.outputs.len(),
         );
-        let (id, output) = self.outputs.remove(0);
-        let (_, context) = self.contexts.remove(0);
+        let (id, output) = raw.outputs.remove(0);
+        let (_, context) = raw.contexts.remove(0);
         (id, output, context)
     }
 
     /// Folds this result into an FNV-1a digest: every surviving log entry's
     /// encoded bytes, the final stamps, drop counts and radio statistics.
-    fn fold_digest(&self, h: &mut Fnv) {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the raw outputs are gone — the merge folds every result
+    /// *before* dropping them.
+    pub(crate) fn fold_digest(&self, h: &mut Fnv) {
+        let raw = self
+            .raw
+            .as_ref()
+            .expect("digest is folded before raw outputs are dropped");
         h.write(self.scenario.name.as_bytes());
         h.write(&(self.index as u64).to_le_bytes());
-        for (id, out) in &self.outputs {
+        for (id, out) in &raw.outputs {
             h.write(&[id.as_u8()]);
             h.write(&(out.log.len() as u64).to_le_bytes());
             for entry in &out.log {
@@ -160,21 +287,88 @@ impl ScenarioResult {
     }
 }
 
-/// Runs the shared analysis pipeline over one node's raw outputs.
+/// How many log entries the summarizer hands the interval builder at a time.
+/// Any value yields identical results (equivalence is property-tested); this
+/// one keeps the per-chunk working set around one RAM buffer's worth.
+const SUMMARY_CHUNK: usize = 1024;
+
+/// Streaming accumulators over completed power intervals: every functional
+/// the summary needs, folded interval-by-interval with *exactly* the
+/// floating-point operation order of the batch `analysis` helpers (the
+/// digest folds these floats, so bit-equality matters).
+struct IntervalStats {
+    counts: u64,
+    time: SimDuration,
+    duty_active_us: u64,
+    duty_total_us: u64,
+    energy: Energy,
+    pool: ObservationPool,
+}
+
+impl IntervalStats {
+    fn new() -> Self {
+        IntervalStats {
+            counts: 0,
+            time: SimDuration::ZERO,
+            duty_active_us: 0,
+            duty_total_us: 0,
+            energy: Energy::ZERO,
+            pool: ObservationPool::new(),
+        }
+    }
+
+    fn absorb(&mut self, iv: &PowerInterval, radio_rx: SinkId, energy_per_count: Energy) {
+        self.counts += iv.counts as u64;
+        self.time += iv.duration();
+        let d = iv.duration().as_micros();
+        self.duty_total_us += d;
+        if iv
+            .states
+            .get(radio_rx.as_usize())
+            .map(|s| *s == radio_rx_state::LISTEN)
+            .unwrap_or(false)
+        {
+            self.duty_active_us += d;
+        }
+        self.energy += energy_per_count * iv.counts as f64;
+        self.pool.add(iv);
+    }
+
+    fn average_power(&self, energy_per_count: Energy) -> Power {
+        if self.time.is_zero() {
+            Power::ZERO
+        } else {
+            (energy_per_count * self.counts as f64) / self.time
+        }
+    }
+
+    fn radio_duty_cycle(&self) -> f64 {
+        if self.duty_total_us == 0 {
+            0.0
+        } else {
+            self.duty_active_us as f64 / self.duty_total_us as f64
+        }
+    }
+}
+
+/// Runs the shared analysis pipeline over one node's raw outputs, streaming
+/// the log through the incremental interval builder chunk by chunk.
 fn summarize(node: NodeId, out: &NodeRunOutput, ctx: &ExperimentContext) -> NodeSummary {
-    let intervals = power_intervals(&out.log, &ctx.catalog, Some(out.final_stamp));
-    let avg = average_power(&intervals, ctx.energy_per_count);
-    let total_energy = cumulative_energy_series(&intervals, ctx.energy_per_count)
-        .last()
-        .map(|(_, e)| *e)
-        .unwrap_or(Energy::ZERO);
-    let radio_duty_cycle = state_duty_cycle(&intervals, ctx.sinks.radio_rx, |s| {
-        s == radio_rx_state::LISTEN
-    });
-    let regression_error = regress_intervals(
-        &intervals,
+    let radio_rx = ctx.sinks.radio_rx;
+    let mut builder = IntervalBuilder::new(&ctx.catalog);
+    let mut stats = IntervalStats::new();
+    for chunk in out.log.chunks(SUMMARY_CHUNK) {
+        builder.push_chunk(chunk);
+        for iv in builder.drain_completed() {
+            stats.absorb(&iv, radio_rx, ctx.energy_per_count);
+        }
+    }
+    for iv in builder.finish(Some(out.final_stamp)) {
+        stats.absorb(&iv, radio_rx, ctx.energy_per_count);
+    }
+    let regression_error = regress(
+        &stats.pool.observations(ctx.energy_per_count),
         &ctx.catalog,
-        ctx.energy_per_count,
         RegressionOptions::default(),
     )
     .ok()
@@ -183,9 +377,9 @@ fn summarize(node: NodeId, out: &NodeRunOutput, ctx: &ExperimentContext) -> Node
         node,
         log_entries: out.log.len(),
         log_dropped: out.log_dropped,
-        average_power: avg,
-        total_energy,
-        radio_duty_cycle,
+        average_power: stats.average_power(ctx.energy_per_count),
+        total_energy: stats.energy,
+        radio_duty_cycle: stats.radio_duty_cycle(),
         packets_sent: out.radio_stats.packets_sent,
         packets_received: out.radio_stats.packets_received,
         false_wakeups: out.radio_stats.false_wakeups,
@@ -202,12 +396,20 @@ pub struct FleetReport {
     pub threads: usize,
     /// Host wall-clock time the batch took.
     pub wall_clock: std::time::Duration,
+    /// The digest, folded in submission order during the merge.
+    digest: u64,
+    /// Scenario name → index into `results`, built at merge time.
+    by_name: HashMap<String, usize>,
+    /// High-water mark of raw log entries held at once during the run.
+    peak_entries_held: u64,
+    /// Total raw log entries across every scenario of the batch.
+    total_log_entries: u64,
 }
 
 impl FleetReport {
-    /// Looks a result up by scenario name.
+    /// Looks a result up by scenario name (O(1) — indexed at merge time).
     pub fn result(&self, name: &str) -> Option<&ScenarioResult> {
-        self.results.iter().find(|r| r.scenario.name == name)
+        self.by_name.get(name).map(|&i| &self.results[i])
     }
 
     /// Consumes the report, returning the results in submission order.
@@ -218,14 +420,40 @@ impl FleetReport {
     /// An FNV-1a digest over every scenario's logs, stamps and summaries —
     /// and nothing host-dependent (thread count and wall clock are
     /// excluded), so a batch run with 1 thread and with N threads must
-    /// produce identical digests.
+    /// produce identical digests.  The digest is folded in submission order
+    /// as scenarios merge, *before* raw outputs are dropped, so it is
+    /// available (and identical) whether or not the runner retained them.
     pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Recomputes the digest from the retained raw outputs; `None` when any
+    /// scenario's raw outputs were dropped.  Exists so tests can prove the
+    /// streamed fold equals the batch computation.
+    pub fn recompute_digest(&self) -> Option<u64> {
+        if self.results.iter().any(|r| !r.has_raw()) {
+            return None;
+        }
         let mut h = Fnv::new();
         h.write(&(self.results.len() as u64).to_le_bytes());
         for r in &self.results {
             r.fold_digest(&mut h);
         }
-        h.finish()
+        Some(h.finish())
+    }
+
+    /// High-water mark of raw log entries held at once during the run:
+    /// completed-but-unmerged results plus merged results whose raw outputs
+    /// were retained.  Without [`crate::FleetRunner::retain_raw`] this stays
+    /// bounded by the out-of-order completion window (≈ the thread count),
+    /// not by the batch size — the number the smoke gate asserts on.
+    pub fn peak_entries_held(&self) -> u64 {
+        self.peak_entries_held
+    }
+
+    /// Total raw log entries produced across the whole batch.
+    pub fn total_log_entries(&self) -> u64 {
+        self.total_log_entries
     }
 
     /// Renders the per-scenario summary table the sweep binaries print.
@@ -266,24 +494,266 @@ impl FleetReport {
         }
         t.render()
     }
+
+    /// The summary table as machine-readable JSON (one object with a
+    /// `results` array; scenario order matches submission order).
+    pub fn summary_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"scenarios\":{},", self.results.len()));
+        out.push_str(&format!("\"threads\":{},", self.threads));
+        out.push_str(&format!(
+            "\"wall_clock_ms\":{},",
+            self.wall_clock.as_secs_f64() * 1e3
+        ));
+        out.push_str(&format!("\"digest\":\"{:#018x}\",", self.digest));
+        out.push_str(&format!(
+            "\"total_log_entries\":{},",
+            self.total_log_entries
+        ));
+        out.push_str(&format!(
+            "\"peak_entries_held\":{},",
+            self.peak_entries_held
+        ));
+        out.push_str("\"results\":[");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&scenario_json(r.index, &r.scenario.name, &r.summaries));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// JSON for one scenario's summaries — shared by [`FleetReport::summary_json`]
+/// and the runner's progress events.
+pub(crate) fn scenario_json(index: usize, name: &str, summaries: &[NodeSummary]) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"index\":{index},"));
+    out.push_str(&format!("\"scenario\":\"{}\",", json_escape(name)));
+    out.push_str("\"nodes\":[");
+    for (i, s) in summaries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&node_summary_json(s));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn node_summary_json(s: &NodeSummary) -> String {
+    let regression = s
+        .regression_error
+        .map(|e| format!("{e}"))
+        .unwrap_or_else(|| "null".to_string());
+    format!(
+        "{{\"node\":{},\"log_entries\":{},\"log_dropped\":{},\"avg_power_mw\":{},\
+         \"energy_mj\":{},\"radio_duty\":{},\"packets_sent\":{},\"packets_received\":{},\
+         \"false_wakeups\":{},\"regression_error\":{}}}",
+        s.node.as_u8(),
+        s.log_entries,
+        s.log_dropped,
+        s.average_power.as_milli_watts(),
+        s.total_energy.as_milli_joules(),
+        s.radio_duty_cycle,
+        s.packets_sent,
+        s.packets_received,
+        s.false_wakeups,
+        regression,
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Accumulates merged results in submission order, folding the digest and
+/// (by default) dropping raw outputs as each scenario lands.  Owned by the
+/// runner's merge loop.
+pub(crate) struct ReportAccumulator {
+    retain_raw: bool,
+    hasher: Fnv,
+    results: Vec<ScenarioResult>,
+    by_name: HashMap<String, usize>,
+    total_log_entries: u64,
+}
+
+impl ReportAccumulator {
+    /// Starts a report over `expected` scenarios.
+    pub(crate) fn new(expected: usize, retain_raw: bool) -> Self {
+        let mut hasher = Fnv::new();
+        hasher.write(&(expected as u64).to_le_bytes());
+        ReportAccumulator {
+            retain_raw,
+            hasher,
+            results: Vec::with_capacity(expected),
+            by_name: HashMap::with_capacity(expected),
+            total_log_entries: 0,
+        }
+    }
+
+    /// Merges the next result in submission order.  Returns how many raw log
+    /// entries were released (zero when retaining).
+    pub(crate) fn absorb(&mut self, mut result: ScenarioResult) -> u64 {
+        debug_assert_eq!(result.index, self.results.len(), "merge order violated");
+        result.fold_digest(&mut self.hasher);
+        self.total_log_entries += result.log_entries_held();
+        let released = if self.retain_raw {
+            0
+        } else {
+            result.drop_raw()
+        };
+        // First submission wins on duplicate names, matching the linear
+        // scan's find() semantics.
+        self.by_name
+            .entry(result.scenario.name.clone())
+            .or_insert(self.results.len());
+        self.results.push(result);
+        released
+    }
+
+    /// Finalizes the report.
+    pub(crate) fn finish(
+        self,
+        threads: usize,
+        wall_clock: std::time::Duration,
+        peak_entries_held: u64,
+    ) -> FleetReport {
+        FleetReport {
+            results: self.results,
+            threads,
+            wall_clock,
+            digest: self.hasher.finish(),
+            by_name: self.by_name,
+            peak_entries_held,
+            total_log_entries: self.total_log_entries,
+        }
+    }
 }
 
 /// Minimal FNV-1a 64-bit hasher (no std `Hasher` ceremony needed).
-struct Fnv(u64);
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write(&mut self, bytes: &[u8]) {
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
         for b in bytes {
             self.0 ^= *b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::{
+        average_power, cumulative_energy_series, power_intervals, regress_intervals,
+        state_duty_cycle,
+    };
+    use hw_model::SimDuration;
+
+    /// The streaming summarizer must reproduce the batch pipeline bit for
+    /// bit — the digest folds these floats.
+    #[test]
+    fn streaming_summary_is_bit_identical_to_batch_pipeline() {
+        let result = ScenarioResult::execute(0, Scenario::lpl(17, 0.18, SimDuration::from_secs(4)));
+        let raw = result.raw().expect("execute retains raw");
+        for ((id, out), (_, ctx)) in raw.outputs.iter().zip(raw.contexts.iter()) {
+            let streamed = result.summary(*id).expect("summary exists");
+            // The pre-refactor batch computation, verbatim.
+            let intervals = power_intervals(&out.log, &ctx.catalog, Some(out.final_stamp));
+            let avg = average_power(&intervals, ctx.energy_per_count);
+            let total_energy = cumulative_energy_series(&intervals, ctx.energy_per_count)
+                .last()
+                .map(|(_, e)| *e)
+                .unwrap_or(Energy::ZERO);
+            let duty = state_duty_cycle(&intervals, ctx.sinks.radio_rx, |s| {
+                s == radio_rx_state::LISTEN
+            });
+            let regression_error = regress_intervals(
+                &intervals,
+                &ctx.catalog,
+                ctx.energy_per_count,
+                RegressionOptions::default(),
+            )
+            .ok()
+            .map(|r| r.relative_error);
+            assert_eq!(
+                streamed.average_power.as_micro_watts().to_bits(),
+                avg.as_micro_watts().to_bits()
+            );
+            assert_eq!(
+                streamed.total_energy.as_micro_joules().to_bits(),
+                total_energy.as_micro_joules().to_bits()
+            );
+            assert_eq!(streamed.radio_duty_cycle.to_bits(), duty.to_bits());
+            assert_eq!(
+                streamed.regression_error.map(f64::to_bits),
+                regression_error.map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn raw_access_errors_are_descriptive() {
+        let mut result = ScenarioResult::execute(0, Scenario::idle(SimDuration::from_secs(1)));
+        // Unknown node while raw is retained.
+        let err = result.output(NodeId(99)).unwrap_err();
+        assert!(matches!(err, RawAccessError::UnknownNode { .. }));
+        assert!(err.to_string().contains("no node 99"), "{err}");
+        assert!(result.output(NodeId(1)).is_ok());
+        assert!(result.context(NodeId(1)).is_ok());
+        // After the drop, lookups explain how to retain.
+        result.drop_raw();
+        let err = result.output(NodeId(1)).unwrap_err();
+        assert!(matches!(err, RawAccessError::NotRetained { .. }));
+        assert!(err.to_string().contains("retain_raw"), "{err}");
+        // Summaries survive.
+        assert!(result.summary(NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn summary_json_is_well_formed_enough() {
+        let result = ScenarioResult::execute(0, Scenario::idle(SimDuration::from_secs(1)));
+        let json = scenario_json(result.index, &result.scenario.name, &result.summaries);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"scenario\":\"idle_1s\""));
+        assert!(json.contains("\"node\":1"));
+        // Balanced braces and brackets (a cheap structural check without a
+        // JSON parser in the tree).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = json.matches(open).count();
+            let closes = json.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close} in {json}");
+        }
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
     }
 }

@@ -2,21 +2,60 @@
 //!
 //! Scenarios are independent simulations (each worker builds its own
 //! [`os_sim::Engine`] from the plain-data [`Scenario`]), so the only shared
-//! state is the work queue — an atomic cursor over the batch — and the
-//! result slots.  Results are merged in submission order, which together
-//! with fully-seeded scenarios makes a fleet run bit-reproducible at any
-//! thread count.
+//! state is the work queue — an atomic cursor over the batch — and an mpsc
+//! channel from the workers to the merge loop.  The merge loop reorders
+//! completions into submission order, folds the report digest, emits a
+//! progress event per scenario and — unless [`FleetRunner::retain_raw`] —
+//! drops each scenario's raw [`os_sim::NodeRunOutput`]s the moment they are
+//! folded.  A backpressure window keeps workers from racing more than
+//! ~2 × `threads` scenarios ahead of the merge watermark, so the raw
+//! entries held at any instant are bounded by the window — not by the batch
+//! size, and not by scheduler-induced skew.  Submission-order merging
+//! together with fully-seeded scenarios makes a fleet run bit-reproducible
+//! at any thread count.
 
-use crate::report::{FleetReport, ScenarioResult};
+use crate::report::{scenario_json, FleetReport, NodeSummary, ReportAccumulator, ScenarioResult};
 use crate::scenario::Scenario;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Condvar, Mutex};
 use std::time::Instant;
+
+/// One scenario's worth of incremental progress, emitted by the merge loop
+/// in submission order as a sweep advances.
+#[derive(Debug, Clone)]
+pub struct FleetProgress {
+    /// Submission index of the scenario that just merged.
+    pub index: usize,
+    /// Its name.
+    pub name: String,
+    /// Scenarios merged so far, including this one.
+    pub completed: usize,
+    /// Total scenarios in the batch.
+    pub total: usize,
+    /// The scenario's per-node summaries.
+    pub summaries: Vec<NodeSummary>,
+}
+
+impl FleetProgress {
+    /// This progress event as one machine-readable JSON line (the same
+    /// per-scenario shape `FleetReport::summary_json` uses, plus the
+    /// completed/total counters).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"completed\":{},\"total\":{},\"result\":{}}}",
+            self.completed,
+            self.total,
+            scenario_json(self.index, &self.name, &self.summaries)
+        )
+    }
+}
 
 /// Executes batches of [`Scenario`]s, optionally in parallel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FleetRunner {
     threads: usize,
+    retain_raw: bool,
 }
 
 impl FleetRunner {
@@ -24,6 +63,7 @@ impl FleetRunner {
     pub fn new(threads: usize) -> Self {
         FleetRunner {
             threads: threads.max(1),
+            retain_raw: false,
         }
     }
 
@@ -41,6 +81,20 @@ impl FleetRunner {
         )
     }
 
+    /// Keeps every scenario's raw [`os_sim::NodeRunOutput`]s in the report
+    /// instead of summarizing-and-dropping them at merge time.  Needed by
+    /// consumers that re-analyze raw logs (the figure binaries); costs
+    /// memory proportional to the whole batch.
+    pub fn retain_raw(mut self) -> Self {
+        self.retain_raw = true;
+        self
+    }
+
+    /// Whether this runner keeps raw outputs.
+    pub fn retains_raw(&self) -> bool {
+        self.retain_raw
+    }
+
     /// The configured worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -50,51 +104,183 @@ impl FleetRunner {
     /// [`FleetReport`] ordered by submission index — the same report
     /// whatever the thread count.
     pub fn run(&self, scenarios: Vec<Scenario>) -> FleetReport {
+        self.run_with_progress(scenarios, |_| {})
+    }
+
+    /// Like [`FleetRunner::run`], but forwards every progress event into an
+    /// mpsc channel, so a consumer thread can print incremental results
+    /// while the sweep is still running.  Send errors are ignored — a
+    /// dropped receiver only silences progress, it never fails the run.
+    pub fn run_to_channel(
+        &self,
+        scenarios: Vec<Scenario>,
+        progress: mpsc::Sender<FleetProgress>,
+    ) -> FleetReport {
+        self.run_with_progress(scenarios, move |p| {
+            let _ = progress.send(p);
+        })
+    }
+
+    /// Runs every scenario, invoking `progress` (on the calling thread) each
+    /// time the next scenario in submission order has merged.  Progress
+    /// events arrive in submission order and carry the per-node summaries,
+    /// so partial sweep results can be reported long before the batch ends.
+    pub fn run_with_progress(
+        &self,
+        scenarios: Vec<Scenario>,
+        mut progress: impl FnMut(FleetProgress),
+    ) -> FleetReport {
         let started = Instant::now();
         let total = scenarios.len();
         let workers = self.threads.min(total.max(1));
-        let results: Vec<ScenarioResult> = if workers <= 1 {
-            scenarios
-                .into_iter()
-                .enumerate()
-                .map(|(i, s)| ScenarioResult::execute(i, s))
-                .collect()
+        let mut acc = ReportAccumulator::new(total, self.retain_raw);
+        // Raw log entries currently held (completed results not yet merged,
+        // plus merged results whose raw outputs were retained) and its
+        // high-water mark — the number the smoke gate bounds.
+        let mut held: u64 = 0;
+        let mut peak: u64 = 0;
+
+        let merge = |result: ScenarioResult,
+                     acc: &mut ReportAccumulator,
+                     held: &mut u64,
+                     progress: &mut dyn FnMut(FleetProgress)| {
+            let event = FleetProgress {
+                index: result.index,
+                name: result.scenario.name.clone(),
+                completed: result.index + 1,
+                total,
+                summaries: result.summaries.clone(),
+            };
+            *held -= acc.absorb(result);
+            progress(event);
+        };
+
+        if workers <= 1 {
+            for (i, s) in scenarios.into_iter().enumerate() {
+                let result = ScenarioResult::execute(i, s);
+                held += result.log_entries_held();
+                peak = peak.max(held);
+                merge(result, &mut acc, &mut held, &mut progress);
+            }
         } else {
+            // Backpressure window: a worker may not *start* scenario `i`
+            // until fewer than `window` scenarios separate it from the merge
+            // watermark.  Without this, a preempted worker (common on
+            // oversubscribed or single-CPU hosts) lets its peers race
+            // arbitrarily far ahead, and the reorder buffer — which must
+            // hold raw outputs until the digest folds in submission order —
+            // grows with the skew instead of the thread count.  The worker
+            // owning the lowest unmerged index is never blocked (its index
+            // equals the watermark), so the window cannot deadlock — and if
+            // any thread panics, its `WakeOnUnwind` guard raises the abort
+            // flag and wakes every parked waiter, so the panic propagates
+            // out of `thread::scope` instead of hanging the run.
+            let window = (2 * workers).max(8);
             let cursor = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<ScenarioResult>>> =
-                (0..total).map(|_| Mutex::new(None)).collect();
+            let gate = Mutex::new(MergeGate {
+                merged: 0,
+                abort: false,
+            });
+            let advanced = Condvar::new();
+            let (tx, rx) = mpsc::channel::<ScenarioResult>();
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= total {
-                            break;
+                    let tx = tx.clone();
+                    let cursor = &cursor;
+                    let scenarios = &scenarios;
+                    let gate = &gate;
+                    let advanced = &advanced;
+                    scope.spawn(move || {
+                        let _wake = WakeOnUnwind { gate, advanced };
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= total {
+                                break;
+                            }
+                            {
+                                let mut g = gate.lock().unwrap_or_else(|p| p.into_inner());
+                                while i >= g.merged + window && !g.abort {
+                                    g = advanced.wait(g).unwrap_or_else(|p| p.into_inner());
+                                }
+                                if g.abort {
+                                    break;
+                                }
+                            }
+                            let result = ScenarioResult::execute(i, scenarios[i].clone());
+                            if tx.send(result).is_err() {
+                                break;
+                            }
                         }
-                        let result = ScenarioResult::execute(i, scenarios[i].clone());
-                        *slots[i].lock().expect("result slot poisoned") = Some(result);
                     });
                 }
+                drop(tx);
+                // If the merge loop unwinds (a panicking `progress`
+                // callback), wake the parked workers so the scope can join.
+                let _wake = WakeOnUnwind {
+                    gate: &gate,
+                    advanced: &advanced,
+                };
+                // The merge loop: reorder completions into submission order,
+                // fold, report, drop, advance the watermark.
+                let mut pending: BTreeMap<usize, ScenarioResult> = BTreeMap::new();
+                let mut next = 0usize;
+                for result in rx {
+                    held += result.log_entries_held();
+                    peak = peak.max(held);
+                    pending.insert(result.index, result);
+                    let before = next;
+                    while let Some(result) = pending.remove(&next) {
+                        merge(result, &mut acc, &mut held, &mut progress);
+                        next += 1;
+                    }
+                    if next != before {
+                        gate.lock().unwrap_or_else(|p| p.into_inner()).merged = next;
+                        advanced.notify_all();
+                    }
+                }
+                let aborted = gate.lock().unwrap_or_else(|p| p.into_inner()).abort;
+                assert!(
+                    aborted || pending.is_empty(),
+                    "every submitted scenario merges"
+                );
             });
-            slots
-                .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("result slot poisoned")
-                        .expect("every claimed scenario stores a result")
-                })
-                .collect()
-        };
-        FleetReport {
-            results,
-            threads: workers,
-            wall_clock: started.elapsed(),
         }
+        acc.finish(workers, started.elapsed(), peak)
     }
 }
 
 impl Default for FleetRunner {
     fn default() -> Self {
         FleetRunner::host_parallel()
+    }
+}
+
+/// The backpressure gate the merge loop advances and workers wait on.
+struct MergeGate {
+    /// Scenarios merged so far (the next index to merge).
+    merged: usize,
+    /// Raised when any thread unwinds, so parked waiters exit instead of
+    /// waiting for a watermark advance that will never come.
+    abort: bool,
+}
+
+/// Drop guard held by every worker and by the merge loop: if its thread
+/// unwinds, it raises the abort flag and wakes every parked waiter so the
+/// panic propagates out of `thread::scope` instead of deadlocking the run.
+struct WakeOnUnwind<'a> {
+    gate: &'a Mutex<MergeGate>,
+    advanced: &'a Condvar,
+}
+
+impl Drop for WakeOnUnwind<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.gate
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .abort = true;
+        }
+        self.advanced.notify_all();
     }
 }
 
@@ -117,14 +303,15 @@ mod tests {
     /// ordering).
     #[test]
     fn parallel_report_is_byte_identical_to_sequential() {
-        let sequential = FleetRunner::sequential().run(small_batch());
-        let parallel = FleetRunner::new(3).run(small_batch());
+        let sequential = FleetRunner::sequential().retain_raw().run(small_batch());
+        let parallel = FleetRunner::new(3).retain_raw().run(small_batch());
         assert_eq!(sequential.results.len(), parallel.results.len());
         // Deep check first (precise failure location)…
         for (a, b) in sequential.results.iter().zip(parallel.results.iter()) {
             assert_eq!(a.index, b.index);
             assert_eq!(a.scenario, b.scenario);
-            for ((id_a, out_a), (id_b, out_b)) in a.outputs.iter().zip(b.outputs.iter()) {
+            let (raw_a, raw_b) = (a.raw().unwrap(), b.raw().unwrap());
+            for ((id_a, out_a), (id_b, out_b)) in raw_a.outputs.iter().zip(raw_b.outputs.iter()) {
                 assert_eq!(id_a, id_b);
                 assert_eq!(
                     out_a.log, out_b.log,
@@ -135,8 +322,91 @@ mod tests {
                 assert_eq!(out_a.log_dropped, out_b.log_dropped);
             }
         }
-        // …then the digest the smoke harness relies on.
+        // …then the digest the smoke harness relies on, both the streamed
+        // fold and the whole-batch recomputation.
         assert_eq!(sequential.digest(), parallel.digest());
+        assert_eq!(sequential.recompute_digest(), Some(sequential.digest()));
+        assert_eq!(parallel.recompute_digest(), Some(parallel.digest()));
+    }
+
+    /// The summarize-and-drop path must not change the digest — it is folded
+    /// from the same bytes before the raw outputs are released.
+    #[test]
+    fn dropping_raw_outputs_preserves_the_digest() {
+        let retained = FleetRunner::new(3).retain_raw().run(small_batch());
+        let dropped = FleetRunner::new(3).run(small_batch());
+        assert_eq!(retained.digest(), dropped.digest());
+        assert!(retained.results.iter().all(|r| r.has_raw()));
+        assert!(dropped.results.iter().all(|r| !r.has_raw()));
+        assert_eq!(dropped.recompute_digest(), None);
+        // Summaries are identical either way.
+        for (a, b) in retained.results.iter().zip(dropped.results.iter()) {
+            for (sa, sb) in a.summaries.iter().zip(b.summaries.iter()) {
+                assert_eq!(
+                    sa.average_power.as_micro_watts().to_bits(),
+                    sb.average_power.as_micro_watts().to_bits()
+                );
+                assert_eq!(sa.log_entries, sb.log_entries);
+            }
+        }
+    }
+
+    /// Without retention, peak held entries is bounded by the completion
+    /// window, not the batch — and the report still knows the batch total.
+    #[test]
+    fn summarize_and_drop_bounds_peak_retention() {
+        let report = FleetRunner::new(4).run(small_batch());
+        assert!(report.total_log_entries() > 0);
+        assert!(
+            report.peak_entries_held() < report.total_log_entries(),
+            "peak {} should be below total {}",
+            report.peak_entries_held(),
+            report.total_log_entries()
+        );
+        // Retaining raw buffers everything: the peak is the total.
+        let retained = FleetRunner::new(4).retain_raw().run(small_batch());
+        assert_eq!(retained.peak_entries_held(), retained.total_log_entries());
+    }
+
+    #[test]
+    fn progress_events_arrive_in_submission_order_with_summaries() {
+        let batch = small_batch();
+        let total = batch.len();
+        let mut seen = Vec::new();
+        let report = FleetRunner::new(3).run_with_progress(batch, |p| seen.push(p));
+        assert_eq!(seen.len(), total);
+        for (i, p) in seen.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert_eq!(p.completed, i + 1);
+            assert_eq!(p.total, total);
+            assert!(!p.summaries.is_empty());
+            assert_eq!(p.name, report.results[i].scenario.name);
+            assert!(p.to_json().contains(&format!("\"total\":{total}")));
+        }
+    }
+
+    #[test]
+    fn channel_progress_matches_callback_progress() {
+        let (tx, rx) = mpsc::channel();
+        let report = FleetRunner::new(2).run_to_channel(small_batch(), tx);
+        let events: Vec<FleetProgress> = rx.into_iter().collect();
+        assert_eq!(events.len(), report.results.len());
+        assert_eq!(events.last().unwrap().completed, report.results.len());
+    }
+
+    /// A panicking progress callback must propagate, not deadlock: without
+    /// the abort/wake guard, workers parked on the backpressure window would
+    /// wait forever for a watermark advance that never comes and the scope
+    /// would never join (this test would hang).
+    #[test]
+    fn panicking_progress_callback_propagates_instead_of_deadlocking() {
+        let seeds: Vec<u64> = (1..=16).collect();
+        let batch = scenarios::lpl_grid(&seeds, &[17, 26], 0.18, SimDuration::from_millis(200));
+        assert!(batch.len() > 8, "batch must exceed the backpressure window");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            FleetRunner::new(4).run_with_progress(batch, |_| panic!("progress consumer failed"));
+        }));
+        assert!(outcome.is_err(), "the callback panic must propagate");
     }
 
     #[test]
@@ -146,9 +416,16 @@ mod tests {
             assert_eq!(r.index, i);
         }
         assert!(report.result("lpl_ch17_seed1").is_some());
+        assert_eq!(
+            report.result("lpl_ch26_seed2").map(|r| r.index),
+            Some(3),
+            "name index must point at the right submission slot"
+        );
         assert!(report.result("nope").is_none());
         let table = report.summary_table();
         assert!(table.contains("lpl_ch26_seed2"), "table:\n{table}");
+        let json = report.summary_json();
+        assert!(json.contains("\"scenario\":\"lpl_ch26_seed2\""), "{json}");
     }
 
     #[test]
@@ -165,5 +442,6 @@ mod tests {
         assert!(report.results.is_empty());
         let digest = report.digest();
         assert_eq!(digest, FleetRunner::sequential().run(Vec::new()).digest());
+        assert_eq!(report.peak_entries_held(), 0);
     }
 }

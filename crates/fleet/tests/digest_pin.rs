@@ -1,0 +1,50 @@
+//! Pins the report digest of fixed scenario batches across refactors of the
+//! analysis pipeline.  The constants below were recorded on the pre-streaming
+//! batch pipeline (whole-log `power_intervals`, raw outputs retained to the
+//! end); the streaming pipeline — incremental interval builders, digest
+//! folded at merge time, raw outputs summarized-and-dropped — must reproduce
+//! them byte for byte, at any thread count, with and without raw retention.
+
+use hw_model::SimDuration;
+use quanto_fleet::{scenarios, FleetRunner, Scenario};
+
+/// `pin_batch()` digest recorded on the pre-refactor batch pipeline.
+const PIN_BATCH_DIGEST: u64 = 0x766a_a912_dcd1_2f29;
+/// Single 4-second LPL channel-17 scenario, same provenance.
+const SINGLE_LPL_DIGEST: u64 = 0x297e_7546_08a5_134c;
+
+fn pin_batch() -> Vec<Scenario> {
+    let d = SimDuration::from_secs(2);
+    let mut batch = scenarios::lpl_grid(&[1, 2], &[17, 26], 0.18, d);
+    batch.push(Scenario::blink(d));
+    batch.push(Scenario::bounce(d));
+    batch.push(Scenario::idle(SimDuration::from_secs(1)));
+    batch
+}
+
+#[test]
+fn streaming_pipeline_reproduces_pre_refactor_digests() {
+    for runner in [
+        FleetRunner::sequential(),
+        FleetRunner::new(4),
+        FleetRunner::sequential().retain_raw(),
+        FleetRunner::new(4).retain_raw(),
+    ] {
+        let report = runner.run(pin_batch());
+        assert_eq!(
+            report.digest(),
+            PIN_BATCH_DIGEST,
+            "digest drifted from the pre-refactor batch pipeline \
+             (threads {}, retain_raw {})",
+            runner.threads(),
+            runner.retains_raw(),
+        );
+    }
+}
+
+#[test]
+fn single_scenario_digest_is_pinned_too() {
+    let report =
+        FleetRunner::sequential().run(vec![Scenario::lpl(17, 0.18, SimDuration::from_secs(4))]);
+    assert_eq!(report.digest(), SINGLE_LPL_DIGEST);
+}

@@ -130,6 +130,19 @@ impl<W: World> Engine<W> {
         self.index.get(&id).map(|&idx| &self.nodes[idx])
     }
 
+    /// Attaches a streaming log-chunk consumer to one node (see
+    /// [`crate::kernel::Kernel::set_log_sink`]).  Returns `false` if no node
+    /// has that id.
+    pub fn set_node_log_sink(&mut self, id: NodeId, sink: Box<dyn quanto_core::LogSink>) -> bool {
+        match self.index.get(&id) {
+            Some(&idx) => {
+                self.nodes[idx].kernel_mut().set_log_sink(sink);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Read-only access to the world.
     pub fn world(&self) -> &W {
         &self.world

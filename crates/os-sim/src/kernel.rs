@@ -63,7 +63,9 @@ pub enum IrqSource {
 /// Final state of one node after a run, as collected by the simulator.
 #[derive(Debug, Clone)]
 pub struct NodeRunOutput {
-    /// Every surviving Quanto log entry.
+    /// Every surviving Quanto log entry.  Empty when a log sink was attached
+    /// ([`Kernel::set_log_sink`]) — the entries streamed through the sink
+    /// instead of being collected here.
     pub log: Vec<LogEntry>,
     /// The (time, iCount) stamp at the end of the observation window, used to
     /// close the last interval during analysis.
@@ -1044,6 +1046,16 @@ impl Kernel {
         &self.quanto
     }
 
+    /// Attaches a streaming consumer of drained log chunks (the run-loop
+    /// drain hookup): `Flush`-policy drains during the run and the end-of-run
+    /// take both go through the sink, so the node-side log memory stays
+    /// bounded by the RAM buffer capacity.  With a sink attached,
+    /// [`NodeRunOutput::log`] comes back empty — the entries live wherever
+    /// the sink put them.
+    pub fn set_log_sink(&mut self, sink: Box<dyn quanto_core::LogSink>) {
+        self.quanto.set_log_sink(sink);
+    }
+
     /// The tracked device ids: `(cpu, leds, radio, flash, sensor)`.
     pub fn device_ids(&self) -> (DeviceId, [DeviceId; 3], DeviceId, DeviceId, DeviceId) {
         (
@@ -1074,8 +1086,20 @@ impl Kernel {
         let final_stamp = Stamp::new(self.cursor, reading.counter);
         let mut trace = self.trace.clone();
         trace.finish(self.cursor);
+        // End-of-run take: with a sink attached the remaining buffered tail
+        // streams through it and `log` stays empty; otherwise the held
+        // chunks are copied out once (no intermediate clone of `drained`).
+        let log = if self.quanto.drain_log_to_attached_sink() {
+            Vec::new()
+        } else {
+            let mut log = Vec::with_capacity(self.quanto.logger().len());
+            for chunk in self.quanto.logger().chunks() {
+                log.extend_from_slice(chunk);
+            }
+            log
+        };
         NodeRunOutput {
-            log: self.quanto.logger().entries(),
+            log,
             final_stamp,
             trace,
             ground_truth: self.accumulator.breakdown(),

@@ -44,6 +44,12 @@ impl Node {
         &self.kernel
     }
 
+    /// Mutable access to the kernel, for pre-run configuration such as
+    /// attaching a log sink.
+    pub(crate) fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
     /// Boots the node: runs the application's `boot` handler in a batch at
     /// time zero.  Called automatically by the first `process_next` if the
     /// coordinator does not call it explicitly.

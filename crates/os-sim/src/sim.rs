@@ -49,6 +49,14 @@ impl<W: World> Simulator<W> {
         self.engine.world_mut()
     }
 
+    /// Attaches a streaming log-chunk consumer to the node: `Flush` drains
+    /// during the run and the end-of-run take stream through it, keeping the
+    /// node-side log memory bounded by the RAM buffer capacity.  The
+    /// [`NodeRunOutput::log`] of a sinked run comes back empty.
+    pub fn set_log_sink(&mut self, sink: Box<dyn quanto_core::LogSink>) {
+        self.engine.set_node_log_sink(self.id, sink);
+    }
+
     /// Read-only access to the underlying engine.
     pub fn engine(&self) -> &Engine<W> {
         &self.engine
@@ -274,6 +282,46 @@ mod tests {
         // Bind entries exist (proxy resolution happened).
         let binds = count_entries(&out.log, |e| e.kind == EntryKind::ActivityBind);
         assert!(binds >= 2, "sensor and flash completions bind proxies");
+    }
+
+    /// The streaming log path: a sink attached before the run sees exactly
+    /// the entries a batch run collects, in order, while the logger's RAM
+    /// stays bounded by its (deliberately tiny) capacity.
+    #[test]
+    fn log_sink_streams_the_same_entries_as_a_batch_run() {
+        use quanto_core::LogEntry;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let config = || NodeConfig {
+            dco_calibration: false,
+            log_capacity: 64,
+            ..NodeConfig::new(NodeId(1))
+        };
+        let duration = SimDuration::from_secs(4);
+
+        // Batch reference run.
+        let mut batch = Simulator::new(config(), Box::new(MiniBlink::new()));
+        let batch_out = batch.run_for(duration);
+        assert!(
+            batch_out.log.len() > 64,
+            "the run must overflow the 64-entry buffer to exercise mid-run drains"
+        );
+
+        // Streaming run: same scenario, sink attached.
+        let collected: Rc<RefCell<Vec<LogEntry>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(config(), Box::new(MiniBlink::new()));
+        let tap = collected.clone();
+        sim.set_log_sink(Box::new(move |chunk: &[LogEntry]| {
+            tap.borrow_mut().extend_from_slice(chunk);
+        }));
+        let out = sim.run_for(duration);
+
+        assert!(out.log.is_empty(), "sinked runs do not rebuffer the log");
+        assert_eq!(&*collected.borrow(), &batch_out.log);
+        assert_eq!(out.final_stamp, batch_out.final_stamp);
+        // The logger never held more than its capacity at once.
+        assert!(sim.node().kernel().quanto().logger().len() <= 64);
     }
 
     #[test]

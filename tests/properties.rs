@@ -130,6 +130,120 @@ proptest! {
         prop_assert!((i0 - 2.5).abs() < 0.25, "estimated {} mA", i0);
     }
 
+    /// The streaming interval builder fed arbitrary chunk sizes (including
+    /// 1-entry chunks, with wall-clock steps large enough that chunk
+    /// boundaries straddle 32-bit time wraps many times per case) produces
+    /// exactly the batch `power_intervals` output — and the incremental
+    /// observation pool regresses to exactly the batch `regress_intervals`
+    /// result, bit for bit.
+    #[test]
+    fn streamed_intervals_match_batch_for_random_chunkings(
+        steps in prop::collection::vec(
+            (1u64..2_000_000_000, 0usize..4, 1u32..50_000, any::<bool>()),
+            1..60,
+        ),
+        chunk in 1usize..17,
+    ) {
+        let (cat, _cpu, leds) = blink_catalog();
+        // Build a log whose 32-bit clock wraps roughly every four entries.
+        let mut t: u64 = 0;
+        let mut ic: u32 = 0;
+        let mut entries = Vec::new();
+        for (dt, which, dic, on) in &steps {
+            t += dt;
+            ic = ic.wrapping_add(*dic);
+            if *which < 3 {
+                entries.push(LogEntry::power_state(
+                    SimTime::from_micros(t),
+                    ic,
+                    leds[*which],
+                    if *on { led_state::ON.as_u8() as u16 } else { led_state::OFF.as_u8() as u16 },
+                ));
+            } else {
+                // Activity entries matter only for wrap detection here; the
+                // interval builder must still consume their timestamps.
+                entries.push(LogEntry::activity(
+                    EntryKind::ActivityChange,
+                    SimTime::from_micros(t),
+                    ic,
+                    DeviceId(0),
+                    ActivityLabel::new(NodeId(1), ActivityId(1)),
+                ));
+            }
+        }
+        let stamp = Some(quanto::quanto_core::Stamp::new(
+            SimTime::from_micros(t + 500),
+            ic.wrapping_add(3),
+        ));
+        let batch = analysis::power_intervals(&entries, &cat, stamp);
+
+        let mut builder = analysis::IntervalBuilder::new(&cat);
+        let mut streamed = Vec::new();
+        let mut pool = analysis::ObservationPool::new();
+        for c in entries.chunks(chunk) {
+            builder.push_chunk(c);
+            for iv in builder.drain_completed() {
+                pool.add(&iv);
+                streamed.push(iv);
+            }
+        }
+        for iv in builder.finish(stamp) {
+            pool.add(&iv);
+            streamed.push(iv);
+        }
+        prop_assert!(streamed == batch, "streamed != batch at chunk size {}", chunk);
+
+        let epc = Energy::from_micro_joules(1.0);
+        let batch_reg = analysis::regress_intervals(&batch, &cat, epc, RegressionOptions::default());
+        let stream_reg = analysis::regress(&pool.observations(epc), &cat, RegressionOptions::default());
+        match (batch_reg, stream_reg) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a.columns, &b.columns);
+                prop_assert_eq!(a.relative_error.to_bits(), b.relative_error.to_bits());
+                for (pa, pb) in a.power_uw.iter().zip(b.power_uw.iter()) {
+                    prop_assert_eq!(pa.to_bits(), pb.to_bits());
+                }
+                prop_assert_eq!(a.constant_uw.to_bits(), b.constant_uw.to_bits());
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "regressions diverged: {:?} vs {:?}", a, b),
+        }
+    }
+
+    /// The streaming segment builder matches batch `activity_segments` for
+    /// random schedules with binds, at random chunk sizes, in both binding
+    /// modes.
+    #[test]
+    fn streamed_segments_match_batch_for_random_chunkings(
+        changes in prop::collection::vec((1u64..1_500_000_000, 0u8..4, any::<bool>()), 1..50),
+        chunk in 1usize..9,
+        resolve in any::<bool>(),
+    ) {
+        let dev = DeviceId(0);
+        let mut t = 0u64;
+        let mut entries = Vec::new();
+        for (dt, act, bind) in &changes {
+            t += dt;
+            entries.push(LogEntry::activity(
+                if *bind { EntryKind::ActivityBind } else { EntryKind::ActivityChange },
+                SimTime::from_micros(t),
+                0,
+                dev,
+                ActivityLabel::new(NodeId(1), ActivityId(*act)),
+            ));
+        }
+        let stamp = Some(quanto::quanto_core::Stamp::new(SimTime::from_micros(t + 100), 0));
+        let batch = analysis::activity_segments(&entries, dev, resolve, stamp);
+        let mut builder = analysis::SegmentBuilder::new(dev, resolve);
+        let mut streamed = Vec::new();
+        for c in entries.chunks(chunk) {
+            builder.push_chunk(c);
+            streamed.extend(builder.drain_completed());
+        }
+        streamed.extend(builder.finish(stamp));
+        prop_assert!(streamed == batch, "streamed != batch (resolve {}, chunk {})", resolve, chunk);
+    }
+
     /// Activity-segment extraction conserves time: segments of a device
     /// partition [0, end) with no overlaps and no gaps.
     #[test]
