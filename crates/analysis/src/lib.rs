@@ -13,7 +13,7 @@
 //!   [`intervals`], for consumers that cannot hold whole logs,
 //! * [`wls`] — the weighted multivariate least-squares regression of
 //!   Section 2.5,
-//! * [`breakdown`] — time per (device, activity), energy per hardware
+//! * [`mod@breakdown`] — time per (device, activity), energy per hardware
 //!   component and energy per activity (Tables 3a–3d),
 //! * [`reconstruct`] — the stacked power-envelope reconstruction of
 //!   Figure 11(c),

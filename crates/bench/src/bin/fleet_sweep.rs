@@ -1,25 +1,34 @@
 //! `fleet_sweep`: the parallel scenario-grid harness.
 //!
-//! Runs a seed × channel LPL grid (plus a Blink profile and a Bounce
-//! exchange) through `quanto-fleet`'s `FleetRunner`, sharded across worker
-//! threads.  Progress streams over a channel as scenarios merge — partial
-//! results print mid-sweep — and the merged per-scenario summary table (or,
-//! with `--json`, a machine-readable JSON document) prints at the end.
+//! Runs a seed × channel × medium grid (LPL cells, a Blink profile, and the
+//! Bounce exchange through every radio-medium kind) through `quanto-fleet`'s
+//! `FleetRunner`, sharded across worker threads.  Progress streams over a
+//! channel as scenarios merge — partial results print mid-sweep — and the
+//! merged per-scenario summary table (or, with `--json`, a machine-readable
+//! JSON document) prints at the end.
 //!
 //! ```text
 //! fleet_sweep [--seconds N] [--threads N] [--seeds N] [--json] [--smoke]
+//!             [--stress [PAIRS]]
 //! ```
 //!
-//! `--smoke` is the CI job: it runs the grid twice on 1 thread and twice on
-//! 4, verifies all four reports are byte-identical (the determinism contract
-//! of the fleet subsystem), prints the best wall-clock per thread count as
-//! bench-compatible summary lines for `bench_check`, on hosts with more than
-//! one CPU fails unless the 4-thread run shows at least the required speedup
-//! (default 1.5×, `--min-speedup X` to override), and finally runs a
-//! 64-scenario batch through the summarize-and-drop path asserting the peak
-//! number of raw log entries held at once stays under a fixed fraction of
-//! the batch — the gate that catches accidental re-buffering regressions in
-//! the streaming pipeline.
+//! `--stress` runs the multi-node path-loss stress profile instead: PAIRS
+//! (default 8) side-by-side Bounce exchanges spaced along a line under the
+//! log-distance model, where neighboring pairs are hidden terminals and the
+//! capture rule decides collisions.
+//!
+//! `--smoke` is the CI job: it runs the grid — which includes one scenario
+//! per medium kind (ideal, unit_disk, path_loss, mobility), so a
+//! nondeterministic loss RNG in any medium fails the gate — twice on 1
+//! thread and twice on 4, verifies all four reports are byte-identical (the
+//! determinism contract of the fleet subsystem), prints the best wall-clock
+//! per thread count as bench-compatible summary lines for `bench_check`, on
+//! hosts with more than one CPU fails unless the 4-thread run shows at least
+//! the required speedup (default 1.5×, `--min-speedup X` to override), and
+//! finally runs a 64-scenario batch through the summarize-and-drop path
+//! asserting the peak number of raw log entries held at once stays under a
+//! fixed fraction of the batch — the gate that catches accidental
+//! re-buffering regressions in the streaming pipeline.
 //!
 //! Note on the baseline: the `fleet/sweep_smoke_t4` wall-clock depends on
 //! the recording host's core count, which the single-core `calibration/spin`
@@ -41,19 +50,22 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 /// The sweep grid: `seeds` × channels {17, 26} LPL scenarios under the
-/// paper's 18 % interference, plus a Blink profile and a Bounce exchange.
+/// paper's 18 % interference, plus a Blink profile and the medium axis (the
+/// Bounce exchange through each of the four radio-medium kinds).
 fn grid(seeds: u64, duration: SimDuration) -> Vec<Scenario> {
     let seeds: Vec<u64> = (1..=seeds).collect();
     let mut grid = scenarios::lpl_grid(&seeds, &[17, 26], 0.18, duration);
     grid.push(Scenario::blink(duration));
-    grid.push(Scenario::bounce(duration));
+    grid.extend(scenarios::medium_grid(duration));
     grid
 }
 
 /// The smoke grid: sized so every cell costs a comparable few tens of host
 /// milliseconds (LPL and Blink are cheap per simulated second, Bounce is
 /// not), which is what makes the 1-vs-4-thread wall-clock comparison a fair
-/// parallelism measurement rather than a longest-scenario measurement.
+/// parallelism measurement rather than a longest-scenario measurement.  One
+/// scenario per medium kind rides along so the byte-identity check also
+/// gates every medium's loss RNG for thread-count independence.
 fn smoke_grid() -> Vec<Scenario> {
     let seeds: Vec<u64> = (1..=8).collect();
     let half_hour = SimDuration::from_secs(1800);
@@ -69,6 +81,7 @@ fn smoke_grid() -> Vec<Scenario> {
             .with_seed(2)
             .named("bounce_seed2"),
     );
+    grid.extend(scenarios::medium_grid(SimDuration::from_secs(30)));
     grid
 }
 
@@ -163,6 +176,15 @@ fn smoke(min_speedup: f64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `--stress` profile: `pairs` Bounce exchanges strung along a line
+/// under the path-loss medium, across 4 seeds so shadowing and hidden
+/// terminals vary — the heap scheduler and capture rule under real load.
+fn stress_batch(pairs: u8, duration: SimDuration) -> Vec<Scenario> {
+    (1..=4)
+        .map(|seed| scenarios::path_loss_stress(pairs, seed, duration))
+        .collect()
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let duration = quanto_bench::duration_from_args(14);
@@ -174,7 +196,7 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--smoke") {
         quanto_bench::header(
             "fleet_sweep --smoke",
-            "determinism + speedup + retention gate",
+            "determinism (all 4 medium kinds) + speedup + retention gate",
         );
         return smoke(min_speedup);
     }
@@ -185,23 +207,55 @@ fn main() -> ExitCode {
     let threads: usize = arg_value(&args, "--threads")
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| FleetRunner::host_parallel().threads());
+    let stress = args.iter().any(|a| a == "--stress");
 
     if !json {
         quanto_bench::header(
-            "Fleet sweep — seed × channel grid over the shared engine",
-            "ROADMAP: parallel multi-node runs, streamed summaries",
+            "Fleet sweep — seed × channel × medium grid over the shared engine",
+            "ROADMAP: parallel multi-node runs, mobility/path-loss sweep axes",
         );
     }
-    let batch = grid(seeds, duration);
-    if !json {
-        println!(
-            "{} scenarios ({} LPL + blink + bounce), {} worker thread(s), {:.0} s simulated each",
-            batch.len(),
-            batch.len() - 2,
-            threads,
-            duration.as_secs_f64()
-        );
-    }
+    let batch = if stress {
+        // `--stress` may be followed by a pair count (another flag or
+        // nothing means the default); a value that is not a valid count is
+        // an error, not a silent fallback.
+        let pairs: u8 = match arg_value(&args, "--stress") {
+            Some(v) if v.starts_with("--") => 8,
+            None => 8,
+            Some(v) => match v.parse() {
+                Ok(p) if (1..=127).contains(&p) => p,
+                _ => {
+                    eprintln!("fleet_sweep: --stress PAIRS must be in 1..=127, got {v:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        let batch = stress_batch(pairs, duration);
+        if !json {
+            println!(
+                "Path-loss stress: {} scenarios × {} nodes each, {} worker thread(s), \
+                 {:.0} s simulated",
+                batch.len(),
+                2 * pairs as u16,
+                threads,
+                duration.as_secs_f64()
+            );
+        }
+        batch
+    } else {
+        let batch = grid(seeds, duration);
+        if !json {
+            println!(
+                "{} scenarios ({} LPL + blink + 4 mediums), {} worker thread(s), \
+                 {:.0} s simulated each",
+                batch.len(),
+                batch.len() - 5,
+                threads,
+                duration.as_secs_f64()
+            );
+        }
+        batch
+    };
 
     // Partial results stream over a channel while the sweep runs; a printer
     // thread drains it so progress appears as scenarios merge, not at the
@@ -225,7 +279,14 @@ fn main() -> ExitCode {
                     })
                     .collect::<Vec<_>>()
                     .join("; ");
-                println!("[{}/{}] {} — {summary}", p.completed, p.total, p.name);
+                let delivery = match p.medium_counters {
+                    Some(c) => format!(" — delivered {}, lost {}", c.delivered, c.lost()),
+                    None => String::new(),
+                };
+                println!(
+                    "[{}/{}] {} ({}) — {summary}{delivery}",
+                    p.completed, p.total, p.name, p.medium_kind
+                );
             }
         }
     });

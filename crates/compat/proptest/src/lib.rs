@@ -198,7 +198,7 @@ impl From<RangeInclusive<usize>> for SizeRange {
 pub mod collection {
     use super::{SizeRange, Strategy, TestRng};
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`fn@vec`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

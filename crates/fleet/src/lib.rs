@@ -41,15 +41,21 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
-pub use report::{FleetReport, NodeSummary, RawAccessError, RawScenarioOutputs, ScenarioResult};
+pub use net_sim::DeliveryCounters;
+pub use report::{
+    CounterAccessError, FleetReport, NodeSummary, RawAccessError, RawScenarioOutputs,
+    ScenarioResult,
+};
 pub use runner::{FleetProgress, FleetRunner};
-pub use scenario::{AppSpec, Scenario, TopologySpec};
+pub use scenario::{
+    AppSpec, GeometrySpec, MediumSpec, PathLossSpec, Scenario, TopologySpec, TraceSpec,
+};
 
 /// The paper's experiment grids as scenario batches, and adapters from
 /// scenario results back into the `quanto-apps` result types.
 pub mod scenarios {
     use crate::report::ScenarioResult;
-    use crate::scenario::Scenario;
+    use crate::scenario::{GeometrySpec, MediumSpec, PathLossSpec, Scenario};
     use hw_model::SimDuration;
     use quanto_apps::{analyze_lpl, blink_run_from_parts, BlinkRun, LplRun};
 
@@ -83,6 +89,61 @@ pub mod scenarios {
             }
         }
         grid
+    }
+
+    /// The medium axis: the same two-node Bounce exchange through every
+    /// medium kind.  `ideal` hears everything; `unit_disk` places the nodes
+    /// 8 m apart inside a 10 m disk; `path_loss` puts them 10 m apart under
+    /// the default log-distance model (≈ −70 dBm, comfortably above the
+    /// floor, shadowing fades individual frames); `mobility` walks node 4
+    /// out of the disk at the midpoint of the run and back, so deliveries
+    /// stop and resume mid-scenario.
+    pub fn medium_grid(duration: SimDuration) -> Vec<Scenario> {
+        let us = duration.as_micros();
+        vec![
+            Scenario::bounce(duration).named("bounce_medium_ideal"),
+            Scenario::bounce(duration)
+                .with_medium(MediumSpec::UnitDisk {
+                    range_m: 10.0,
+                    positions: vec![(1, 0.0, 0.0), (4, 8.0, 0.0)],
+                })
+                .named("bounce_medium_unit_disk"),
+            Scenario::bounce(duration)
+                .with_medium(MediumSpec::PathLoss {
+                    model: PathLossSpec::default(),
+                    positions: vec![(1, 0.0, 0.0), (4, 10.0, 0.0)],
+                })
+                .named("bounce_medium_path_loss"),
+            Scenario::bounce(duration)
+                .with_medium(MediumSpec::Mobility {
+                    base: GeometrySpec::UnitDisk { range_m: 10.0 },
+                    positions: vec![(1, 0.0, 0.0)],
+                    traces: vec![(4, vec![(0, 5.0, 0.0), (us / 2, 30.0, 0.0), (us, 5.0, 0.0)])],
+                })
+                .named("bounce_medium_mobility"),
+        ]
+    }
+
+    /// The multi-node path-loss stress profile: `pairs` Bounce exchanges on
+    /// one channel, pairs spaced 30 m apart along a line with 5 m between
+    /// partners.  Partners hear each other loudly; neighboring pairs sit
+    /// near the sensitivity floor, close enough to collide but too far to
+    /// carrier-sense reliably — the hidden-terminal regime the capture rule
+    /// exists for.
+    pub fn path_loss_stress(pairs: u8, seed: u64, duration: SimDuration) -> Scenario {
+        let mut positions = Vec::with_capacity(2 * pairs as usize);
+        for k in 0..pairs {
+            let x = 30.0 * k as f64;
+            positions.push((2 * k + 1, x, 0.0));
+            positions.push((2 * k + 2, x + 5.0, 0.0));
+        }
+        Scenario::bounce_pairs(pairs, duration)
+            .with_medium(MediumSpec::PathLoss {
+                model: PathLossSpec::default(),
+                positions,
+            })
+            .with_seed(seed)
+            .named(format!("path_loss_stress_{}n_seed{seed}", 2 * pairs as u16))
     }
 
     /// Converts a finished LPL scenario into the `quanto-apps` [`LplRun`]

@@ -13,6 +13,7 @@ use analysis::{pct, PowerInterval};
 use analysis::{regress, IntervalBuilder, ObservationPool, RegressionOptions, TextTable};
 use hw_model::catalog::radio_rx_state;
 use hw_model::{Energy, Power, SimDuration, SimTime, SinkId};
+use net_sim::DeliveryCounters;
 use os_sim::NodeRunOutput;
 use quanto_apps::ExperimentContext;
 use quanto_core::NodeId;
@@ -87,6 +88,29 @@ impl fmt::Display for RawAccessError {
 
 impl std::error::Error for RawAccessError {}
 
+/// Why a delivery-counter lookup on a [`ScenarioResult`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterAccessError {
+    /// The scenario whose counters were requested.
+    pub scenario: String,
+    /// The medium kind that ran it.
+    pub medium: &'static str,
+}
+
+impl fmt::Display for CounterAccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "the {:?} medium of scenario {:?} does not track delivery counters; \
+             run the scenario under a geometric medium (unit_disk, path_loss or \
+             mobility) to get delivery/loss/capture counts",
+            self.medium, self.scenario
+        )
+    }
+}
+
+impl std::error::Error for CounterAccessError {}
+
 /// The raw per-node data of one executed scenario, kept only when the runner
 /// retains it.
 #[derive(Debug)]
@@ -108,6 +132,12 @@ pub struct ScenarioResult {
     pub scenario: Scenario,
     /// Per-node summaries, in node insertion order.
     pub summaries: Vec<NodeSummary>,
+    /// The medium kind the scenario ran under (`"ideal"`, `"unit_disk"`, …).
+    pub medium_kind: &'static str,
+    /// The medium's delivery counters; `None` when the medium does not track
+    /// them (the ideal medium) — read through
+    /// [`ScenarioResult::medium_counters`].
+    medium_counters: Option<DeliveryCounters>,
     /// Raw outputs; `None` once the merge has summarized-and-dropped them.
     raw: Option<RawScenarioOutputs>,
 }
@@ -129,6 +159,7 @@ impl ScenarioResult {
                 (id, ExperimentContext::from_kernel(kernel))
             })
             .collect();
+        let medium_counters = net.medium_counters();
         let outputs = net.finish(end);
         let summaries = outputs
             .iter()
@@ -140,12 +171,31 @@ impl ScenarioResult {
                 summarize(*id, out, ctx)
             })
             .collect();
+        let medium_kind = scenario.medium.kind();
         ScenarioResult {
             index,
             scenario,
             summaries,
+            medium_kind,
+            medium_counters,
             raw: Some(RawScenarioOutputs { outputs, contexts }),
         }
+    }
+
+    /// The medium's delivery/loss/capture counters, or a descriptive error
+    /// when the scenario's medium does not track them (the ideal medium).
+    pub fn medium_counters(&self) -> Result<&DeliveryCounters, CounterAccessError> {
+        self.medium_counters
+            .as_ref()
+            .ok_or_else(|| CounterAccessError {
+                scenario: self.scenario.name.clone(),
+                medium: self.medium_kind,
+            })
+    }
+
+    /// Whether the scenario's medium tracked delivery counters.
+    pub fn has_medium_counters(&self) -> bool {
+        self.medium_counters.is_some()
     }
 
     /// The raw per-node data, while retained.
@@ -283,6 +333,15 @@ impl ScenarioResult {
             h.write(&s.average_power.as_micro_watts().to_bits().to_le_bytes());
             h.write(&s.total_energy.as_micro_joules().to_bits().to_le_bytes());
             h.write(&s.radio_duty_cycle.to_bits().to_le_bytes());
+        }
+        // Only counter-tracking mediums fold their counts: the ideal medium
+        // contributes nothing, keeping pre-medium-subsystem digests pinned.
+        if let Some(c) = &self.medium_counters {
+            h.write(self.medium_kind.as_bytes());
+            h.write(&c.delivered.to_le_bytes());
+            h.write(&c.lost_out_of_range.to_le_bytes());
+            h.write(&c.lost_below_sensitivity.to_le_bytes());
+            h.write(&c.lost_captured.to_le_bytes());
         }
     }
 }
@@ -461,6 +520,7 @@ impl FleetReport {
         let mut t = TextTable::new(vec![
             "#",
             "Scenario",
+            "Medium",
             "Node",
             "Entries",
             "Avg power (mW)",
@@ -469,6 +529,7 @@ impl FleetReport {
             "Sent",
             "Rcvd",
             "False wk",
+            "Dlvd/Lost",
         ])
         .with_title(format!(
             "Fleet report — {} scenarios on {} thread(s) in {:.1?}",
@@ -477,10 +538,15 @@ impl FleetReport {
             self.wall_clock
         ));
         for r in &self.results {
+            let delivery = match &r.medium_counters {
+                Some(c) => format!("{}/{}", c.delivered, c.lost()),
+                None => "-".to_string(),
+            };
             for s in &r.summaries {
                 t.row(vec![
                     r.index.to_string(),
                     r.scenario.name.clone(),
+                    r.medium_kind.to_string(),
                     s.node.to_string(),
                     s.log_entries.to_string(),
                     format!("{:.3}", s.average_power.as_milli_watts()),
@@ -489,6 +555,7 @@ impl FleetReport {
                     s.packets_sent.to_string(),
                     s.packets_received.to_string(),
                     s.false_wakeups.to_string(),
+                    delivery.clone(),
                 ]);
             }
         }
@@ -519,7 +586,13 @@ impl FleetReport {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&scenario_json(r.index, &r.scenario.name, &r.summaries));
+            out.push_str(&scenario_json(
+                r.index,
+                &r.scenario.name,
+                r.medium_kind,
+                r.medium_counters.as_ref(),
+                &r.summaries,
+            ));
         }
         out.push_str("]}");
         out
@@ -527,11 +600,27 @@ impl FleetReport {
 }
 
 /// JSON for one scenario's summaries — shared by [`FleetReport::summary_json`]
-/// and the runner's progress events.
-pub(crate) fn scenario_json(index: usize, name: &str, summaries: &[NodeSummary]) -> String {
+/// and the runner's progress events.  `counters` is `null` for mediums that
+/// do not track delivery.
+pub(crate) fn scenario_json(
+    index: usize,
+    name: &str,
+    medium_kind: &str,
+    counters: Option<&DeliveryCounters>,
+    summaries: &[NodeSummary],
+) -> String {
     let mut out = String::from("{");
     out.push_str(&format!("\"index\":{index},"));
     out.push_str(&format!("\"scenario\":\"{}\",", json_escape(name)));
+    out.push_str(&format!("\"medium\":\"{}\",", json_escape(medium_kind)));
+    match counters {
+        Some(c) => out.push_str(&format!(
+            "\"delivery\":{{\"delivered\":{},\"lost_out_of_range\":{},\
+             \"lost_below_sensitivity\":{},\"lost_captured\":{}}},",
+            c.delivered, c.lost_out_of_range, c.lost_below_sensitivity, c.lost_captured
+        )),
+        None => out.push_str("\"delivery\":null,"),
+    }
     out.push_str("\"nodes\":[");
     for (i, s) in summaries.iter().enumerate() {
         if i > 0 {
@@ -737,9 +826,17 @@ mod tests {
     #[test]
     fn summary_json_is_well_formed_enough() {
         let result = ScenarioResult::execute(0, Scenario::idle(SimDuration::from_secs(1)));
-        let json = scenario_json(result.index, &result.scenario.name, &result.summaries);
+        let json = scenario_json(
+            result.index,
+            &result.scenario.name,
+            result.medium_kind,
+            None,
+            &result.summaries,
+        );
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"scenario\":\"idle_1s\""));
+        assert!(json.contains("\"medium\":\"ideal\""));
+        assert!(json.contains("\"delivery\":null"));
         assert!(json.contains("\"node\":1"));
         // Balanced braces and brackets (a cheap structural check without a
         // JSON parser in the tree).
@@ -748,6 +845,30 @@ mod tests {
             let closes = json.matches(close).count();
             assert_eq!(opens, closes, "unbalanced {open}{close} in {json}");
         }
+    }
+
+    #[test]
+    fn medium_counter_access_is_fallible_and_descriptive() {
+        use crate::scenario::MediumSpec;
+        let d = SimDuration::from_secs(2);
+        // The ideal medium tracks nothing: a descriptive error, not a panic.
+        let ideal = ScenarioResult::execute(0, Scenario::bounce(d));
+        assert!(!ideal.has_medium_counters());
+        let err = ideal.medium_counters().unwrap_err();
+        assert_eq!(err.medium, "ideal");
+        let msg = err.to_string();
+        assert!(msg.contains("does not track delivery counters"), "{msg}");
+        assert!(msg.contains(&ideal.scenario.name), "{msg}");
+        // A geometric medium answers.
+        let disk = ScenarioResult::execute(
+            0,
+            Scenario::bounce(d).with_medium(MediumSpec::UnitDisk {
+                range_m: 100.0,
+                positions: vec![(1, 0.0, 0.0), (4, 5.0, 0.0)],
+            }),
+        );
+        let c = disk.medium_counters().expect("unit disk tracks counters");
+        assert!(c.delivered > 0, "bounce packets must flow in range");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::report::{scenario_json, FleetReport, NodeSummary, ReportAccumulator, ScenarioResult};
 use crate::scenario::Scenario;
+use net_sim::DeliveryCounters;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
@@ -33,6 +34,10 @@ pub struct FleetProgress {
     pub completed: usize,
     /// Total scenarios in the batch.
     pub total: usize,
+    /// The medium kind the scenario ran under.
+    pub medium_kind: &'static str,
+    /// The medium's delivery counters, when it tracks them.
+    pub medium_counters: Option<DeliveryCounters>,
     /// The scenario's per-node summaries.
     pub summaries: Vec<NodeSummary>,
 }
@@ -46,7 +51,13 @@ impl FleetProgress {
             "{{\"completed\":{},\"total\":{},\"result\":{}}}",
             self.completed,
             self.total,
-            scenario_json(self.index, &self.name, &self.summaries)
+            scenario_json(
+                self.index,
+                &self.name,
+                self.medium_kind,
+                self.medium_counters.as_ref(),
+                &self.summaries
+            )
         )
     }
 }
@@ -149,6 +160,8 @@ impl FleetRunner {
                 name: result.scenario.name.clone(),
                 completed: result.index + 1,
                 total,
+                medium_kind: result.medium_kind,
+                medium_counters: result.medium_counters().ok().copied(),
                 summaries: result.summaries.clone(),
             };
             *held -= acc.absorb(result);

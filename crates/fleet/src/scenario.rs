@@ -1,13 +1,17 @@
 //! Declarative simulation scenarios.
 //!
 //! A [`Scenario`] is plain data — which application runs, on which channel,
-//! under which interference, for how long, with which seed — from which a
-//! ready-to-run [`NetSim`] can be built on any thread.  The paper's
-//! evaluation grid (LPL on channel 17 vs 26, Blink profiles, Bounce) and
-//! arbitrary seed × channel × topology sweeps are all batches of these.
+//! under which interference, through which radio medium, for how long, with
+//! which seed — from which a ready-to-run [`NetSim`] can be built on any
+//! thread.  The paper's evaluation grid (LPL on channel 17 vs 26, Blink
+//! profiles, Bounce) and arbitrary seed × channel × topology × medium sweeps
+//! are all batches of these.
 
-use hw_model::SimDuration;
-use net_sim::{NetSim, Topology};
+use hw_model::{SimDuration, SimTime};
+use net_sim::{
+    Mobility, MobilityTrace, NetSim, PathLoss, PathLossParams, Position, PositionedMedium,
+    RadioMedium, Topology, UnitDisk,
+};
 use os_sim::{NodeConfig, NullApp};
 use quanto_apps::{
     lpl_node_config, paper_interference, BlinkApp, BounceApp, LplListenerApp,
@@ -30,6 +34,13 @@ pub enum AppSpec {
     },
     /// Two Bounce nodes (ids 1 and 4, as in the paper) ping-ponging packets.
     Bounce,
+    /// `pairs` independent Bounce exchanges: pair `k` is nodes `2k+1`
+    /// (initiator) and `2k+2`, for node ids 1..=2·pairs.  The multi-node
+    /// stress workload for geometric mediums (at most 127 pairs).
+    BouncePairs {
+        /// How many two-node exchanges run side by side.
+        pairs: u8,
+    },
     /// One idle node — the DCO-calibration-only baseline.
     Idle,
 }
@@ -58,6 +69,167 @@ impl TopologySpec {
     }
 }
 
+/// The log-distance path-loss model as plain sweepable data (see
+/// [`net_sim::PathLossParams`]; the seed is supplied by the scenario so seed
+/// sweeps also reseed the shadowing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathLossSpec {
+    /// Transmit power, dBm.
+    pub tx_power_dbm: f64,
+    /// Path loss at the 1 m reference distance, dB.
+    pub ref_loss_db: f64,
+    /// Path-loss exponent.
+    pub exponent: f64,
+    /// Log-normal shadowing standard deviation, dB (0 disables it).
+    pub shadowing_sigma_db: f64,
+    /// Minimum decodable RSSI, dBm.
+    pub sensitivity_dbm: f64,
+    /// Capture margin, dB.
+    pub capture_margin_db: f64,
+}
+
+impl Default for PathLossSpec {
+    fn default() -> Self {
+        let p = PathLossParams::default();
+        PathLossSpec {
+            tx_power_dbm: p.tx_power_dbm,
+            ref_loss_db: p.ref_loss_db,
+            exponent: p.exponent,
+            shadowing_sigma_db: p.shadowing_sigma_db,
+            sensitivity_dbm: p.sensitivity_dbm,
+            capture_margin_db: p.capture_margin_db,
+        }
+    }
+}
+
+impl PathLossSpec {
+    fn to_params(&self, seed: u64) -> PathLossParams {
+        PathLossParams {
+            tx_power_dbm: self.tx_power_dbm,
+            ref_loss_db: self.ref_loss_db,
+            exponent: self.exponent,
+            shadowing_sigma_db: self.shadowing_sigma_db,
+            sensitivity_dbm: self.sensitivity_dbm,
+            capture_margin_db: self.capture_margin_db,
+            seed,
+        }
+    }
+}
+
+/// The geometric model a [`MediumSpec::Mobility`] medium layers traces over.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeometrySpec {
+    /// Hard-range unit disk.
+    UnitDisk {
+        /// Communication range, meters.
+        range_m: f64,
+    },
+    /// Log-distance path loss with capture.
+    PathLoss(PathLossSpec),
+}
+
+impl GeometrySpec {
+    fn build(&self, seed: u64, positions: &[(u8, f64, f64)]) -> Box<dyn PositionedMedium> {
+        match self {
+            GeometrySpec::UnitDisk { range_m } => {
+                let mut disk = UnitDisk::new(*range_m);
+                for (id, x, y) in positions {
+                    disk.set_position(NodeId(*id), Position::new(*x, *y));
+                }
+                Box::new(disk)
+            }
+            GeometrySpec::PathLoss(spec) => {
+                let mut model = PathLoss::new(spec.to_params(seed));
+                for (id, x, y) in positions {
+                    model.set_position(NodeId(*id), Position::new(*x, *y));
+                }
+                Box::new(model)
+            }
+        }
+    }
+}
+
+/// One node's mobility trace as plain data: the node id and its
+/// `(time µs, x, y)` waypoints.
+pub type TraceSpec = (u8, Vec<(u64, f64, f64)>);
+
+/// Which radio medium a scenario's frames propagate through — a plain-data
+/// sweep axis, like seeds and channels.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum MediumSpec {
+    /// The explicit-topology ideal ether ([`Scenario::topology`] decides
+    /// delivery) — byte-identical to the pre-medium-subsystem simulator.
+    #[default]
+    Ideal,
+    /// Positions plus a hard communication range.
+    UnitDisk {
+        /// Communication range, meters.
+        range_m: f64,
+        /// `(node id, x, y)` placements, meters; unplaced nodes sit at the
+        /// origin.
+        positions: Vec<(u8, f64, f64)>,
+    },
+    /// Log-distance path loss with deterministic shadowing and capture.
+    PathLoss {
+        /// The propagation model parameters.
+        model: PathLossSpec,
+        /// `(node id, x, y)` placements, meters.
+        positions: Vec<(u8, f64, f64)>,
+    },
+    /// Piecewise-linear waypoint traces over a geometric base model.
+    Mobility {
+        /// The geometric model underneath.
+        base: GeometrySpec,
+        /// Static `(node id, x, y)` placements for untraced nodes.
+        positions: Vec<(u8, f64, f64)>,
+        /// Per-node waypoint traces: `(node id, [(time µs, x, y)])`.
+        traces: Vec<TraceSpec>,
+    },
+}
+
+impl MediumSpec {
+    /// The medium's stable kind name (`"ideal"`, `"unit_disk"`,
+    /// `"path_loss"`, `"mobility"`) — used in scenario names, reports and
+    /// counter-access errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MediumSpec::Ideal => "ideal",
+            MediumSpec::UnitDisk { .. } => "unit_disk",
+            MediumSpec::PathLoss { .. } => "path_loss",
+            MediumSpec::Mobility { .. } => "mobility",
+        }
+    }
+
+    /// Builds the propagation model; `None` for [`MediumSpec::Ideal`], which
+    /// keeps the scenario's topology-driven default.
+    fn build(&self, seed: u64) -> Option<Box<dyn RadioMedium>> {
+        match self {
+            MediumSpec::Ideal => None,
+            MediumSpec::UnitDisk { range_m, positions } => {
+                Some(GeometrySpec::UnitDisk { range_m: *range_m }.build(seed, positions))
+            }
+            MediumSpec::PathLoss { model, positions } => {
+                Some(GeometrySpec::PathLoss(model.clone()).build(seed, positions))
+            }
+            MediumSpec::Mobility {
+                base,
+                positions,
+                traces,
+            } => {
+                let mut mobility = Mobility::new(base.build(seed, positions));
+                for (id, waypoints) in traces {
+                    let waypoints = waypoints
+                        .iter()
+                        .map(|(us, x, y)| (SimTime::from_micros(*us), Position::new(*x, *y)))
+                        .collect();
+                    mobility = mobility.with_trace(NodeId(*id), MobilityTrace::new(waypoints));
+                }
+                Some(Box::new(mobility))
+            }
+        }
+    }
+}
+
 /// One cell of an experiment grid: everything needed to build and run a
 /// simulation, as plain (thread-shareable) data.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,7 +241,8 @@ pub struct Scenario {
     /// The 802.15.4 channel every node's radio uses (11–26).
     pub channel: u8,
     /// Seed for the scenario's environment (the interferer's traffic
-    /// pattern) and — when [`Scenario::seed_nodes`] — the nodes' own RNGs.
+    /// pattern, the medium's shadowing) and — when [`Scenario::seed_nodes`]
+    /// — the nodes' own RNGs.
     pub seed: u64,
     /// When true, node RNG seeds derive from `seed` (for seed sweeps); when
     /// false, nodes keep their id-derived defaults, which makes a scenario
@@ -77,8 +250,10 @@ pub struct Scenario {
     pub seed_nodes: bool,
     /// Simulated run length.
     pub duration: SimDuration,
-    /// Connectivity between nodes.
+    /// Connectivity between nodes (only consulted by the ideal medium).
     pub topology: TopologySpec,
+    /// The radio medium frames propagate through.
+    pub medium: MediumSpec,
 }
 
 impl Scenario {
@@ -92,6 +267,7 @@ impl Scenario {
             seed_nodes: false,
             duration,
             topology: TopologySpec::Full,
+            medium: MediumSpec::Ideal,
         }
     }
 
@@ -107,6 +283,7 @@ impl Scenario {
             seed_nodes: false,
             duration,
             topology: TopologySpec::Full,
+            medium: MediumSpec::Ideal,
         }
     }
 
@@ -120,6 +297,23 @@ impl Scenario {
             seed_nodes: false,
             duration,
             topology: TopologySpec::Full,
+            medium: MediumSpec::Ideal,
+        }
+    }
+
+    /// `pairs` side-by-side Bounce exchanges (node ids 1..=2·pairs) — the
+    /// multi-node workload geometric mediums are stressed with.
+    pub fn bounce_pairs(pairs: u8, duration: SimDuration) -> Self {
+        assert!((1..=127).contains(&pairs), "pairs must be in 1..=127");
+        Scenario {
+            name: format!("bounce_pairs{pairs}_{}s", duration.as_secs_f64()),
+            app: AppSpec::BouncePairs { pairs },
+            channel: 26,
+            seed: 0,
+            seed_nodes: false,
+            duration,
+            topology: TopologySpec::Full,
+            medium: MediumSpec::Ideal,
         }
     }
 
@@ -133,6 +327,7 @@ impl Scenario {
             seed_nodes: false,
             duration,
             topology: TopologySpec::Full,
+            medium: MediumSpec::Ideal,
         }
     }
 
@@ -156,11 +351,20 @@ impl Scenario {
         self
     }
 
+    /// Replaces the radio medium — the topology-model sweep axis.
+    pub fn with_medium(mut self, medium: MediumSpec) -> Self {
+        self.medium = medium;
+        self
+    }
+
     /// The node ids this scenario instantiates, in insertion order.
     pub fn node_ids(&self) -> Vec<NodeId> {
         match self.app {
             AppSpec::Blink | AppSpec::LplListener { .. } | AppSpec::Idle => vec![NodeId(1)],
             AppSpec::Bounce => vec![NodeId(1), NodeId(4)],
+            AppSpec::BouncePairs { pairs } => {
+                (1..=2 * pairs as u16).map(|id| NodeId(id as u8)).collect()
+            }
         }
     }
 
@@ -180,6 +384,10 @@ impl Scenario {
     /// Builds a ready-to-run simulation of this scenario.
     pub fn build(&self) -> NetSim {
         let mut net = NetSim::new();
+        let quiet = |id: u8| NodeConfig {
+            dco_calibration: false,
+            ..NodeConfig::new(NodeId(id))
+        };
         match &self.app {
             AppSpec::Blink => {
                 net.add_node(
@@ -197,10 +405,6 @@ impl Scenario {
                 }
             }
             AppSpec::Bounce => {
-                let quiet = |id: u8| NodeConfig {
-                    dco_calibration: false,
-                    ..NodeConfig::new(NodeId(id))
-                };
                 net.add_node(
                     self.tweak(quiet(1)),
                     Box::new(BounceApp::new(NodeId(4), true)),
@@ -210,11 +414,28 @@ impl Scenario {
                     Box::new(BounceApp::new(NodeId(1), true)),
                 );
             }
+            AppSpec::BouncePairs { pairs } => {
+                for k in 0..*pairs {
+                    let a = 2 * k + 1;
+                    let b = 2 * k + 2;
+                    net.add_node(
+                        self.tweak(quiet(a)),
+                        Box::new(BounceApp::new(NodeId(b), true)),
+                    );
+                    net.add_node(
+                        self.tweak(quiet(b)),
+                        Box::new(BounceApp::new(NodeId(a), true)),
+                    );
+                }
+            }
             AppSpec::Idle => {
                 net.add_node(self.tweak(NodeConfig::new(NodeId(1))), Box::new(NullApp));
             }
         }
         net.set_topology(self.topology.to_topology());
+        if let Some(model) = self.medium.build(self.seed) {
+            net.set_medium(model);
+        }
         net
     }
 }
@@ -231,6 +452,11 @@ mod tests {
         let net = Scenario::bounce(d).build();
         assert_eq!(net.node_count(), 2);
         assert!(net.node(NodeId(4)).is_some());
+        let pairs = Scenario::bounce_pairs(3, d);
+        assert_eq!(pairs.node_ids().len(), 6);
+        let net = pairs.build();
+        assert_eq!(net.node_count(), 6);
+        assert!(net.node(NodeId(6)).is_some());
     }
 
     #[test]
@@ -249,8 +475,67 @@ mod tests {
         let net = Scenario::bounce(d)
             .with_topology(TopologySpec::Links(vec![]))
             .build();
-        assert!(!net.medium().topology().connected(NodeId(1), NodeId(4)));
+        let topology = net.medium().topology().expect("ideal medium");
+        assert!(!topology.connected(NodeId(1), NodeId(4)));
         let full = Scenario::bounce(d).build();
-        assert!(full.medium().topology().connected(NodeId(1), NodeId(4)));
+        let topology = full.medium().topology().expect("ideal medium");
+        assert!(topology.connected(NodeId(1), NodeId(4)));
+    }
+
+    #[test]
+    fn medium_spec_installs_the_model() {
+        let d = SimDuration::from_secs(1);
+        let ideal = Scenario::bounce(d).build();
+        assert_eq!(ideal.medium().model().kind(), "ideal");
+        assert!(ideal.medium_counters().is_none());
+
+        let disk = Scenario::bounce(d)
+            .with_medium(MediumSpec::UnitDisk {
+                range_m: 10.0,
+                positions: vec![(1, 0.0, 0.0), (4, 5.0, 0.0)],
+            })
+            .build();
+        assert_eq!(disk.medium().model().kind(), "unit_disk");
+        assert!(disk.medium_counters().is_some());
+        assert!(disk.medium().topology().is_none());
+
+        let mobility = Scenario::bounce(d)
+            .with_medium(MediumSpec::Mobility {
+                base: GeometrySpec::PathLoss(PathLossSpec::default()),
+                positions: vec![(1, 0.0, 0.0)],
+                traces: vec![(4, vec![(0, 0.0, 0.0), (1_000_000, 9.0, 0.0)])],
+            })
+            .build();
+        assert_eq!(mobility.medium().model().kind(), "mobility");
+    }
+
+    #[test]
+    fn medium_kinds_are_stable_names() {
+        assert_eq!(MediumSpec::Ideal.kind(), "ideal");
+        assert_eq!(
+            MediumSpec::UnitDisk {
+                range_m: 1.0,
+                positions: vec![]
+            }
+            .kind(),
+            "unit_disk"
+        );
+        assert_eq!(
+            MediumSpec::PathLoss {
+                model: PathLossSpec::default(),
+                positions: vec![]
+            }
+            .kind(),
+            "path_loss"
+        );
+        assert_eq!(
+            MediumSpec::Mobility {
+                base: GeometrySpec::UnitDisk { range_m: 1.0 },
+                positions: vec![],
+                traces: vec![]
+            }
+            .kind(),
+            "mobility"
+        );
     }
 }

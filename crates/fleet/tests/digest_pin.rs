@@ -6,7 +6,7 @@
 //! them byte for byte, at any thread count, with and without raw retention.
 
 use hw_model::SimDuration;
-use quanto_fleet::{scenarios, FleetRunner, Scenario};
+use quanto_fleet::{scenarios, FleetRunner, MediumSpec, Scenario};
 
 /// `pin_batch()` digest recorded on the pre-refactor batch pipeline.
 const PIN_BATCH_DIGEST: u64 = 0x766a_a912_dcd1_2f29;
@@ -47,4 +47,25 @@ fn single_scenario_digest_is_pinned_too() {
     let report =
         FleetRunner::sequential().run(vec![Scenario::lpl(17, 0.18, SimDuration::from_secs(4))]);
     assert_eq!(report.digest(), SINGLE_LPL_DIGEST);
+}
+
+/// The `Ideal` medium is the pre-medium-subsystem explicit-topology path:
+/// spelling it out with `with_medium` must reproduce the pinned digests byte
+/// for byte (same deliveries, same logs, no counter bytes folded).
+#[test]
+fn explicit_ideal_medium_reproduces_the_pinned_digests() {
+    let batch: Vec<Scenario> = pin_batch()
+        .into_iter()
+        .map(|s| s.with_medium(MediumSpec::Ideal))
+        .collect();
+    let report = FleetRunner::new(4).run(batch);
+    assert_eq!(
+        report.digest(),
+        PIN_BATCH_DIGEST,
+        "an explicit Ideal medium must be byte-identical to the topology path"
+    );
+    assert!(report
+        .results
+        .iter()
+        .all(|r| r.medium_kind == "ideal" && !r.has_medium_counters()));
 }

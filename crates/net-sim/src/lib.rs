@@ -9,7 +9,10 @@
 //! * [`interference::WifiInterferer`] — a bursty, deterministic 802.11
 //!   traffic source,
 //! * [`medium::Medium`] — the shared ether: in-flight mote transmissions,
-//!   interference, and the connectivity [`medium::Topology`], and
+//!   interference, and the connectivity [`medium::Topology`],
+//! * [`radio`] — the pluggable propagation models behind the medium
+//!   ([`radio::Ideal`], [`radio::UnitDisk`], [`radio::PathLoss`],
+//!   [`radio::Mobility`]), and
 //! * [`netsim::NetSim`] — the coordinator that advances every node in global
 //!   time order and delivers frames between them.
 
@@ -17,8 +20,13 @@ pub mod channel;
 pub mod interference;
 pub mod medium;
 pub mod netsim;
+pub mod radio;
 
 pub use channel::{ieee802154_center_mhz, overlaps, wifi_center_mhz};
 pub use interference::WifiInterferer;
 pub use medium::{Medium, Topology};
 pub use netsim::NetSim;
+pub use radio::{
+    DeliveryCounters, Ideal, Mobility, MobilityTrace, OnAir, PathLoss, PathLossParams, Position,
+    PositionedMedium, Positions, RadioMedium, Reception, UnitDisk,
+};

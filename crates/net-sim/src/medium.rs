@@ -1,10 +1,14 @@
 //! The shared radio medium.
 //!
-//! The medium answers clear-channel assessments (it knows about every mote
-//! transmission in flight and every 802.11 interferer) and decides which
-//! nodes hear which frames (via a simple connectivity topology).
+//! The medium owns the *ether*: it knows about every mote transmission in
+//! flight and every 802.11 interferer, answers clear-channel assessments,
+//! and registers new frames on the air.  *Who hears which frame* is
+//! delegated to a pluggable [`RadioMedium`] propagation model (see
+//! [`crate::radio`]); the default [`crate::radio::Ideal`] model reproduces
+//! the original explicit-topology simulator byte for byte.
 
 use crate::interference::WifiInterferer;
+use crate::radio::{DeliveryCounters, Ideal, OnAir, RadioMedium, Reception};
 use hw_model::{SimDuration, SimTime};
 use os_sim::{Emission, World};
 use quanto_core::NodeId;
@@ -12,7 +16,7 @@ use std::collections::HashSet;
 
 /// Delay between the start of a transmission and the receiver's SFD
 /// interrupt (preamble + synchronization header at 250 kbps).
-pub(crate) const SFD_DELAY: SimDuration = SimDuration::from_micros(160);
+pub const SFD_DELAY: SimDuration = SimDuration::from_micros(160);
 
 /// Which pairs of nodes can hear each other.
 #[derive(Debug, Clone, Default)]
@@ -49,41 +53,63 @@ impl Topology {
     }
 }
 
-/// One mote transmission currently (or recently) on the air.
-#[derive(Debug, Clone)]
-struct OnAir {
-    from: NodeId,
-    channel: u8,
-    start: SimTime,
-    end: SimTime,
-}
-
-/// The shared 2.4 GHz medium: mote transmissions plus Wi-Fi interference.
-#[derive(Debug, Clone, Default)]
+/// The shared 2.4 GHz medium: mote transmissions plus Wi-Fi interference,
+/// with delivery decided by the pluggable propagation model.
+#[derive(Debug)]
 pub struct Medium {
-    topology: Topology,
+    model: Box<dyn RadioMedium>,
     interferers: Vec<WifiInterferer>,
     on_air: Vec<OnAir>,
 }
 
+impl Default for Medium {
+    fn default() -> Self {
+        Medium::new()
+    }
+}
+
 impl Medium {
-    /// Creates a quiet medium with full connectivity.
+    /// Creates a quiet medium with the ideal model and full connectivity.
     pub fn new() -> Self {
+        Medium::with_model(Box::new(Ideal::full()))
+    }
+
+    /// Creates a quiet medium over an explicit propagation model.
+    pub fn with_model(model: Box<dyn RadioMedium>) -> Self {
         Medium {
-            topology: Topology::full(),
+            model,
             interferers: Vec::new(),
             on_air: Vec::new(),
         }
     }
 
-    /// Replaces the connectivity topology.
-    pub fn set_topology(&mut self, topology: Topology) {
-        self.topology = topology;
+    /// Replaces the propagation model (frames already on the air stay).
+    pub fn set_model(&mut self, model: Box<dyn RadioMedium>) {
+        self.model = model;
     }
 
-    /// The current topology.
-    pub fn topology(&self) -> &Topology {
-        &self.topology
+    /// Read-only access to the propagation model.
+    pub fn model(&self) -> &dyn RadioMedium {
+        self.model.as_ref()
+    }
+
+    /// Replaces the connectivity topology by installing an [`Ideal`] model
+    /// over it (the pre-medium-subsystem API, kept for the explicit-topology
+    /// scenarios).
+    pub fn set_topology(&mut self, topology: Topology) {
+        self.model = Box::new(Ideal::new(topology));
+    }
+
+    /// The current topology, when the model is driven by one (`None` for
+    /// geometric and mobility models, which have no link list).
+    pub fn topology(&self) -> Option<&Topology> {
+        self.model.topology()
+    }
+
+    /// The model's delivery counters, when it tracks them (`None` for
+    /// [`Ideal`]).
+    pub fn counters(&self) -> Option<DeliveryCounters> {
+        self.model.counters()
     }
 
     /// Adds an 802.11 interference source.
@@ -105,11 +131,17 @@ impl Medium {
             .retain(|t| t.end + SimDuration::from_secs(1) >= horizon);
     }
 
-    /// Whether any mote other than `node` is on the air on `channel` at `at`.
-    pub fn mote_energy(&self, node: NodeId, channel: u8, at: SimTime) -> bool {
-        self.on_air
-            .iter()
-            .any(|t| t.from != node && t.channel == channel && t.start <= at && at < t.end)
+    /// Whether any mote other than `node` is on the air on `channel` at `at`
+    /// *and* close enough for `node`'s CCA to sense it.
+    pub fn mote_energy(&mut self, node: NodeId, channel: u8, at: SimTime) -> bool {
+        let model = &mut self.model;
+        self.on_air.iter().any(|t| {
+            t.from != node
+                && t.channel == channel
+                && t.start <= at
+                && at < t.end
+                && model.carrier_senses(node, t, at)
+        })
     }
 
     /// Whether any interferer deposits energy into `channel` at `at`.
@@ -124,15 +156,31 @@ impl World for Medium {
     }
 
     /// Registers the frame on the air and delivers it, [`SFD_DELAY`] after
-    /// the start of transmission, to every node the topology connects to the
-    /// transmitter.
+    /// the start of transmission, to every node the propagation model says
+    /// hears it.  Frames overlapping it on the same channel are passed to
+    /// the model as capture-effect competitors.
     fn transmit(&mut self, emission: &Emission, nodes: &[NodeId]) -> Vec<(NodeId, SimTime)> {
+        let competing: Vec<OnAir> = self
+            .on_air
+            .iter()
+            .filter(|t| {
+                t.from != emission.from
+                    && t.channel == emission.channel
+                    && t.start < emission.end
+                    && emission.start < t.end
+            })
+            .cloned()
+            .collect();
         self.register_transmission(emission);
         let sfd = emission.start + SFD_DELAY;
+        let model = &mut self.model;
         nodes
             .iter()
             .copied()
-            .filter(|to| self.topology.connected(emission.from, *to))
+            .filter(|to| {
+                *to != emission.from
+                    && model.receive(emission, *to, &competing) == Reception::Delivered
+            })
             .map(|to| (to, sfd))
             .collect()
     }
@@ -141,6 +189,7 @@ impl World for Medium {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::radio::{PathLoss, PathLossParams, Position, UnitDisk};
     use os_sim::AmPacket;
 
     fn emission(from: u8, channel: u8, start_ms: u64, end_ms: u64) -> Emission {
@@ -194,5 +243,59 @@ mod tests {
         m.register_transmission(&emission(1, 17, 0, 5));
         m.register_transmission(&emission(2, 17, 10_000, 10_005));
         assert_eq!(m.on_air.len(), 1, "the transmission from t=0 was dropped");
+    }
+
+    #[test]
+    fn ideal_transmit_delivers_to_connected_nodes_at_sfd() {
+        let mut m = Medium::new();
+        m.set_topology(Topology::from_links(&[(NodeId(1), NodeId(4))]));
+        let e = emission(1, 17, 100, 105);
+        let heard = m.transmit(&e, &[NodeId(1), NodeId(4), NodeId(9)]);
+        assert_eq!(heard, vec![(NodeId(4), e.start + SFD_DELAY)]);
+        assert!(m.counters().is_none(), "ideal tracks no counters");
+        assert!(m.topology().is_some());
+    }
+
+    #[test]
+    fn geometric_model_gates_cca_by_distance() {
+        let disk = UnitDisk::new(10.0)
+            .with_position(NodeId(1), Position::new(0.0, 0.0))
+            .with_position(NodeId(2), Position::new(5.0, 0.0))
+            .with_position(NodeId(3), Position::new(50.0, 0.0));
+        let mut m = Medium::with_model(Box::new(disk));
+        m.register_transmission(&emission(1, 17, 100, 105));
+        // 5 m away: senses the frame.
+        assert!(m.channel_busy(NodeId(2), 17, SimTime::from_millis(102)));
+        // 50 m away: the same frame is inaudible — a hidden terminal.
+        assert!(!m.channel_busy(NodeId(3), 17, SimTime::from_millis(102)));
+        assert!(m.topology().is_none(), "geometric models have no topology");
+    }
+
+    #[test]
+    fn transmit_hands_overlapping_frames_to_the_capture_rule() {
+        let params = PathLossParams {
+            shadowing_sigma_db: 0.0,
+            ..PathLossParams::default()
+        };
+        // Node 3 sits next to node 1 and far from node 2: when both frames
+        // overlap, node 1's captures at node 3 and node 2's is lost there.
+        let model = PathLoss::new(params)
+            .with_position(NodeId(1), Position::new(0.0, 0.0))
+            .with_position(NodeId(2), Position::new(45.0, 0.0))
+            .with_position(NodeId(3), Position::new(2.0, 0.0));
+        let mut m = Medium::with_model(Box::new(model));
+        let nodes = [NodeId(1), NodeId(2), NodeId(3)];
+        let first = m.transmit(&emission(2, 17, 100, 105), &nodes);
+        assert!(
+            first.iter().any(|(to, _)| *to == NodeId(3)),
+            "alone on the air, the far frame reaches node 3"
+        );
+        let second = m.transmit(&emission(1, 17, 101, 106), &nodes);
+        assert!(
+            second.iter().any(|(to, _)| *to == NodeId(3)),
+            "the near frame captures node 3 over the in-flight far frame"
+        );
+        let c = m.counters().expect("path loss tracks counters");
+        assert!(c.delivered >= 2);
     }
 }

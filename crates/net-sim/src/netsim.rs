@@ -9,6 +9,7 @@
 
 use crate::interference::WifiInterferer;
 use crate::medium::{Medium, Topology};
+use crate::radio::{DeliveryCounters, RadioMedium};
 use hw_model::{SimDuration, SimTime};
 use os_sim::{Application, Engine, Node, NodeConfig, NodeRunOutput};
 use quanto_core::NodeId;
@@ -54,9 +55,20 @@ impl NetSim {
         self.engine.world_mut().add_interferer(interferer);
     }
 
-    /// Replaces the connectivity topology.
+    /// Replaces the connectivity topology (installs an ideal medium over it).
     pub fn set_topology(&mut self, topology: Topology) {
         self.engine.world_mut().set_topology(topology);
+    }
+
+    /// Replaces the propagation model (unit disk, path loss, mobility, …).
+    pub fn set_medium(&mut self, model: Box<dyn RadioMedium>) {
+        self.engine.world_mut().set_model(model);
+    }
+
+    /// The medium's delivery counters, when its model tracks them (`None`
+    /// under the ideal model).
+    pub fn medium_counters(&self) -> Option<DeliveryCounters> {
+        self.medium().counters()
     }
 
     /// Number of nodes.

@@ -1,0 +1,96 @@
+//! Node placement for the geometric mediums.
+
+use quanto_core::NodeId;
+use std::collections::HashMap;
+
+/// A node position on the deployment plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// East coordinate, meters.
+    pub x: f64,
+    /// North coordinate, meters.
+    pub y: f64,
+}
+
+impl Position {
+    /// The origin of the deployment plane.
+    pub const ORIGIN: Position = Position { x: 0.0, y: 0.0 };
+
+    /// A position at `(x, y)` meters.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    pub fn distance_to(self, other: Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Where every node sits.  Nodes that were never placed sit at the origin,
+/// so a geometric medium with no placements degenerates to "everyone in one
+/// spot" (full connectivity) instead of erroring.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Positions {
+    placed: HashMap<NodeId, Position>,
+}
+
+impl Positions {
+    /// An empty placement (every node at the origin).
+    pub fn new() -> Self {
+        Positions::default()
+    }
+
+    /// Places (or moves) one node.
+    pub fn set(&mut self, node: NodeId, position: Position) {
+        self.placed.insert(node, position);
+    }
+
+    /// The position of `node` (origin when never placed).
+    pub fn get(&self, node: NodeId) -> Position {
+        self.placed.get(&node).copied().unwrap_or(Position::ORIGIN)
+    }
+
+    /// Distance between two nodes, in meters.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        self.get(a).distance_to(self.get(b))
+    }
+
+    /// How many nodes have an explicit placement.
+    pub fn len(&self) -> usize {
+        self.placed.len()
+    }
+
+    /// Whether no node has an explicit placement.
+    pub fn is_empty(&self) -> bool {
+        self.placed.is_empty()
+    }
+}
+
+impl FromIterator<(NodeId, Position)> for Positions {
+    fn from_iter<I: IntoIterator<Item = (NodeId, Position)>>(iter: I) -> Self {
+        Positions {
+            placed: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_and_defaults() {
+        let mut p = Positions::new();
+        assert!(p.is_empty());
+        p.set(NodeId(1), Position::new(3.0, 0.0));
+        p.set(NodeId(2), Position::new(0.0, 4.0));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.distance(NodeId(1), NodeId(2)), 5.0);
+        // Unplaced nodes sit at the origin.
+        assert_eq!(p.get(NodeId(9)), Position::ORIGIN);
+        assert_eq!(p.distance(NodeId(1), NodeId(9)), 3.0);
+    }
+}

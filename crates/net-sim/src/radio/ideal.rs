@@ -1,0 +1,83 @@
+//! The ideal medium: explicit connectivity, perfect reception.
+//!
+//! This is the behavior the simulator shipped with before mediums became
+//! pluggable, and it must stay *byte-identical* to it: the fleet digest pins
+//! (`crates/fleet/tests/digest_pin.rs`) run every pre-medium scenario
+//! through [`Ideal`] and require the pre-refactor digests.  That is also why
+//! it does not track [`super::DeliveryCounters`]: counter folding would
+//! change the digest, and the ideal ether has no signal levels to count
+//! losses against.
+
+use super::{OnAir, RadioMedium, Reception};
+use crate::medium::Topology;
+use os_sim::Emission;
+use quanto_core::NodeId;
+
+/// Explicit-topology propagation: a link either exists or it does not.
+#[derive(Debug, Clone, Default)]
+pub struct Ideal {
+    topology: Topology,
+}
+
+impl Ideal {
+    /// An ideal medium over `topology`.
+    pub fn new(topology: Topology) -> Self {
+        Ideal { topology }
+    }
+
+    /// An ideal medium with full connectivity.
+    pub fn full() -> Self {
+        Ideal::new(Topology::full())
+    }
+}
+
+impl RadioMedium for Ideal {
+    fn kind(&self) -> &'static str {
+        "ideal"
+    }
+
+    fn receive(&mut self, emission: &Emission, to: NodeId, _competing: &[OnAir]) -> Reception {
+        if self.topology.connected(emission.from, to) {
+            Reception::Delivered
+        } else {
+            Reception::Disconnected
+        }
+    }
+
+    fn topology(&self) -> Option<&Topology> {
+        Some(&self.topology)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hw_model::SimTime;
+    use os_sim::AmPacket;
+
+    fn emission(from: u8) -> Emission {
+        Emission {
+            from: NodeId(from),
+            channel: 26,
+            packet: AmPacket::new(NodeId(from), NodeId(0xFF), 0, vec![]),
+            start: SimTime::from_millis(1),
+            end: SimTime::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn follows_the_topology_and_tracks_nothing() {
+        let mut m = Ideal::new(Topology::from_links(&[(NodeId(1), NodeId(2))]));
+        assert_eq!(m.kind(), "ideal");
+        assert_eq!(
+            m.receive(&emission(1), NodeId(2), &[]),
+            Reception::Delivered
+        );
+        assert_eq!(
+            m.receive(&emission(1), NodeId(3), &[]),
+            Reception::Disconnected
+        );
+        assert!(m.counters().is_none(), "ideal never tracks counters");
+        assert!(m.topology().is_some());
+    }
+}

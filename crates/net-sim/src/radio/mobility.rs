@@ -1,0 +1,245 @@
+//! Mobility: waypoint traces driving node positions over simulation time.
+
+use super::geometry::Position;
+use super::{DeliveryCounters, OnAir, RadioMedium, Reception};
+use hw_model::SimTime;
+use os_sim::Emission;
+use quanto_core::NodeId;
+
+/// A medium whose node placements can be updated mid-run — the layer
+/// [`Mobility`] drives.  Implemented by [`super::UnitDisk`] and
+/// [`super::PathLoss`].
+pub trait PositionedMedium: RadioMedium {
+    /// Places (or moves) one node.
+    fn set_position(&mut self, node: NodeId, position: Position);
+}
+
+/// A piecewise-linear waypoint trace: the node sits at the first waypoint
+/// until its time, moves in straight lines between consecutive waypoints,
+/// and parks at the last one forever.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobilityTrace {
+    /// `(arrival time, position)` waypoints, sorted by time.
+    waypoints: Vec<(SimTime, Position)>,
+}
+
+impl MobilityTrace {
+    /// Builds a trace from waypoints (sorted by time internally; the sort is
+    /// stable, so equal-time duplicates keep their submission order and act
+    /// as a step).  An empty trace parks the node at the origin.
+    pub fn new(mut waypoints: Vec<(SimTime, Position)>) -> Self {
+        waypoints.sort_by_key(|(t, _)| *t);
+        MobilityTrace { waypoints }
+    }
+
+    /// A trace that never moves.
+    pub fn stationary(position: Position) -> Self {
+        MobilityTrace {
+            waypoints: vec![(SimTime::ZERO, position)],
+        }
+    }
+
+    /// The waypoints, sorted by time.
+    pub fn waypoints(&self) -> &[(SimTime, Position)] {
+        &self.waypoints
+    }
+
+    /// The position at `at`.
+    ///
+    /// Interpolation is clamped to each segment's bounding box, which makes
+    /// the trace *monotone by construction*: floating-point rounding at a
+    /// segment end can never overshoot the waypoint it is heading to, so a
+    /// trace whose waypoints only move one way never jitters backwards —
+    /// including for times past the 32-bit microsecond boundary, where the
+    /// paper's own log timestamps wrap but `SimTime` (64-bit) does not.
+    pub fn position_at(&self, at: SimTime) -> Position {
+        let Some(&(first_t, first_p)) = self.waypoints.first() else {
+            return Position::ORIGIN;
+        };
+        if at <= first_t {
+            return first_p;
+        }
+        for pair in self.waypoints.windows(2) {
+            let (t0, p0) = pair[0];
+            let (t1, p1) = pair[1];
+            if at < t1 {
+                let span = t1.duration_since(t0).as_micros();
+                if span == 0 {
+                    // Equal-time waypoints: a step; the earliest wins until t1.
+                    return p0;
+                }
+                let frac = at.duration_since(t0).as_micros() as f64 / span as f64;
+                return Position::new(lerp(p0.x, p1.x, frac), lerp(p0.y, p1.y, frac));
+            }
+        }
+        self.waypoints.last().expect("non-empty").1
+    }
+}
+
+/// Interpolates between `a` and `b`, clamped to `[min(a,b), max(a,b)]` so
+/// rounding can never leave the segment.
+fn lerp(a: f64, b: f64, frac: f64) -> f64 {
+    let v = a + (b - a) * frac;
+    if a <= b {
+        v.clamp(a, b)
+    } else {
+        v.clamp(b, a)
+    }
+}
+
+/// A geometric medium whose positions follow [`MobilityTrace`]s.
+///
+/// Before answering any propagation or carrier-sense query, every traced
+/// node's position is re-evaluated at the frame's start time (deliveries)
+/// or the assessment time (CCA), so the same query at the same simulated
+/// time gives the same answer on every thread.  Nodes without a trace keep
+/// whatever static position the inner medium was built with.
+///
+/// Overlapping-frame (capture) competitors are evaluated at the *querying*
+/// frame's positions, not at their own start positions: frames overlap for
+/// at most one air time (~ms), over which waypoint motion is negligible
+/// next to the seconds-scale traces this models.
+#[derive(Debug)]
+pub struct Mobility {
+    traces: Vec<(NodeId, MobilityTrace)>,
+    inner: Box<dyn PositionedMedium>,
+    /// The time positions were last synced at — one `transmit` queries every
+    /// candidate receiver at the same `emission.start`, so consecutive
+    /// same-time syncs (the common case) skip the trace re-evaluation.
+    synced_at: Option<SimTime>,
+}
+
+impl Mobility {
+    /// Wraps a geometric medium; add traces with [`Mobility::with_trace`].
+    pub fn new(inner: Box<dyn PositionedMedium>) -> Self {
+        Mobility {
+            traces: Vec::new(),
+            inner,
+            synced_at: None,
+        }
+    }
+
+    /// Attaches (or replaces) the trace of one node.
+    pub fn with_trace(mut self, node: NodeId, trace: MobilityTrace) -> Self {
+        self.traces.retain(|(id, _)| *id != node);
+        self.traces.push((node, trace));
+        self.synced_at = None;
+        self
+    }
+
+    /// The attached traces.
+    pub fn traces(&self) -> &[(NodeId, MobilityTrace)] {
+        &self.traces
+    }
+
+    /// Moves every traced node to its position at `at` (no-op when already
+    /// synced there).
+    fn sync_positions(&mut self, at: SimTime) {
+        if self.synced_at == Some(at) {
+            return;
+        }
+        for (node, trace) in &self.traces {
+            self.inner.set_position(*node, trace.position_at(at));
+        }
+        self.synced_at = Some(at);
+    }
+}
+
+impl RadioMedium for Mobility {
+    fn kind(&self) -> &'static str {
+        "mobility"
+    }
+
+    fn receive(&mut self, emission: &Emission, to: NodeId, competing: &[OnAir]) -> Reception {
+        self.sync_positions(emission.start);
+        self.inner.receive(emission, to, competing)
+    }
+
+    fn carrier_senses(&mut self, listener: NodeId, frame: &OnAir, at: SimTime) -> bool {
+        self.sync_positions(at);
+        self.inner.carrier_senses(listener, frame, at)
+    }
+
+    fn counters(&self) -> Option<DeliveryCounters> {
+        self.inner.counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::UnitDisk;
+    use super::*;
+    use os_sim::AmPacket;
+
+    #[test]
+    fn trace_clamps_interpolates_and_parks() {
+        let trace = MobilityTrace::new(vec![
+            (SimTime::from_secs(10), Position::new(0.0, 0.0)),
+            (SimTime::from_secs(20), Position::new(100.0, 50.0)),
+        ]);
+        // Before the first waypoint: parked at it.
+        assert_eq!(trace.position_at(SimTime::ZERO), Position::new(0.0, 0.0));
+        // Midway: linear.
+        let mid = trace.position_at(SimTime::from_secs(15));
+        assert_eq!(mid, Position::new(50.0, 25.0));
+        // Exactly at a waypoint: exactly its position.
+        assert_eq!(
+            trace.position_at(SimTime::from_secs(20)),
+            Position::new(100.0, 50.0)
+        );
+        // Long after the last: parked forever.
+        assert_eq!(
+            trace.position_at(SimTime::from_secs(9999)),
+            Position::new(100.0, 50.0)
+        );
+    }
+
+    #[test]
+    fn empty_and_unsorted_traces_are_tamed() {
+        assert_eq!(
+            MobilityTrace::new(vec![]).position_at(SimTime::from_secs(5)),
+            Position::ORIGIN
+        );
+        let trace = MobilityTrace::new(vec![
+            (SimTime::from_secs(20), Position::new(2.0, 0.0)),
+            (SimTime::from_secs(10), Position::new(1.0, 0.0)),
+        ]);
+        assert_eq!(trace.waypoints()[0].0, SimTime::from_secs(10));
+        assert_eq!(trace.position_at(SimTime::ZERO), Position::new(1.0, 0.0));
+    }
+
+    fn emission_at(from: u8, at: SimTime) -> Emission {
+        Emission {
+            from: NodeId(from),
+            channel: 26,
+            packet: AmPacket::new(NodeId(from), NodeId(0xFF), 0, vec![]),
+            start: at,
+            end: at + hw_model::SimDuration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn walking_out_of_range_changes_delivery_over_time() {
+        let disk = UnitDisk::new(10.0).with_position(NodeId(1), Position::new(0.0, 0.0));
+        let mut m = Mobility::new(Box::new(disk)).with_trace(
+            NodeId(2),
+            MobilityTrace::new(vec![
+                (SimTime::ZERO, Position::new(0.0, 0.0)),
+                (SimTime::from_secs(100), Position::new(100.0, 0.0)),
+            ]),
+        );
+        assert_eq!(m.kind(), "mobility");
+        // t=1 s: 1 m away — delivered.
+        assert_eq!(
+            m.receive(&emission_at(1, SimTime::from_secs(1)), NodeId(2), &[]),
+            Reception::Delivered
+        );
+        // t=50 s: 50 m away — gone.
+        assert_eq!(
+            m.receive(&emission_at(1, SimTime::from_secs(50)), NodeId(2), &[]),
+            Reception::OutOfRange
+        );
+        let c = m.counters().expect("inherits the disk's counters");
+        assert_eq!((c.delivered, c.lost_out_of_range), (1, 1));
+    }
+}

@@ -1,0 +1,195 @@
+//! Pluggable radio mediums.
+//!
+//! The shared [`crate::medium::Medium`] owns the *ether* — which frames are
+//! on the air, which 802.11 interferers deposit energy — but delegates the
+//! propagation question ("does this receiver hear this frame?") to a
+//! [`RadioMedium`] model.  Four models ship:
+//!
+//! * [`Ideal`] — the original behavior: an explicit connectivity
+//!   [`crate::medium::Topology`] decides delivery, byte-identical to the
+//!   pre-medium-subsystem simulator;
+//! * [`UnitDisk`] — node positions plus a hard communication range;
+//! * [`PathLoss`] — a log-distance path-loss model with deterministic
+//!   per-emission shadowing, an RSSI sensitivity floor, and a capture
+//!   effect (the strongest overlapping frame above the capture margin
+//!   survives, weaker ones are lost);
+//! * [`Mobility`] — piecewise-linear waypoint traces driving node positions
+//!   over simulation time, layered over either geometric model.
+//!
+//! Every model is a pure function of the emission, the receiver, and the
+//! competing on-air frames — randomness comes from hashes of those inputs,
+//! never from shared mutable RNG state — so a scenario produces identical
+//! deliveries whatever thread executes it.
+
+pub mod geometry;
+pub mod ideal;
+pub mod mobility;
+pub mod path_loss;
+pub mod unit_disk;
+
+pub use geometry::{Position, Positions};
+pub use ideal::Ideal;
+pub use mobility::{Mobility, MobilityTrace, PositionedMedium};
+pub use path_loss::{PathLoss, PathLossParams};
+pub use unit_disk::UnitDisk;
+
+use crate::medium::Topology;
+use hw_model::SimTime;
+use os_sim::Emission;
+use quanto_core::NodeId;
+
+/// One mote transmission currently (or recently) on the air.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnAir {
+    /// The transmitting node.
+    pub from: NodeId,
+    /// The 802.15.4 channel used.
+    pub channel: u8,
+    /// When the transmission started.
+    pub start: SimTime,
+    /// When the transmission ended.
+    pub end: SimTime,
+}
+
+/// The outcome of one (emission, receiver) propagation query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reception {
+    /// The receiver hears the frame.
+    Delivered,
+    /// The connectivity topology has no link from transmitter to receiver.
+    Disconnected,
+    /// The receiver is beyond the geometric communication range.
+    OutOfRange,
+    /// The received signal strength is under the sensitivity floor.
+    BelowSensitivity,
+    /// A stronger overlapping frame captured the receiver; this one is lost.
+    Captured,
+}
+
+/// Delivery bookkeeping a geometric medium accumulates over a run.
+///
+/// [`Ideal`] predates these counters and deliberately does not track them —
+/// consumers must go through fallible accessors (see
+/// `quanto_fleet::ScenarioResult::medium_counters`) rather than assume they
+/// exist.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryCounters {
+    /// (emission, receiver) pairs that heard the frame.
+    pub delivered: u64,
+    /// Pairs lost to geometric range (or a missing topology link).
+    pub lost_out_of_range: u64,
+    /// Pairs lost under the RSSI sensitivity floor.
+    pub lost_below_sensitivity: u64,
+    /// Pairs lost to a stronger overlapping frame (capture effect).
+    pub lost_captured: u64,
+}
+
+impl DeliveryCounters {
+    /// Records one propagation outcome.  [`Reception::Disconnected`] counts
+    /// as out-of-range: both mean "the geometry/topology never connected the
+    /// pair", as opposed to signal-level losses.
+    pub fn record(&mut self, reception: Reception) {
+        match reception {
+            Reception::Delivered => self.delivered += 1,
+            Reception::Disconnected | Reception::OutOfRange => self.lost_out_of_range += 1,
+            Reception::BelowSensitivity => self.lost_below_sensitivity += 1,
+            Reception::Captured => self.lost_captured += 1,
+        }
+    }
+
+    /// Total lost (emission, receiver) pairs.
+    pub fn lost(&self) -> u64 {
+        self.lost_out_of_range + self.lost_below_sensitivity + self.lost_captured
+    }
+
+    /// Total propagation queries answered.
+    pub fn attempts(&self) -> u64 {
+        self.delivered + self.lost()
+    }
+}
+
+/// A propagation model the shared [`crate::medium::Medium`] consults.
+///
+/// Implementations must be deterministic functions of their inputs (plus
+/// their own construction-time configuration): the fleet runner executes the
+/// same scenario on arbitrary worker threads and requires bit-identical
+/// deliveries.  Randomness (e.g. shadowing) must therefore be derived by
+/// hashing the emission's identity, never drawn from a stateful RNG shared
+/// across queries.
+pub trait RadioMedium: std::fmt::Debug + Send {
+    /// A short stable name for diagnostics, scenario labels and error
+    /// messages (`"ideal"`, `"unit_disk"`, `"path_loss"`, `"mobility"`).
+    fn kind(&self) -> &'static str;
+
+    /// Decides whether `to` hears `emission`.  `competing` holds every other
+    /// transmission on the air on the same channel whose air time overlaps
+    /// the emission — the capture-effect candidates.  The transmitter itself
+    /// is never queried.
+    fn receive(&mut self, emission: &Emission, to: NodeId, competing: &[OnAir]) -> Reception;
+
+    /// Whether a clear-channel assessment by `listener` at `at` detects the
+    /// energy of `frame`.  The default — every frame is sensed everywhere —
+    /// is the ideal-ether behavior; geometric models override it so distant
+    /// transmitters stop tripping CCA (which is what creates hidden
+    /// terminals, and with them capture-effect collisions).
+    fn carrier_senses(&mut self, listener: NodeId, frame: &OnAir, at: SimTime) -> bool {
+        let _ = (listener, frame, at);
+        true
+    }
+
+    /// Delivery counters, when this medium tracks them.  The default is
+    /// `None` ([`Ideal`] keeps it); geometric models return their counts.
+    fn counters(&self) -> Option<DeliveryCounters> {
+        None
+    }
+
+    /// The connectivity topology, when this medium is driven by one
+    /// ([`Ideal`] only).
+    fn topology(&self) -> Option<&Topology> {
+        None
+    }
+}
+
+/// SplitMix64 finalizer: the one hash every deterministic "RNG" in this
+/// module is built from.
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a uniform sample in `[0, 1)`.
+pub(crate) fn unit_uniform(z: u64) -> f64 {
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_classify_and_sum() {
+        let mut c = DeliveryCounters::default();
+        c.record(Reception::Delivered);
+        c.record(Reception::Delivered);
+        c.record(Reception::Disconnected);
+        c.record(Reception::OutOfRange);
+        c.record(Reception::BelowSensitivity);
+        c.record(Reception::Captured);
+        assert_eq!(c.delivered, 2);
+        assert_eq!(c.lost_out_of_range, 2, "Disconnected folds into range loss");
+        assert_eq!(c.lost_below_sensitivity, 1);
+        assert_eq!(c.lost_captured, 1);
+        assert_eq!(c.lost(), 4);
+        assert_eq!(c.attempts(), 6);
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix(42), mix(42));
+        assert_ne!(mix(42), mix(43));
+        let u = unit_uniform(mix(7));
+        assert!((0.0..1.0).contains(&u));
+    }
+}

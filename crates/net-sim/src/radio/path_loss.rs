@@ -1,0 +1,320 @@
+//! The log-distance path-loss medium with shadowing and capture.
+//!
+//! Received power follows the classic log-distance model:
+//!
+//! ```text
+//! RSSI(d) = P_tx − PL(d₀) − 10·n·log₁₀(max(d, d₀)/d₀) + X_σ
+//! ```
+//!
+//! with reference distance d₀ = 1 m.  `X_σ` is log-normal shadowing with
+//! standard deviation `shadowing_sigma_db`, drawn *deterministically* per
+//! (frame, receiver) pair: the sample is a hash of `(seed, transmitter,
+//! receiver, frame start time)`, so the same scenario loses the same frames
+//! on every thread of a fleet sweep, and a frame's level at a given receiver
+//! is stable for its whole air time (one fade per frame, not per query).
+//!
+//! A frame is received iff its RSSI clears `sensitivity_dbm` *and* beats the
+//! strongest overlapping same-channel frame by at least `capture_margin_db`
+//! (the capture effect).  Colliding frames below that margin are lost and
+//! counted as captured.
+
+use super::geometry::{Position, Positions};
+use super::mobility::PositionedMedium;
+use super::{mix, unit_uniform, DeliveryCounters, OnAir, RadioMedium, Reception};
+use hw_model::SimTime;
+use os_sim::Emission;
+use quanto_core::NodeId;
+
+/// √3: scales an Irwin–Hall(4) sum to unit variance (see
+/// [`PathLoss::shadowing_db`]).
+const SQRT_3: f64 = 1.732_050_807_568_877_2;
+
+/// Configuration of the log-distance model.  Defaults approximate a CC2420
+/// mote indoors: 0 dBm transmit power, 40 dB loss at the 1 m reference,
+/// exponent 3.0, 4 dB shadowing, −94 dBm sensitivity, 3 dB capture margin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathLossParams {
+    /// Transmit power, dBm.
+    pub tx_power_dbm: f64,
+    /// Path loss at the 1 m reference distance, dB.
+    pub ref_loss_db: f64,
+    /// Path-loss exponent `n` (2 = free space, 3–4 = indoors).
+    pub exponent: f64,
+    /// Log-normal shadowing standard deviation, dB (0 disables it).
+    pub shadowing_sigma_db: f64,
+    /// Minimum RSSI a receiver can decode, dBm.
+    pub sensitivity_dbm: f64,
+    /// How many dB a frame must beat the strongest overlapping frame by to
+    /// survive a collision.
+    pub capture_margin_db: f64,
+    /// Seed decorrelating the shadowing of otherwise-identical scenarios.
+    pub seed: u64,
+}
+
+impl Default for PathLossParams {
+    fn default() -> Self {
+        PathLossParams {
+            tx_power_dbm: 0.0,
+            ref_loss_db: 40.0,
+            exponent: 3.0,
+            shadowing_sigma_db: 4.0,
+            sensitivity_dbm: -94.0,
+            capture_margin_db: 3.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Log-distance propagation with deterministic shadowing and capture.
+#[derive(Debug, Clone)]
+pub struct PathLoss {
+    params: PathLossParams,
+    positions: Positions,
+    counters: DeliveryCounters,
+}
+
+impl PathLoss {
+    /// A path-loss medium under `params`, with every node at the origin
+    /// until placed.
+    pub fn new(params: PathLossParams) -> Self {
+        PathLoss {
+            params,
+            positions: Positions::new(),
+            counters: DeliveryCounters::default(),
+        }
+    }
+
+    /// Places one node (builder form).
+    pub fn with_position(mut self, node: NodeId, position: Position) -> Self {
+        self.positions.set(node, position);
+        self
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &PathLossParams {
+        &self.params
+    }
+
+    /// The current placements.
+    pub fn positions(&self) -> &Positions {
+        &self.positions
+    }
+
+    /// The deterministic per-frame shadowing sample for a (transmitter,
+    /// receiver, frame-start) triple: four hashed uniforms summed into an
+    /// Irwin–Hall approximation of a standard normal (mean 2, variance 1/3,
+    /// rescaled), then scaled by σ.  Pure integer/float arithmetic — no
+    /// transcendental whose libm could differ — keeps it bit-stable.
+    fn shadowing_db(&self, from: NodeId, to: NodeId, start: SimTime) -> f64 {
+        if self.params.shadowing_sigma_db <= 0.0 {
+            return 0.0;
+        }
+        let key = self
+            .params
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(start.as_micros())
+            .wrapping_add((from.as_u8() as u64) << 48)
+            .wrapping_add((to.as_u8() as u64) << 56);
+        let mut sum = 0.0;
+        let mut z = key;
+        for _ in 0..4 {
+            z = mix(z);
+            sum += unit_uniform(z);
+        }
+        (sum - 2.0) * SQRT_3 * self.params.shadowing_sigma_db
+    }
+
+    /// RSSI in dBm of a frame from `from` (started at `start`) as heard by
+    /// `to`, with the frame's shadowing fade applied.
+    pub fn rssi_dbm(&self, from: NodeId, to: NodeId, start: SimTime) -> f64 {
+        let d = self.positions.distance(from, to).max(1.0);
+        self.params.tx_power_dbm - self.params.ref_loss_db - 10.0 * self.params.exponent * d.log10()
+            + self.shadowing_db(from, to, start)
+    }
+}
+
+impl RadioMedium for PathLoss {
+    fn kind(&self) -> &'static str {
+        "path_loss"
+    }
+
+    fn receive(&mut self, emission: &Emission, to: NodeId, competing: &[OnAir]) -> Reception {
+        let rssi = self.rssi_dbm(emission.from, to, emission.start);
+        let reception = if rssi < self.params.sensitivity_dbm {
+            Reception::BelowSensitivity
+        } else {
+            // Capture rule: the frame survives iff it beats the *strongest*
+            // overlapping frame by the capture margin.  Each competitor's
+            // fade is keyed on its own start time (the same fade that
+            // decided that frame's own delivery); its distance term uses the
+            // positions as of *this* query — under `Mobility` that is this
+            // emission's start, which can differ from the competitor's start
+            // by at most one frame air time (~ms), negligible motion for
+            // seconds-scale waypoint traces.
+            let strongest = competing
+                .iter()
+                .filter(|c| c.from != to)
+                .map(|c| self.rssi_dbm(c.from, to, c.start))
+                .fold(f64::NEG_INFINITY, f64::max);
+            if rssi >= strongest + self.params.capture_margin_db {
+                Reception::Delivered
+            } else {
+                Reception::Captured
+            }
+        };
+        self.counters.record(reception);
+        reception
+    }
+
+    fn carrier_senses(&mut self, listener: NodeId, frame: &OnAir, _at: SimTime) -> bool {
+        self.rssi_dbm(frame.from, listener, frame.start) >= self.params.sensitivity_dbm
+    }
+
+    fn counters(&self) -> Option<DeliveryCounters> {
+        Some(self.counters)
+    }
+}
+
+impl PositionedMedium for PathLoss {
+    fn set_position(&mut self, node: NodeId, position: Position) {
+        self.positions.set(node, position);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use os_sim::AmPacket;
+
+    fn noiseless() -> PathLossParams {
+        PathLossParams {
+            shadowing_sigma_db: 0.0,
+            ..PathLossParams::default()
+        }
+    }
+
+    fn emission(from: u8, start_ms: u64) -> Emission {
+        Emission {
+            from: NodeId(from),
+            channel: 26,
+            packet: AmPacket::new(NodeId(from), NodeId(0xFF), 0, vec![]),
+            start: SimTime::from_millis(start_ms),
+            end: SimTime::from_millis(start_ms + 1),
+        }
+    }
+
+    fn on_air(from: u8, start_ms: u64, end_ms: u64) -> OnAir {
+        OnAir {
+            from: NodeId(from),
+            channel: 26,
+            start: SimTime::from_millis(start_ms),
+            end: SimTime::from_millis(end_ms),
+        }
+    }
+
+    #[test]
+    fn rssi_follows_the_log_distance_law() {
+        let m = PathLoss::new(noiseless())
+            .with_position(NodeId(1), Position::new(0.0, 0.0))
+            .with_position(NodeId(2), Position::new(10.0, 0.0))
+            .with_position(NodeId(3), Position::new(100.0, 0.0));
+        let t = SimTime::ZERO;
+        // 10 m: 0 − 40 − 30·log10(10) = −70 dBm.
+        assert!((m.rssi_dbm(NodeId(1), NodeId(2), t) - (-70.0)).abs() < 1e-9);
+        // 100 m: −100 dBm; each decade costs 10·n dB.
+        assert!((m.rssi_dbm(NodeId(1), NodeId(3), t) - (-100.0)).abs() < 1e-9);
+        // Inside the reference distance the loss is clamped at PL(d0).
+        assert!((m.rssi_dbm(NodeId(1), NodeId(1), t) - (-40.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitivity_floor_cuts_distant_receivers() {
+        // −94 dBm floor with n=3: reachable to ~63 m, gone at 100 m.
+        let mut m = PathLoss::new(noiseless())
+            .with_position(NodeId(1), Position::new(0.0, 0.0))
+            .with_position(NodeId(2), Position::new(50.0, 0.0))
+            .with_position(NodeId(3), Position::new(100.0, 0.0));
+        assert_eq!(
+            m.receive(&emission(1, 5), NodeId(2), &[]),
+            Reception::Delivered
+        );
+        assert_eq!(
+            m.receive(&emission(1, 5), NodeId(3), &[]),
+            Reception::BelowSensitivity
+        );
+        let c = m.counters().unwrap();
+        assert_eq!((c.delivered, c.lost_below_sensitivity), (1, 1));
+    }
+
+    #[test]
+    fn capture_keeps_the_strong_frame_and_drops_the_weak() {
+        // Receiver 3 sits 5 m from node 1 and 40 m from node 2: node 1's
+        // frame beats node 2's by ≫ 3 dB, so 1 captures, 2 is lost.
+        let mut m = PathLoss::new(noiseless())
+            .with_position(NodeId(1), Position::new(0.0, 0.0))
+            .with_position(NodeId(2), Position::new(45.0, 0.0))
+            .with_position(NodeId(3), Position::new(5.0, 0.0));
+        let near = m.receive(&emission(1, 10), NodeId(3), &[on_air(2, 10, 11)]);
+        assert_eq!(near, Reception::Delivered, "strong frame survives");
+        let far = m.receive(&emission(2, 10), NodeId(3), &[on_air(1, 10, 11)]);
+        assert_eq!(far, Reception::Captured, "weak frame is lost");
+        // Comparable levels (both ~equidistant): nobody clears the margin.
+        let mut tie = PathLoss::new(noiseless())
+            .with_position(NodeId(1), Position::new(-5.0, 0.0))
+            .with_position(NodeId(2), Position::new(5.0, 0.0))
+            .with_position(NodeId(3), Position::new(0.0, 0.0));
+        assert_eq!(
+            tie.receive(&emission(1, 10), NodeId(3), &[on_air(2, 10, 11)]),
+            Reception::Captured
+        );
+    }
+
+    #[test]
+    fn shadowing_is_deterministic_per_frame_and_seed_sensitive() {
+        let place = |seed| {
+            PathLoss::new(PathLossParams {
+                seed,
+                ..PathLossParams::default()
+            })
+            .with_position(NodeId(1), Position::new(0.0, 0.0))
+            .with_position(NodeId(2), Position::new(20.0, 0.0))
+        };
+        let a = place(1);
+        let b = place(1);
+        let c = place(2);
+        let t = SimTime::from_millis(123);
+        assert_eq!(
+            a.rssi_dbm(NodeId(1), NodeId(2), t).to_bits(),
+            b.rssi_dbm(NodeId(1), NodeId(2), t).to_bits(),
+            "same seed, same frame: bit-identical fade"
+        );
+        assert_ne!(
+            a.rssi_dbm(NodeId(1), NodeId(2), t).to_bits(),
+            c.rssi_dbm(NodeId(1), NodeId(2), t).to_bits(),
+            "different seeds decorrelate"
+        );
+        // Different frame start: a different fade.
+        assert_ne!(
+            a.rssi_dbm(NodeId(1), NodeId(2), t).to_bits(),
+            a.rssi_dbm(NodeId(1), NodeId(2), SimTime::from_millis(124))
+                .to_bits()
+        );
+    }
+
+    #[test]
+    fn shadowing_roughly_matches_sigma() {
+        let m = PathLoss::new(PathLossParams {
+            shadowing_sigma_db: 6.0,
+            ..PathLossParams::default()
+        });
+        let n = 4000;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| m.shadowing_db(NodeId(1), NodeId(2), SimTime::from_micros(i)))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - 6.0).abs() < 0.5, "stddev {}", var.sqrt());
+    }
+}

@@ -1,0 +1,156 @@
+//! The unit-disk medium: positions plus a hard communication range.
+
+use super::geometry::{Position, Positions};
+use super::{DeliveryCounters, OnAir, RadioMedium, Reception};
+use crate::radio::mobility::PositionedMedium;
+use hw_model::SimTime;
+use os_sim::Emission;
+use quanto_core::NodeId;
+
+/// Binary geometric propagation: a receiver within `range_m` meters of the
+/// transmitter hears every frame perfectly; one meter further it hears
+/// nothing.  Carrier sensing uses the same disk, so transmitters outside
+/// each other's range do not defer to each other (hidden terminals exist,
+/// but collisions do not — unit disks have no signal levels to capture
+/// with; use [`super::PathLoss`] for that).
+#[derive(Debug, Clone)]
+pub struct UnitDisk {
+    positions: Positions,
+    range_m: f64,
+    counters: DeliveryCounters,
+}
+
+impl UnitDisk {
+    /// A unit-disk medium with communication range `range_m` meters.
+    /// `f64::INFINITY` makes it equivalent to a full topology.
+    pub fn new(range_m: f64) -> Self {
+        UnitDisk {
+            positions: Positions::new(),
+            range_m,
+            counters: DeliveryCounters::default(),
+        }
+    }
+
+    /// Places one node (builder form).
+    pub fn with_position(mut self, node: NodeId, position: Position) -> Self {
+        self.positions.set(node, position);
+        self
+    }
+
+    /// The configured range, meters.
+    pub fn range_m(&self) -> f64 {
+        self.range_m
+    }
+
+    /// The current placements.
+    pub fn positions(&self) -> &Positions {
+        &self.positions
+    }
+
+    fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        self.positions.distance(a, b) <= self.range_m
+    }
+}
+
+impl RadioMedium for UnitDisk {
+    fn kind(&self) -> &'static str {
+        "unit_disk"
+    }
+
+    fn receive(&mut self, emission: &Emission, to: NodeId, _competing: &[OnAir]) -> Reception {
+        let reception = if self.in_range(emission.from, to) {
+            Reception::Delivered
+        } else {
+            Reception::OutOfRange
+        };
+        self.counters.record(reception);
+        reception
+    }
+
+    fn carrier_senses(&mut self, listener: NodeId, frame: &OnAir, _at: SimTime) -> bool {
+        self.in_range(frame.from, listener)
+    }
+
+    fn counters(&self) -> Option<DeliveryCounters> {
+        Some(self.counters)
+    }
+}
+
+impl PositionedMedium for UnitDisk {
+    fn set_position(&mut self, node: NodeId, position: Position) {
+        self.positions.set(node, position);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use os_sim::AmPacket;
+
+    fn emission(from: u8) -> Emission {
+        Emission {
+            from: NodeId(from),
+            channel: 26,
+            packet: AmPacket::new(NodeId(from), NodeId(0xFF), 0, vec![]),
+            start: SimTime::from_millis(1),
+            end: SimTime::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn range_decides_delivery_and_counters_track_it() {
+        let mut m = UnitDisk::new(10.0)
+            .with_position(NodeId(1), Position::new(0.0, 0.0))
+            .with_position(NodeId(2), Position::new(6.0, 8.0))
+            .with_position(NodeId(3), Position::new(11.0, 0.0));
+        // 10 m away: exactly at the edge, delivered.
+        assert_eq!(
+            m.receive(&emission(1), NodeId(2), &[]),
+            Reception::Delivered
+        );
+        // 11 m away: out of range.
+        assert_eq!(
+            m.receive(&emission(1), NodeId(3), &[]),
+            Reception::OutOfRange
+        );
+        let c = m.counters().expect("unit disk tracks counters");
+        assert_eq!((c.delivered, c.lost_out_of_range), (1, 1));
+    }
+
+    #[test]
+    fn infinite_range_hears_everything_everywhere() {
+        let mut m = UnitDisk::new(f64::INFINITY)
+            .with_position(NodeId(1), Position::new(0.0, 0.0))
+            .with_position(NodeId(2), Position::new(1.0e9, 0.0));
+        assert_eq!(
+            m.receive(&emission(1), NodeId(2), &[]),
+            Reception::Delivered
+        );
+        // Even unplaced nodes (origin default).
+        assert_eq!(
+            m.receive(&emission(1), NodeId(7), &[]),
+            Reception::Delivered
+        );
+        let frame = OnAir {
+            from: NodeId(2),
+            channel: 26,
+            start: SimTime::ZERO,
+            end: SimTime::from_millis(1),
+        };
+        assert!(m.carrier_senses(NodeId(1), &frame, SimTime::ZERO));
+    }
+
+    #[test]
+    fn carrier_sense_respects_the_disk() {
+        let mut m = UnitDisk::new(5.0)
+            .with_position(NodeId(1), Position::new(0.0, 0.0))
+            .with_position(NodeId(2), Position::new(20.0, 0.0));
+        let frame = OnAir {
+            from: NodeId(2),
+            channel: 26,
+            start: SimTime::ZERO,
+            end: SimTime::from_millis(1),
+        };
+        assert!(!m.carrier_senses(NodeId(1), &frame, SimTime::ZERO));
+    }
+}

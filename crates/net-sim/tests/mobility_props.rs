@@ -1,0 +1,120 @@
+//! Property tests on mobility-trace evaluation.
+//!
+//! The paper's own log timestamps are 32-bit microseconds and wrap every
+//! ~71.6 minutes; `SimTime` is 64-bit, so traces must keep working — and
+//! keep moving *forward* — for times at and past the `u32::MAX` µs boundary
+//! where a careless 32-bit cast would fold time back to zero.
+
+use hw_model::SimTime;
+use net_sim::{MobilityTrace, Position};
+use proptest::prelude::*;
+
+/// The 32-bit microsecond boundary, as a 64-bit time.
+const WRAP_US: u64 = u32::MAX as u64;
+
+/// Builds a trace whose waypoint times straddle the 32-bit boundary and
+/// whose coordinates never decrease.
+fn monotone_trace(start_back_us: u64, legs: &[(u64, u32, u32)]) -> MobilityTrace {
+    let mut t = WRAP_US - (start_back_us % WRAP_US);
+    let mut x = 0.0;
+    let mut y = 0.0;
+    let mut waypoints = Vec::with_capacity(legs.len() + 1);
+    waypoints.push((SimTime::from_micros(t), Position::new(x, y)));
+    for (dt, dx, dy) in legs {
+        t += dt;
+        x += *dx as f64;
+        y += *dy as f64;
+        waypoints.push((SimTime::from_micros(t), Position::new(x, y)));
+    }
+    MobilityTrace::new(waypoints)
+}
+
+proptest! {
+    /// For traces that only move forward (in x and y), sampling at
+    /// increasing times — across the 32-bit boundary — yields positions
+    /// that only move forward: no float jitter ever walks a node backwards.
+    #[test]
+    fn trace_evaluation_is_monotone_across_the_32bit_boundary(
+        start_back_us in 1u64..WRAP_US,
+        legs in prop::collection::vec((1u64..200_000_000, 0u32..1000, 0u32..1000), 1..10),
+        samples in prop::collection::vec(any::<u64>(), 32),
+    ) {
+        let trace = monotone_trace(start_back_us, &legs);
+        let first = trace.waypoints().first().unwrap().0;
+        let last = trace.waypoints().last().unwrap().0;
+        let span = last.duration_since(first).as_micros();
+        // Probe strictly increasing times covering before, inside and after
+        // the trace (and therefore both sides of the wrap boundary).
+        let mut times: Vec<u64> = samples
+            .iter()
+            .map(|s| first.as_micros().saturating_sub(1000) + s % (span + 2000))
+            .collect();
+        times.sort_unstable();
+        let mut prev = trace.position_at(SimTime::ZERO);
+        for t in times {
+            let p = trace.position_at(SimTime::from_micros(t));
+            prop_assert!(
+                p.x >= prev.x && p.y >= prev.y,
+                "position moved backwards at t={t}: {prev:?} -> {p:?}"
+            );
+            prev = p;
+        }
+    }
+
+    /// Waypoints are hit exactly: at a waypoint's own time the interpolated
+    /// position is bit-exact, before the first the node parks at it, and
+    /// after the last it parks there forever — however large the time.
+    #[test]
+    fn waypoints_are_exact_and_ends_park(
+        start_back_us in 1u64..WRAP_US,
+        legs in prop::collection::vec((1u64..200_000_000, 0u32..1000, 0u32..1000), 1..10),
+        beyond in 0u64..WRAP_US,
+    ) {
+        let trace = monotone_trace(start_back_us, &legs);
+        for (t, p) in trace.waypoints() {
+            let got = trace.position_at(*t);
+            prop_assert!(
+                got.x.to_bits() == p.x.to_bits() && got.y.to_bits() == p.y.to_bits(),
+                "waypoint at {t:?} not hit exactly: {got:?} != {p:?}"
+            );
+        }
+        let (first_t, first_p) = trace.waypoints().first().copied().unwrap();
+        let (last_t, last_p) = trace.waypoints().last().copied().unwrap();
+        prop_assert_eq!(trace.position_at(SimTime::ZERO), first_p);
+        prop_assert_eq!(
+            trace.position_at(SimTime::from_micros(first_t.as_micros() - 1)),
+            first_p
+        );
+        prop_assert_eq!(
+            trace.position_at(SimTime::from_micros(last_t.as_micros().saturating_add(beyond))),
+            last_p
+        );
+    }
+
+    /// Interpolated positions never leave the bounding box of their
+    /// segment's endpoints, wherever in time the segment sits.
+    #[test]
+    fn interpolation_stays_inside_each_segment(
+        start_back_us in 1u64..WRAP_US,
+        legs in prop::collection::vec((2u64..200_000_000, 0u32..1000, 0u32..1000), 1..8),
+        frac_percent in 0u64..=100,
+    ) {
+        let trace = monotone_trace(start_back_us, &legs);
+        let waypoints = trace.waypoints().to_vec();
+        for pair in waypoints.windows(2) {
+            let (t0, p0) = pair[0];
+            let (t1, p1) = pair[1];
+            let dt = t1.duration_since(t0).as_micros();
+            let t = t0.as_micros() + dt * frac_percent / 100;
+            let p = trace.position_at(SimTime::from_micros(t));
+            prop_assert!(
+                p.x >= p0.x.min(p1.x) && p.x <= p0.x.max(p1.x),
+                "x left the segment at t={t}: {p:?} outside [{p0:?}, {p1:?}]"
+            );
+            prop_assert!(
+                p.y >= p0.y.min(p1.y) && p.y <= p0.y.max(p1.y),
+                "y left the segment at t={t}: {p:?} outside [{p0:?}, {p1:?}]"
+            );
+        }
+    }
+}
