@@ -130,11 +130,11 @@ impl IntervalBuilder {
         self.ready.len()
     }
 
-    /// Closes the stream.  If `final_stamp` is given it closes the last
-    /// interval (the simulator records one at the end of a run); otherwise
-    /// the span after the final power-state entry is dropped.  Returns the
-    /// undrained completed intervals.
-    pub fn finish(mut self, final_stamp: Option<Stamp>) -> Vec<PowerInterval> {
+    /// Non-consuming [`IntervalBuilder::finish`]: closes the last interval
+    /// at `final_stamp` (if any), leaving it ready to drain.  After a flush
+    /// the builder should be [`IntervalBuilder::reset`] before reuse — the
+    /// closing interval has already been emitted.
+    pub fn flush(&mut self, final_stamp: Option<Stamp>) {
         if let Some(end) = final_stamp {
             if end.time > self.cursor_time {
                 self.ready.push(PowerInterval {
@@ -145,6 +145,27 @@ impl IntervalBuilder {
                 });
             }
         }
+    }
+
+    /// Returns the builder to its boot state (catalog-default sink states,
+    /// zero cursor, no wraps seen), keeping its allocations — so one builder
+    /// can be reused across runs without reallocating per-sink state.
+    pub fn reset(&mut self, catalog: &Catalog) {
+        self.unwrapper = TimeUnwrapper::new();
+        self.states.clear();
+        self.states
+            .extend(catalog.sinks().map(|(_, s)| s.default_state));
+        self.cursor_time = SimTime::ZERO;
+        self.cursor_counts = 0;
+        self.ready.clear();
+    }
+
+    /// Closes the stream.  If `final_stamp` is given it closes the last
+    /// interval (the simulator records one at the end of a run); otherwise
+    /// the span after the final power-state entry is dropped.  Returns the
+    /// undrained completed intervals.
+    pub fn finish(mut self, final_stamp: Option<Stamp>) -> Vec<PowerInterval> {
+        self.flush(final_stamp);
         self.ready
     }
 }
@@ -237,9 +258,11 @@ impl SegmentBuilder {
         self.ready.drain(..)
     }
 
-    /// Closes the stream, optionally closing the last segment at
-    /// `final_stamp`.  Returns the undrained segments.
-    pub fn finish(mut self, final_stamp: Option<Stamp>) -> Vec<ActivitySegment> {
+    /// Non-consuming [`SegmentBuilder::finish`]: closes the last segment at
+    /// `final_stamp` (if any) and promotes every retained segment to ready.
+    /// After a flush the builder should be [`SegmentBuilder::reset`] before
+    /// reuse.
+    pub fn flush(&mut self, final_stamp: Option<Stamp>) {
         if let Some(end) = final_stamp {
             if end.time > self.seg_start {
                 self.retained.push(ActivitySegment {
@@ -251,6 +274,23 @@ impl SegmentBuilder {
             }
         }
         self.ready.append(&mut self.retained);
+    }
+
+    /// Returns the builder to its boot state (idle at time zero, no wraps
+    /// seen), keeping its allocations.
+    pub fn reset(&mut self) {
+        self.unwrapper = TimeUnwrapper::new();
+        self.current = ActivityLabel::IDLE;
+        self.seg_start = SimTime::ZERO;
+        self.seg_counts = 0;
+        self.ready.clear();
+        self.retained.clear();
+    }
+
+    /// Closes the stream, optionally closing the last segment at
+    /// `final_stamp`.  Returns the undrained segments.
+    pub fn finish(mut self, final_stamp: Option<Stamp>) -> Vec<ActivitySegment> {
+        self.flush(final_stamp);
         self.ready
     }
 }
@@ -468,6 +508,40 @@ mod tests {
         assert_eq!(segs, batch);
         // All three middle segments carry the final bound label.
         assert!(segs[1..4].iter().all(|s| s.label == c), "{segs:?}");
+    }
+
+    /// `flush` + `reset` must behave like a fresh consuming `finish`: the
+    /// reuse path exists so per-node builders can live across scenarios
+    /// without reallocating.
+    #[test]
+    fn flush_and_reset_reproduce_consuming_finish() {
+        let (cat, _cpu, _leds) = blink_catalog();
+        let log = wrapping_log();
+        let stamp = Some(Stamp::new(SimTime::from_micros(3 << 32), 20));
+        let batch = power_intervals(&log, &cat, stamp);
+        let mut b = IntervalBuilder::new(&cat);
+        for round in 0..3 {
+            let mut streamed = Vec::new();
+            for chunk in log.chunks(2) {
+                b.push_chunk(chunk);
+                streamed.extend(b.drain_completed());
+            }
+            b.flush(stamp);
+            streamed.extend(b.drain_completed());
+            assert_eq!(streamed, batch, "round {round}");
+            b.reset(&cat);
+        }
+
+        let dev = DeviceId(0);
+        let seg_batch = activity_segments(&log, dev, true, stamp);
+        let mut s = SegmentBuilder::new(dev, true);
+        for round in 0..3 {
+            s.push_chunk(&log);
+            s.flush(stamp);
+            let segs: Vec<ActivitySegment> = s.drain_completed().collect();
+            assert_eq!(segs, seg_batch, "round {round}");
+            s.reset();
+        }
     }
 
     #[test]

@@ -1,34 +1,48 @@
 //! `fleet_sweep`: the parallel scenario-grid harness.
 //!
-//! Runs a seed × channel × medium grid (LPL cells, a Blink profile, and the
-//! Bounce exchange through every radio-medium kind) through `quanto-fleet`'s
-//! `FleetRunner`, sharded across worker threads.  Progress streams over a
-//! channel as scenarios merge — partial results print mid-sweep — and the
-//! merged per-scenario summary table (or, with `--json`, a machine-readable
-//! JSON document) prints at the end.
+//! Every grid this binary runs is a [`quanto_fleet::GridSpec`]: the
+//! built-in default, `--smoke` and `--stress` grids are checked-in config
+//! files under `crates/bench/grids/` (compiled in, and runnable verbatim
+//! through `--grid`), and `--grid FILE` runs any user-composed grid.
+//! Scenarios execute on the fleet's zero-materialization path: each node's
+//! log streams through a `LogSink` → incremental-builder chain *during* the
+//! run, so no scenario's log is ever materialized and the peak raw-entry
+//! retention of a whole sweep is zero.  Progress streams over a channel as
+//! scenarios merge, and the merged summary table (or, with `--json`, a
+//! machine-readable JSON document) prints at the end.
 //!
 //! ```text
-//! fleet_sweep [--seconds N] [--threads N] [--seeds N] [--json] [--smoke]
-//!             [--stress [PAIRS]]
+//! fleet_sweep [--seconds N] [--threads N] [--seeds N] [--json]
+//!             [--grid FILE] [--smoke] [--min-speedup X]
+//!             [--stress [PAIRS]] [--stress-nodes N]
 //! ```
 //!
-//! `--stress` runs the multi-node path-loss stress profile instead: PAIRS
-//! (default 8) side-by-side Bounce exchanges spaced along a line under the
-//! log-distance model, where neighboring pairs are hidden terminals and the
-//! capture rule decides collisions.
+//! Unknown flags are a usage error — a typo'd axis override must fail
+//! loudly, not silently run the wrong sweep.
 //!
-//! `--smoke` is the CI job: it runs the grid — which includes one scenario
-//! per medium kind (ideal, unit_disk, path_loss, mobility), so a
+//! `--stress` runs the multi-node path-loss stress grid: PAIRS (default 8)
+//! side-by-side Bounce exchanges spaced along a line under the log-distance
+//! model, where neighboring pairs are hidden terminals and the capture rule
+//! decides collisions.
+//!
+//! `--stress-nodes N` runs one single scenario with N nodes (N/2 Bounce
+//! pairs, up to the 254-node architectural cap — node ids are one byte in
+//! the paper's 12-byte log-entry encoding) through the heap scheduler and
+//! the zero-materialization path, and fails unless the run holds zero raw
+//! entries — the bounded-memory proof for large single-scenario cells.
+//!
+//! `--smoke` is the CI job: it runs the smoke grid — which includes one
+//! scenario per medium kind (ideal, unit_disk, path_loss, mobility), so a
 //! nondeterministic loss RNG in any medium fails the gate — twice on 1
 //! thread and twice on 4, verifies all four reports are byte-identical (the
 //! determinism contract of the fleet subsystem), prints the best wall-clock
 //! per thread count as bench-compatible summary lines for `bench_check`, on
-//! hosts with more than one CPU fails unless the 4-thread run shows at least
-//! the required speedup (default 1.5×, `--min-speedup X` to override), and
-//! finally runs a 64-scenario batch through the summarize-and-drop path
-//! asserting the peak number of raw log entries held at once stays under a
-//! fixed fraction of the batch — the gate that catches accidental
-//! re-buffering regressions in the streaming pipeline.
+//! hosts with more than one CPU fails unless the 4-thread run shows at
+//! least the required speedup (default 1.5×, `--min-speedup X` to
+//! override), and finally runs the retention gates: a 64-scenario batch
+//! must hold *zero* raw entries on the default streaming path, and must
+//! stay under a quarter of its entries on the materializing batch-digest
+//! path (the reorder-window bound).
 //!
 //! Note on the baseline: the `fleet/sweep_smoke_t4` wall-clock depends on
 //! the recording host's core count, which the single-core `calibration/spin`
@@ -36,52 +50,181 @@
 //! the recorder it can only under-trigger, and the real parallelism gate is
 //! the speedup check here, not the baseline entry.
 
-use hw_model::SimDuration;
 use quanto_bench::baseline::bench_line;
-use quanto_fleet::{scenarios, FleetProgress, FleetRunner, Scenario};
+use quanto_fleet::{scenarios, FleetProgress, FleetRunner, GridSpec, Scenario};
 use std::process::ExitCode;
 use std::sync::mpsc;
 use std::time::Duration;
 
-fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
+/// The checked-in built-in grids (also runnable via `--grid <path>`).
+const DEFAULT_GRID: &str = include_str!("../../grids/default.grid");
+const SMOKE_GRID: &str = include_str!("../../grids/smoke.grid");
+const STRESS_GRID: &str = include_str!("../../grids/stress.grid");
+
+const USAGE: &str = "usage: fleet_sweep [--seconds N] [--threads N] [--seeds N] [--json]\n\
+                     \x20                 [--grid FILE] [--smoke] [--min-speedup X]\n\
+                     \x20                 [--stress [PAIRS]] [--stress-nodes N]";
+
+/// Parsed command line.  Every flag is validated; leftovers are errors.
+#[derive(Debug)]
+struct Args {
+    seconds: Option<f64>,
+    threads: usize,
+    seeds: Option<u64>,
+    min_speedup: f64,
+    json: bool,
+    smoke: bool,
+    grid: Option<String>,
+    stress: bool,
+    stress_pairs: Option<u8>,
+    stress_nodes: Option<u16>,
 }
 
-/// The sweep grid: `seeds` × channels {17, 26} LPL scenarios under the
-/// paper's 18 % interference, plus a Blink profile and the medium axis (the
-/// Bounce exchange through each of the four radio-medium kinds).
-fn grid(seeds: u64, duration: SimDuration) -> Vec<Scenario> {
-    let seeds: Vec<u64> = (1..=seeds).collect();
-    let mut grid = scenarios::lpl_grid(&seeds, &[17, 26], 0.18, duration);
-    grid.push(Scenario::blink(duration));
-    grid.extend(scenarios::medium_grid(duration));
-    grid
+fn usage_error(message: String) -> Result<Args, String> {
+    Err(format!("{message}\n{USAGE}"))
 }
 
-/// The smoke grid: sized so every cell costs a comparable few tens of host
-/// milliseconds (LPL and Blink are cheap per simulated second, Bounce is
-/// not), which is what makes the 1-vs-4-thread wall-clock comparison a fair
-/// parallelism measurement rather than a longest-scenario measurement.  One
-/// scenario per medium kind rides along so the byte-identity check also
-/// gates every medium's loss RNG for thread-count independence.
-fn smoke_grid() -> Vec<Scenario> {
-    let seeds: Vec<u64> = (1..=8).collect();
-    let half_hour = SimDuration::from_secs(1800);
-    let mut grid = scenarios::lpl_grid(&seeds, &[17, 26], 0.18, half_hour);
-    grid.push(Scenario::blink(SimDuration::from_secs(900)));
-    grid.push(
-        Scenario::bounce(SimDuration::from_secs(30))
-            .with_seed(1)
-            .named("bounce_seed1"),
-    );
-    grid.push(
-        Scenario::bounce(SimDuration::from_secs(30))
-            .with_seed(2)
-            .named("bounce_seed2"),
-    );
-    grid.extend(scenarios::medium_grid(SimDuration::from_secs(30)));
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        seconds: None,
+        threads: FleetRunner::host_parallel().threads(),
+        seeds: None,
+        min_speedup: 1.5,
+        json: false,
+        smoke: false,
+        grid: None,
+        stress: false,
+        stress_pairs: None,
+        stress_nodes: None,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .ok_or_else(|| format!("fleet_sweep: {flag} needs a value\n{USAGE}"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seconds" => {
+                let v = value(&mut i, "--seconds")?;
+                match v.parse::<f64>() {
+                    Ok(s) if s > 0.0 => args.seconds = Some(s),
+                    _ => {
+                        return usage_error(format!(
+                            "fleet_sweep: --seconds expects a positive number, got {v:?}"
+                        ))
+                    }
+                }
+            }
+            "--threads" => {
+                let v = value(&mut i, "--threads")?;
+                match v.parse::<usize>() {
+                    Ok(t) if t > 0 => args.threads = t,
+                    _ => {
+                        return usage_error(format!(
+                            "fleet_sweep: --threads expects a positive integer, got {v:?}"
+                        ))
+                    }
+                }
+            }
+            "--seeds" => {
+                let v = value(&mut i, "--seeds")?;
+                match v.parse::<u64>() {
+                    Ok(n) if n > 0 => args.seeds = Some(n),
+                    _ => {
+                        return usage_error(format!(
+                            "fleet_sweep: --seeds expects a positive integer, got {v:?}"
+                        ))
+                    }
+                }
+            }
+            "--min-speedup" => {
+                let v = value(&mut i, "--min-speedup")?;
+                match v.parse::<f64>() {
+                    Ok(x) if x > 0.0 => args.min_speedup = x,
+                    _ => {
+                        return usage_error(format!(
+                            "fleet_sweep: --min-speedup expects a positive number, got {v:?}"
+                        ))
+                    }
+                }
+            }
+            "--grid" => args.grid = Some(value(&mut i, "--grid")?),
+            "--json" => args.json = true,
+            "--smoke" => args.smoke = true,
+            "--stress" => {
+                args.stress = true;
+                // Optionally followed by a pair count; another flag (or
+                // nothing) means the default, a non-count is an error.
+                if let Some(v) = argv.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    match v.parse::<u8>() {
+                        Ok(p) if (1..=127).contains(&p) => args.stress_pairs = Some(p),
+                        _ => {
+                            return usage_error(format!(
+                                "fleet_sweep: --stress PAIRS must be in 1..=127, got {v:?}"
+                            ))
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            "--stress-nodes" => {
+                let v = value(&mut i, "--stress-nodes")?;
+                match v.parse::<u16>() {
+                    Ok(n) if (2..=254).contains(&n) && n % 2 == 0 => args.stress_nodes = Some(n),
+                    Ok(n) if n > 254 => {
+                        return usage_error(format!(
+                            "fleet_sweep: --stress-nodes caps at 254 (node ids are one byte \
+                             in the 12-byte log-entry encoding), got {n}"
+                        ))
+                    }
+                    _ => {
+                        return usage_error(format!(
+                            "fleet_sweep: --stress-nodes expects an even node count in \
+                             2..=254, got {v:?}"
+                        ))
+                    }
+                }
+            }
+            other => {
+                return usage_error(format!("fleet_sweep: unknown argument {other:?}"));
+            }
+        }
+        i += 1;
+    }
+    let modes = [
+        args.smoke,
+        args.grid.is_some(),
+        args.stress,
+        args.stress_nodes.is_some(),
+    ]
+    .iter()
+    .filter(|m| **m)
+    .count();
+    if modes > 1 {
+        return usage_error(
+            "fleet_sweep: --smoke, --grid, --stress and --stress-nodes are mutually \
+             exclusive"
+                .to_string(),
+        );
+    }
+    Ok(args)
+}
+
+/// Loads a built-in grid and applies the CLI axis overrides.
+fn built_in_grid(text: &str, args: &Args) -> GridSpec {
+    let mut grid = GridSpec::parse(text).expect("checked-in grid must parse");
+    if let Some(secs) = args.seconds {
+        grid.override_seconds(secs);
+    }
+    if let Some(seeds) = args.seeds {
+        grid.override_seed_count(seeds);
+    }
+    if let Some(pairs) = args.stress_pairs {
+        grid.override_pairs(pairs);
+    }
     grid
 }
 
@@ -90,41 +233,65 @@ fn run_timed(threads: usize, batch: Vec<Scenario>) -> (u64, Duration, String) {
     (report.digest(), report.wall_clock, report.summary_table())
 }
 
-/// The streaming-retention gate: a 64-scenario batch through the default
-/// summarize-and-drop path must never hold more than a quarter of its raw
-/// entries at once (≈ 16 scenarios' worth — generous next to the real
-/// out-of-order window of ~4, but far below the 64 a re-buffering
-/// regression would retain).
+/// The streaming-retention gates.  The default zero-materialization path
+/// must hold *no* raw entries at any instant — any nonzero peak means
+/// something re-materialized a log.  The batch-digest path (kept for the
+/// pinned pre-refactor digest) must stay bounded by the reorder window: a
+/// quarter of the batch is generous next to the real window of ~4
+/// scenarios, but far below what a re-buffering regression would retain.
 fn smoke_retention_gate() -> Result<(), String> {
     let seeds: Vec<u64> = (1..=32).collect();
-    let batch = scenarios::lpl_grid(&seeds, &[17, 26], 0.18, SimDuration::from_secs(60));
-    assert_eq!(batch.len(), 64);
-    let report = FleetRunner::new(4).run(batch);
-    let total = report.total_log_entries();
-    let peak = report.peak_entries_held();
-    println!(
-        "Retention: 64-scenario batch produced {total} raw entries, peak held {peak} \
-         ({:.1} %)",
-        100.0 * peak as f64 / total.max(1) as f64
+    let batch = scenarios::lpl_grid(
+        &seeds,
+        &[17, 26],
+        0.18,
+        hw_model::SimDuration::from_secs(60),
     );
-    if report.results.iter().any(|r| r.has_raw()) {
-        return Err("raw NodeRunOutput retained after merge without retain_raw()".into());
-    }
+    assert_eq!(batch.len(), 64);
+    let streamed = FleetRunner::new(4).run(batch.clone());
+    let total = streamed.total_log_entries();
+    println!(
+        "Retention (stream): 64-scenario batch produced {total} entries, peak held {}",
+        streamed.peak_entries_held()
+    );
     if total == 0 {
         return Err("retention gate batch produced no log entries".into());
     }
-    let bound = total / 4;
-    if peak > bound {
+    if streamed.peak_entries_held() != 0 {
         return Err(format!(
-            "peak retained entries {peak} exceeds the fixed bound {bound} \
-             (total {total}) — is something re-buffering the sweep?"
+            "zero-materialization path held {} raw entries — something is \
+             re-materializing scenario logs",
+            streamed.peak_entries_held()
+        ));
+    }
+    if streamed.results.iter().any(|r| r.has_raw()) {
+        return Err("raw NodeRunOutput retained on the streaming path".into());
+    }
+    let batched = FleetRunner::new(4).batch_digest().run(batch);
+    let peak = batched.peak_entries_held();
+    let bound = batched.total_log_entries() / 4;
+    println!(
+        "Retention (batch-digest): peak held {peak} of {} ({:.1} %)",
+        batched.total_log_entries(),
+        100.0 * peak as f64 / batched.total_log_entries().max(1) as f64
+    );
+    if peak == 0 || peak > bound {
+        return Err(format!(
+            "batch-digest peak {peak} outside (0, {bound}] — the reorder-window bound \
+             no longer holds"
         ));
     }
     Ok(())
 }
 
-fn smoke(min_speedup: f64) -> ExitCode {
-    let batch = smoke_grid();
+fn smoke(args: &Args) -> ExitCode {
+    let batch = match built_in_grid(SMOKE_GRID, args).expand() {
+        Ok(batch) => batch,
+        Err(why) => {
+            eprintln!("fleet_sweep: smoke grid failed to expand: {why}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!("Smoke grid: {} scenarios", batch.len());
     // Each configuration runs twice and the better wall-clock counts: a
     // single end-to-end sample is too noisy for the checked-in baseline,
@@ -162,9 +329,10 @@ fn smoke(min_speedup: f64) -> ExitCode {
         .unwrap_or(1);
     if cores < 2 {
         println!("(single-CPU host: speedup threshold not enforced, determinism was)");
-    } else if speedup < min_speedup {
+    } else if speedup < args.min_speedup {
         eprintln!(
-            "fleet_sweep: SPEEDUP FAILURE — {speedup:.2}x < required {min_speedup:.2}x on a {cores}-CPU host"
+            "fleet_sweep: SPEEDUP FAILURE — {speedup:.2}x < required {:.2}x on a {cores}-CPU host",
+            args.min_speedup
         );
         return ExitCode::FAILURE;
     }
@@ -176,90 +344,132 @@ fn smoke(min_speedup: f64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// The `--stress` profile: `pairs` Bounce exchanges strung along a line
-/// under the path-loss medium, across 4 seeds so shadowing and hidden
-/// terminals vary — the heap scheduler and capture rule under real load.
-fn stress_batch(pairs: u8, duration: SimDuration) -> Vec<Scenario> {
-    (1..=4)
-        .map(|seed| scenarios::path_loss_stress(pairs, seed, duration))
-        .collect()
+/// `--stress-nodes N`: one N-node scenario through the heap scheduler and
+/// the zero-materialization path, gated on holding zero raw entries.
+fn stress_nodes(nodes: u16, args: &Args) -> ExitCode {
+    let pairs = (nodes / 2) as u8;
+    // Round like `GridSpec` expansion does, so `--stress-nodes --seconds X`
+    // and a grid cell with `seconds = X` simulate the identical duration.
+    let duration =
+        hw_model::SimDuration::from_micros((args.seconds.unwrap_or(14.0) * 1e6).round() as u64);
+    let scenario = scenarios::path_loss_stress(pairs, 1, duration);
+    if !args.json {
+        quanto_bench::header(
+            "fleet_sweep --stress-nodes",
+            "single-scenario heap-scheduler stress on the zero-materialization path",
+        );
+        println!(
+            "{nodes} nodes ({pairs} Bounce pairs along a line), {:.0} s simulated, \
+             {} worker thread(s)",
+            duration.as_secs_f64(),
+            args.threads
+        );
+    }
+    let report = FleetRunner::new(args.threads).run(vec![scenario]);
+    if args.json {
+        // The JSON document already carries total_log_entries,
+        // peak_entries_held and the digest; no extra stdout lines that
+        // would corrupt machine-readable output.
+        println!("{}", report.summary_json());
+    } else {
+        println!("{}", report.summary_table());
+        println!(
+            "Retention: {} entries streamed, peak held {} (digest {:#018x})",
+            report.total_log_entries(),
+            report.peak_entries_held(),
+            report.digest()
+        );
+    }
+    let total = report.total_log_entries();
+    if total == 0 {
+        eprintln!("fleet_sweep: STRESS FAILURE — the stress scenario produced no entries");
+        return ExitCode::FAILURE;
+    }
+    if report.peak_entries_held() != 0 {
+        eprintln!(
+            "fleet_sweep: RETENTION FAILURE — {} raw entries held on the \
+             zero-materialization path",
+            report.peak_entries_held()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let duration = quanto_bench::duration_from_args(14);
-    let min_speedup: f64 = arg_value(&args, "--min-speedup")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.5);
-    let json = args.iter().any(|a| a == "--json");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(why) => {
+            eprintln!("{why}");
+            return ExitCode::from(2);
+        }
+    };
 
-    if args.iter().any(|a| a == "--smoke") {
+    if args.smoke {
         quanto_bench::header(
             "fleet_sweep --smoke",
-            "determinism (all 4 medium kinds) + speedup + retention gate",
+            "determinism (all 4 medium kinds) + speedup + retention gates",
         );
-        return smoke(min_speedup);
+        return smoke(&args);
+    }
+    if let Some(nodes) = args.stress_nodes {
+        return stress_nodes(nodes, &args);
     }
 
-    let seeds: u64 = arg_value(&args, "--seeds")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
-    let threads: usize = arg_value(&args, "--threads")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| FleetRunner::host_parallel().threads());
-    let stress = args.iter().any(|a| a == "--stress");
-
-    if !json {
-        quanto_bench::header(
-            "Fleet sweep — seed × channel × medium grid over the shared engine",
-            "ROADMAP: parallel multi-node runs, mobility/path-loss sweep axes",
-        );
-    }
-    let batch = if stress {
-        // `--stress` may be followed by a pair count (another flag or
-        // nothing means the default); a value that is not a valid count is
-        // an error, not a silent fallback.
-        let pairs: u8 = match arg_value(&args, "--stress") {
-            Some(v) if v.starts_with("--") => 8,
-            None => 8,
-            Some(v) => match v.parse() {
-                Ok(p) if (1..=127).contains(&p) => p,
-                _ => {
-                    eprintln!("fleet_sweep: --stress PAIRS must be in 1..=127, got {v:?}");
+    let grid = match &args.grid {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(why) => {
+                    eprintln!("fleet_sweep: cannot read grid file {path:?}: {why}");
                     return ExitCode::FAILURE;
                 }
-            },
-        };
-        let batch = stress_batch(pairs, duration);
-        if !json {
-            println!(
-                "Path-loss stress: {} scenarios × {} nodes each, {} worker thread(s), \
-                 {:.0} s simulated",
-                batch.len(),
-                2 * pairs as u16,
-                threads,
-                duration.as_secs_f64()
-            );
+            };
+            let mut grid = match GridSpec::parse(&text) {
+                Ok(grid) => grid,
+                Err(why) => {
+                    eprintln!("fleet_sweep: {path}: {why}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Some(secs) = args.seconds {
+                grid.override_seconds(secs);
+            }
+            if let Some(seeds) = args.seeds {
+                grid.override_seed_count(seeds);
+            }
+            grid
         }
-        batch
-    } else {
-        let batch = grid(seeds, duration);
-        if !json {
-            println!(
-                "{} scenarios ({} LPL + blink + 4 mediums), {} worker thread(s), \
-                 {:.0} s simulated each",
-                batch.len(),
-                batch.len() - 5,
-                threads,
-                duration.as_secs_f64()
-            );
-        }
-        batch
+        None if args.stress => built_in_grid(STRESS_GRID, &args),
+        None => built_in_grid(DEFAULT_GRID, &args),
     };
+    let batch = match grid.expand() {
+        Ok(batch) => batch,
+        Err(why) => {
+            let source = args.grid.as_deref().unwrap_or("built-in grid");
+            eprintln!("fleet_sweep: {source}: {why}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !args.json {
+        quanto_bench::header(
+            "Fleet sweep — composable scenario grids over the shared engine",
+            "ROADMAP: user-composable grid descriptions, zero-materialization runs",
+        );
+        println!(
+            "Grid {:?}: {} scenarios, {} worker thread(s)",
+            grid.name,
+            batch.len(),
+            args.threads
+        );
+    }
 
     // Partial results stream over a channel while the sweep runs; a printer
     // thread drains it so progress appears as scenarios merge, not at the
     // end.
+    let json = args.json;
     let (tx, rx) = mpsc::channel::<FleetProgress>();
     let printer = std::thread::spawn(move || {
         for p in rx {
@@ -290,10 +500,10 @@ fn main() -> ExitCode {
             }
         }
     });
-    let report = FleetRunner::new(threads).run_to_channel(batch, tx);
+    let report = FleetRunner::new(args.threads).run_to_channel(batch, tx);
     printer.join().expect("progress printer thread");
 
-    if json {
+    if args.json {
         println!("{}", report.summary_json());
     } else {
         println!("{}", report.summary_table());
@@ -302,11 +512,125 @@ fn main() -> ExitCode {
             report.digest()
         );
         println!(
-            "Raw entries: {} total, peak held {} (summarize-and-drop keeps the sweep \
-             memory-bounded).",
+            "Raw entries: {} total, peak held {} (the zero-materialization path never \
+             holds a log).",
             report.total_log_entries(),
             report.peak_entries_held()
         );
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hw_model::SimDuration;
+
+    fn args(tokens: &[&str]) -> Result<Args, String> {
+        parse_args(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    /// The checked-in grid files must reproduce the hand-written grids the
+    /// harness shipped before they existed, scenario for scenario — that
+    /// equality is what carries the digest pins over to the config files.
+    #[test]
+    fn default_grid_file_matches_the_legacy_hardcoded_grid() {
+        let d = SimDuration::from_secs(14);
+        let seeds: Vec<u64> = (1..=4).collect();
+        let mut legacy = scenarios::lpl_grid(&seeds, &[17, 26], 0.18, d);
+        legacy.push(Scenario::blink(d));
+        legacy.extend(scenarios::medium_grid(d));
+        let parsed = GridSpec::parse(DEFAULT_GRID).unwrap().expand().unwrap();
+        assert_eq!(parsed, legacy);
+    }
+
+    #[test]
+    fn smoke_grid_file_matches_the_legacy_smoke_grid() {
+        let seeds: Vec<u64> = (1..=8).collect();
+        let mut legacy = scenarios::lpl_grid(&seeds, &[17, 26], 0.18, SimDuration::from_secs(1800));
+        legacy.push(Scenario::blink(SimDuration::from_secs(900)));
+        legacy.push(
+            Scenario::bounce(SimDuration::from_secs(30))
+                .with_seed(1)
+                .named("bounce_seed1"),
+        );
+        legacy.push(
+            Scenario::bounce(SimDuration::from_secs(30))
+                .with_seed(2)
+                .named("bounce_seed2"),
+        );
+        legacy.extend(scenarios::medium_grid(SimDuration::from_secs(30)));
+        let parsed = GridSpec::parse(SMOKE_GRID).unwrap().expand().unwrap();
+        assert_eq!(parsed, legacy);
+    }
+
+    #[test]
+    fn stress_grid_file_matches_the_legacy_stress_batch() {
+        let d = SimDuration::from_secs(14);
+        let legacy: Vec<Scenario> = (1..=4)
+            .map(|seed| scenarios::path_loss_stress(8, seed, d))
+            .collect();
+        let parsed = GridSpec::parse(STRESS_GRID).unwrap().expand().unwrap();
+        assert_eq!(parsed, legacy);
+        // And the --stress PAIRS override rescales the line placement.
+        let mut grid = GridSpec::parse(STRESS_GRID).unwrap();
+        grid.override_pairs(3);
+        let parsed = grid.expand().unwrap();
+        let legacy: Vec<Scenario> = (1..=4)
+            .map(|seed| scenarios::path_loss_stress(3, seed, d))
+            .collect();
+        assert_eq!(parsed, legacy);
+    }
+
+    /// The example grid in the repo root must stay runnable — CI executes
+    /// it, and the README points users at it.
+    #[test]
+    fn example_grid_file_parses_and_expands() {
+        let text = include_str!("../../../../examples/sweep.grid");
+        let batch = GridSpec::parse(text).unwrap().expand().unwrap();
+        assert!(batch.len() >= 10, "example should show real axes");
+        assert!(batch.iter().any(|s| s.medium.kind() == "path_loss"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_usage() {
+        for bad in [
+            &["--sedes", "4"][..],
+            &["--seconds"][..],
+            &["--seconds", "abc"][..],
+            &["--threads", "0"][..],
+            &["--stress", "999"][..],
+            &["--stress-nodes", "1000"][..],
+            &["--stress-nodes", "7"][..],
+            &["--smoke", "--stress"][..],
+            &["extra"][..],
+        ] {
+            let err = args(bad).expect_err(&format!("{bad:?} must be rejected"));
+            assert!(err.contains("usage:"), "{err}");
+        }
+    }
+
+    #[test]
+    fn known_flags_parse() {
+        let a = args(&[
+            "--seconds",
+            "2.5",
+            "--threads",
+            "3",
+            "--seeds",
+            "2",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(a.seconds, Some(2.5));
+        assert_eq!(a.threads, 3);
+        assert_eq!(a.seeds, Some(2));
+        assert!(a.json);
+        let a = args(&["--stress"]).unwrap();
+        assert!(a.stress && a.stress_pairs.is_none());
+        let a = args(&["--stress", "12"]).unwrap();
+        assert_eq!(a.stress_pairs, Some(12));
+        let a = args(&["--stress-nodes", "254"]).unwrap();
+        assert_eq!(a.stress_nodes, Some(254));
+    }
 }

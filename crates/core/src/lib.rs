@@ -41,4 +41,4 @@ pub use power_state::{PowerStateTable, PowerStateTrack, PowerStateValue};
 pub use runtime::{
     AccountingMode, OnlineCounters, QuantoRuntime, RuntimeConfig, Stamp, TrackListener,
 };
-pub use sink::{CountingSink, LogSink, VecSink};
+pub use sink::{CountingSink, LogSink, StreamDigest, VecSink};

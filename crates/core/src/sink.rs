@@ -60,6 +60,67 @@ impl LogSink for VecSink {
     }
 }
 
+/// A sink that folds every entry's encoded bytes into a running FNV-1a
+/// digest without retaining anything — the zero-materialization witness that
+/// a stream of entries is byte-identical to another (two streams with equal
+/// digests and equal counts saw the same encoded bytes in the same order).
+///
+/// Chunk boundaries do not affect the digest: only entry bytes are folded,
+/// in order.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamDigest {
+    hash: u64,
+    entries: u64,
+}
+
+impl StreamDigest {
+    /// FNV-1a 64-bit offset basis.
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    /// FNV-1a 64-bit prime.
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    /// A fresh digest (no entries folded).
+    pub fn new() -> Self {
+        StreamDigest {
+            hash: Self::OFFSET,
+            entries: 0,
+        }
+    }
+
+    /// Folds one entry's encoded bytes.
+    pub fn fold(&mut self, entry: &LogEntry) {
+        for b in entry.encode() {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(Self::PRIME);
+        }
+        self.entries += 1;
+    }
+
+    /// The digest over every entry folded so far.
+    pub fn digest(&self) -> u64 {
+        self.hash
+    }
+
+    /// How many entries were folded.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+}
+
+impl Default for StreamDigest {
+    fn default() -> Self {
+        StreamDigest::new()
+    }
+}
+
+impl LogSink for StreamDigest {
+    fn accept(&mut self, chunk: &[LogEntry]) {
+        for entry in chunk {
+            self.fold(entry);
+        }
+    }
+}
+
 /// A sink that only counts — for instrumentation and tests that assert how
 /// much data flowed without retaining it.
 #[derive(Debug, Default, Clone, Copy)]
@@ -120,6 +181,24 @@ mod tests {
         sink.accept(&[entry(3)]);
         assert_eq!(sink.entries(), 4);
         assert_eq!(sink.chunks(), 2);
+    }
+
+    #[test]
+    fn stream_digest_is_chunking_independent_and_order_sensitive() {
+        let mut whole = StreamDigest::new();
+        whole.accept(&[entry(0), entry(1), entry(2), entry(3)]);
+        let mut split = StreamDigest::new();
+        split.accept(&[entry(0)]);
+        split.accept(&[]);
+        split.accept(&[entry(1), entry(2)]);
+        split.accept(&[entry(3)]);
+        assert_eq!(whole.digest(), split.digest());
+        assert_eq!(whole.entries(), 4);
+        assert_eq!(split.entries(), 4);
+        let mut swapped = StreamDigest::new();
+        swapped.accept(&[entry(1), entry(0), entry(2), entry(3)]);
+        assert_ne!(whole.digest(), swapped.digest(), "order must matter");
+        assert_ne!(StreamDigest::new().digest(), whole.digest());
     }
 
     #[test]

@@ -24,10 +24,25 @@ pub struct ScopeSample {
 ///
 /// Steps are appended in non-decreasing time order; the value of a step holds
 /// until the next step (or until [`CurrentTrace::finish`]).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CurrentTrace {
     steps: Vec<(SimTime, Current)>,
     end: Option<SimTime>,
+    /// When false, [`CurrentTrace::push`] is a no-op: the probe is detached.
+    /// The trace grows with every power-state change, so long headless runs
+    /// (fleet sweeps that only need the Quanto log and the energy totals)
+    /// switch it off to stay memory-bounded.
+    enabled: bool,
+}
+
+impl Default for CurrentTrace {
+    fn default() -> Self {
+        CurrentTrace {
+            steps: Vec::new(),
+            end: None,
+            enabled: true,
+        }
+    }
 }
 
 impl CurrentTrace {
@@ -36,12 +51,27 @@ impl CurrentTrace {
         CurrentTrace::default()
     }
 
+    /// Attaches or detaches the probe.  While detached, steps offered to
+    /// [`CurrentTrace::push`] are discarded (already-recorded steps are
+    /// kept).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether the probe is recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
     /// Records that the aggregate current changed to `current` at `time`.
     ///
     /// # Panics
     ///
     /// Panics if `time` is earlier than the previous step.
     pub fn push(&mut self, time: SimTime, current: Current) {
+        if !self.enabled {
+            return;
+        }
         if let Some((last, _)) = self.steps.last() {
             assert!(*last <= time, "trace steps must be time-ordered");
         }
@@ -206,6 +236,22 @@ mod tests {
         t.push(SimTime::from_millis(20), Current::from_milli_amps(0.5));
         t.finish(SimTime::from_millis(30));
         t
+    }
+
+    #[test]
+    fn detached_probe_discards_steps_and_keeps_recorded_ones() {
+        let mut t = CurrentTrace::new();
+        assert!(t.is_enabled());
+        t.push(SimTime::from_millis(0), Current::from_milli_amps(1.0));
+        t.set_enabled(false);
+        t.push(SimTime::from_millis(10), Current::from_milli_amps(3.0));
+        t.push(SimTime::from_millis(20), Current::from_milli_amps(0.5));
+        assert_eq!(t.len(), 1, "detached probe must not grow the trace");
+        t.set_enabled(true);
+        t.push(SimTime::from_millis(30), Current::from_milli_amps(2.0));
+        assert_eq!(t.len(), 2);
+        t.finish(SimTime::from_millis(40));
+        assert_eq!(t.end_time(), SimTime::from_millis(40));
     }
 
     #[test]

@@ -8,12 +8,18 @@
 //!
 //! * [`Scenario`] — a declarative, plain-data spec (app kind, topology,
 //!   channel, seed, duration) from which a ready-to-run simulation is built;
+//! * [`GridSpec`] — a plain-data sweep-grid description (axes of seeds ×
+//!   channels × mediums × durations crossed with app specs), parseable from
+//!   a simple config file, that expands to a scenario batch;
 //! * [`FleetRunner`] — shards an arbitrary batch of scenarios across worker
 //!   threads (each worker drives its own independent `os_sim::Engine`),
-//!   streams completions through a merge loop that folds the digest and
-//!   summarizes-and-drops raw outputs (opt out with
-//!   [`FleetRunner::retain_raw`]), and emits per-scenario
-//!   [`FleetProgress`] events mid-sweep;
+//!   streams completions through a merge loop that folds the digest(s), and
+//!   emits per-scenario [`FleetProgress`] events mid-sweep.  The default
+//!   [`Retention::Stream`] mode feeds every node's log through a
+//!   [`quanto_core::LogSink`] → incremental-builder chain *during* the run,
+//!   so raw logs are never materialized (opt into [`Retention::Batch`] for
+//!   the legacy pinned digest, or [`FleetRunner::retain_raw`] for raw
+//!   re-analysis);
 //! * [`FleetReport`] — the merged, submission-ordered results, fed through
 //!   the `analysis` crate's *incremental* interval builders (duty cycle,
 //!   energy, regression) and digested for bit-reproducibility checks;
@@ -37,16 +43,19 @@
 //! assert_eq!(FleetRunner::sequential().run(again).digest(), report.digest());
 //! ```
 
+pub mod grid;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
+pub use grid::{GridError, GridSpec};
+
 pub use net_sim::DeliveryCounters;
 pub use report::{
-    CounterAccessError, FleetReport, NodeSummary, RawAccessError, RawScenarioOutputs,
-    ScenarioResult,
+    CounterAccessError, FleetReport, NodeStreamMeta, NodeSummary, RawAccessError,
+    RawScenarioOutputs, ScenarioResult,
 };
-pub use runner::{FleetProgress, FleetRunner};
+pub use runner::{FleetProgress, FleetRunner, Retention};
 pub use scenario::{
     AppSpec, GeometrySpec, MediumSpec, PathLossSpec, Scenario, TopologySpec, TraceSpec,
 };

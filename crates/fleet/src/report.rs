@@ -1,24 +1,46 @@
 //! Per-scenario results and the merged fleet report.
 //!
-//! Since the streaming refactor the report is *summaries-first*: every
-//! scenario is summarized through the incremental analysis builders as it
-//! finishes, and the raw [`NodeRunOutput`]s are dropped at merge time unless
-//! the runner was built with [`crate::FleetRunner::retain_raw`].  The digest
-//! is folded in submission order during the merge, so it is byte-identical
-//! to the old whole-batch computation at any thread count — with or without
-//! raw retention.
+//! Since the in-run streaming refactor the default execution path is
+//! *zero-materialization*: every node gets a [`quanto_core::LogSink`] that
+//! drives the incremental analysis builders (`TimeUnwrapper` →
+//! `IntervalBuilder`, plus a `SegmentBuilder` over the CPU device) and a
+//! [`StreamDigest`] *while the simulation runs*, so a scenario's
+//! [`NodeRunOutput::log`] is never built at all.  What survives per node is
+//! O(1): the summary, the entry count and the FNV digest over the entry
+//! stream ([`NodeStreamMeta`]).
+//!
+//! Two digests exist because the legacy *pinned* digest folds each node's
+//! entry count **before** its entry bytes — and FNV-1a is not seekable, so
+//! that byte order cannot be reproduced from a stream whose length is only
+//! known at the end.  [`crate::FleetRunner`] retention modes pick the path:
+//!
+//! * [`crate::Retention::Stream`] (default) — sinks attached, logs never
+//!   materialized, [`FleetReport::digest`] only;
+//! * [`crate::Retention::Batch`] — logs materialized per scenario and
+//!   dropped at merge (the pre-refactor default path), which additionally
+//!   yields the pinned [`FleetReport::pinned_digest`];
+//! * [`crate::Retention::Raw`] — everything retained for re-analysis.
+//!
+//! Both digests are folded in submission order during the merge, so each is
+//! identical at any thread count; the streamed entry digests are proven
+//! byte-identical to the materialized logs by the digest-pin tests.
 
+use crate::runner::Retention;
 use crate::scenario::Scenario;
-use analysis::{pct, PowerInterval};
+use analysis::{pct, PowerInterval, SegmentBuilder};
 use analysis::{regress, IntervalBuilder, ObservationPool, RegressionOptions, TextTable};
 use hw_model::catalog::radio_rx_state;
-use hw_model::{Energy, Power, SimDuration, SimTime, SinkId};
+use hw_model::{Catalog, Energy, Power, SimDuration, SimTime, SinkId};
 use net_sim::DeliveryCounters;
+use os_sim::drivers::RadioStats;
 use os_sim::NodeRunOutput;
 use quanto_apps::ExperimentContext;
-use quanto_core::NodeId;
+use quanto_core::{LogEntry, LogSink, NodeId, Stamp, StreamDigest};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
 
 /// The analysis-pipeline summary of one node of one scenario.
 #[derive(Debug, Clone)]
@@ -44,6 +66,34 @@ pub struct NodeSummary {
     /// Relative error of the per-state power regression, when the run
     /// exercised enough states for it to be solvable.
     pub regression_error: Option<f64>,
+    /// Closed CPU activity segments (streamed through the incremental
+    /// `SegmentBuilder` on the zero-materialization path) — how often the
+    /// CPU's attributed activity changed over the run.
+    pub cpu_segments: u64,
+}
+
+/// The O(1)-per-node residue of a scenario's log stream: enough to prove
+/// byte-identity of two executions (equal counts and equal FNV digests over
+/// the encoded entries mean equal streams) and to fold the report digest,
+/// without retaining a single entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeStreamMeta {
+    /// Which node.
+    pub node: NodeId,
+    /// Surviving entries that flowed through the node's sink (or sat in its
+    /// materialized log, on the batch paths).
+    pub entries: u64,
+    /// FNV-1a digest over the encoded bytes of every surviving entry, in
+    /// log order (see [`quanto_core::StreamDigest`]).
+    pub entry_digest: u64,
+    /// The end-of-run (time, iCount) stamp.
+    pub final_stamp: Stamp,
+    /// Entries the logger dropped.
+    pub log_dropped: u64,
+    /// The node's radio counters.
+    pub radio_stats: RadioStats,
+    /// Ground-truth total energy over the run.
+    pub ground_truth_total: Energy,
 }
 
 /// Why a raw-output lookup on a [`ScenarioResult`] failed.
@@ -138,15 +188,58 @@ pub struct ScenarioResult {
     /// them (the ideal medium) — read through
     /// [`ScenarioResult::medium_counters`].
     medium_counters: Option<DeliveryCounters>,
-    /// Raw outputs; `None` once the merge has summarized-and-dropped them.
+    /// Per-node stream residues (entry counts, stream digests, end-of-run
+    /// stamps and stats) — present in every retention mode.
+    stream: Vec<NodeStreamMeta>,
+    /// Raw outputs; `None` on the zero-materialization path, and `None`
+    /// once the merge has summarized-and-dropped them on the batch path.
     raw: Option<RawScenarioOutputs>,
 }
 
+/// The live per-node analysis state a streaming scenario's sink drives:
+/// everything is folded chunk-by-chunk as the logger drains, so memory is
+/// bounded by the builders' *open* state, never by the log length.
+struct LiveNode {
+    catalog: Arc<Catalog>,
+    radio_rx: SinkId,
+    energy_per_count: Energy,
+    digest: StreamDigest,
+    builder: IntervalBuilder,
+    segments: SegmentBuilder,
+    stats: IntervalStats,
+    cpu_segments: u64,
+}
+
+impl LiveNode {
+    /// Consumes one chunk: entry digest, power intervals, CPU segments.
+    fn accept(&mut self, chunk: &[LogEntry]) {
+        self.digest.accept(chunk);
+        self.builder.push_chunk(chunk);
+        for iv in self.builder.drain_completed() {
+            self.stats.absorb(&iv, self.radio_rx, self.energy_per_count);
+        }
+        self.segments.push_chunk(chunk);
+        self.cpu_segments += self.segments.drain_completed().count() as u64;
+    }
+
+    /// Closes both builders at the end-of-run stamp.
+    fn close(&mut self, final_stamp: Stamp) {
+        self.builder.flush(Some(final_stamp));
+        for iv in self.builder.drain_completed() {
+            self.stats.absorb(&iv, self.radio_rx, self.energy_per_count);
+        }
+        self.segments.flush(Some(final_stamp));
+        self.cpu_segments += self.segments.drain_completed().count() as u64;
+    }
+}
+
 impl ScenarioResult {
-    /// Builds, boots, runs and analyzes one scenario.  Self-contained so the
-    /// fleet runner can execute it on any worker thread.  The summaries are
-    /// computed by feeding the log through the incremental interval builder
-    /// in chunks — the streaming path is the *only* path.
+    /// Builds, boots, runs and analyzes one scenario on the *materializing*
+    /// path: each node's full log is collected, summarized through the
+    /// incremental builders, and retained on the result (the merge decides
+    /// whether to keep or drop it).  This is the path that can fold the
+    /// pinned pre-refactor digest; the fleet default is
+    /// [`ScenarioResult::execute_streaming`].
     pub fn execute(index: usize, scenario: Scenario) -> ScenarioResult {
         let mut net = scenario.build();
         let end = SimTime::ZERO + scenario.duration;
@@ -161,16 +254,16 @@ impl ScenarioResult {
             .collect();
         let medium_counters = net.medium_counters();
         let outputs = net.finish(end);
-        let summaries = outputs
-            .iter()
-            .map(|(id, out)| {
-                let (_, ctx) = contexts
-                    .iter()
-                    .find(|(cid, _)| cid == id)
-                    .expect("context captured for every node");
-                summarize(*id, out, ctx)
-            })
-            .collect();
+        let mut summaries = Vec::with_capacity(outputs.len());
+        let mut stream = Vec::with_capacity(outputs.len());
+        for (id, out) in &outputs {
+            let (_, ctx) = contexts
+                .iter()
+                .find(|(cid, _)| cid == id)
+                .expect("context captured for every node");
+            summaries.push(summarize(*id, out, ctx));
+            stream.push(stream_meta_from_raw(*id, out));
+        }
         let medium_kind = scenario.medium.kind();
         ScenarioResult {
             index,
@@ -178,8 +271,113 @@ impl ScenarioResult {
             summaries,
             medium_kind,
             medium_counters,
+            stream,
             raw: Some(RawScenarioOutputs { outputs, contexts }),
         }
+    }
+
+    /// Builds, boots, runs and analyzes one scenario on the
+    /// *zero-materialization* path: every node's logger streams its drains
+    /// through a sink that drives the entry digest, the interval builder and
+    /// the CPU segment builder during the run, the oscilloscope probe is
+    /// detached, and no [`NodeRunOutput::log`] is ever built.  Summaries are
+    /// bit-identical to [`ScenarioResult::execute`] (the builders are
+    /// chunking-independent); raw access is unavailable by construction.
+    pub fn execute_streaming(index: usize, scenario: Scenario) -> ScenarioResult {
+        let mut net = scenario.build();
+        net.set_trace_recording(false);
+        let node_ids = scenario.node_ids();
+        let mut live: Vec<(NodeId, Rc<RefCell<LiveNode>>)> = Vec::with_capacity(node_ids.len());
+        for id in node_ids {
+            let kernel = net.node(id).expect("scenario node exists").kernel();
+            let catalog = kernel.catalog().clone();
+            let (cpu_dev, ..) = kernel.device_ids();
+            let node = Rc::new(RefCell::new(LiveNode {
+                radio_rx: kernel.sink_ids().radio_rx,
+                energy_per_count: kernel.config().icount.nominal_energy_per_pulse,
+                digest: StreamDigest::new(),
+                builder: IntervalBuilder::new(&catalog),
+                segments: SegmentBuilder::new(cpu_dev, false),
+                stats: IntervalStats::new(),
+                cpu_segments: 0,
+                catalog,
+            }));
+            let tap = node.clone();
+            net.set_node_log_sink(
+                id,
+                Box::new(move |chunk: &[LogEntry]| tap.borrow_mut().accept(chunk)),
+            );
+            live.push((id, node));
+        }
+        let end = SimTime::ZERO + scenario.duration;
+        net.run_until(end);
+        let medium_counters = net.medium_counters();
+        // `finish` drains each logger's tail through its sink; the outputs
+        // come back with empty logs and tiny traces.
+        let outputs = net.finish(end);
+        let mut summaries = Vec::with_capacity(outputs.len());
+        let mut stream = Vec::with_capacity(outputs.len());
+        for ((id, out), (live_id, node)) in outputs.iter().zip(live.iter()) {
+            debug_assert_eq!(id, live_id, "outputs follow node insertion order");
+            debug_assert!(out.log.is_empty(), "sink mode must not materialize logs");
+            let mut node = node.borrow_mut();
+            node.close(out.final_stamp);
+            let regression_error = regress(
+                &node.stats.pool.observations(node.energy_per_count),
+                &node.catalog,
+                RegressionOptions::default(),
+            )
+            .ok()
+            .map(|r| r.relative_error);
+            summaries.push(NodeSummary {
+                node: *id,
+                log_entries: node.digest.entries() as usize,
+                log_dropped: out.log_dropped,
+                average_power: node.stats.average_power(node.energy_per_count),
+                total_energy: node.stats.energy,
+                radio_duty_cycle: node.stats.radio_duty_cycle(),
+                packets_sent: out.radio_stats.packets_sent,
+                packets_received: out.radio_stats.packets_received,
+                false_wakeups: out.radio_stats.false_wakeups,
+                regression_error,
+                cpu_segments: node.cpu_segments,
+            });
+            stream.push(NodeStreamMeta {
+                node: *id,
+                entries: node.digest.entries(),
+                entry_digest: node.digest.digest(),
+                final_stamp: out.final_stamp,
+                log_dropped: out.log_dropped,
+                radio_stats: out.radio_stats,
+                ground_truth_total: out.ground_truth.total,
+            });
+        }
+        let medium_kind = scenario.medium.kind();
+        ScenarioResult {
+            index,
+            scenario,
+            summaries,
+            medium_kind,
+            medium_counters,
+            stream,
+            raw: None,
+        }
+    }
+
+    /// Executes under the given retention mode:
+    /// [`Retention::Stream`] takes the zero-materialization path, the batch
+    /// modes materialize (the merge decides what survives).
+    pub fn execute_with(index: usize, scenario: Scenario, retention: Retention) -> ScenarioResult {
+        match retention {
+            Retention::Stream => ScenarioResult::execute_streaming(index, scenario),
+            Retention::Batch | Retention::Raw => ScenarioResult::execute(index, scenario),
+        }
+    }
+
+    /// The per-node stream residues (entry counts, entry digests, stamps) —
+    /// available in every retention mode, and byte-comparable across them.
+    pub fn stream_meta(&self) -> &[NodeStreamMeta] {
+        &self.stream
     }
 
     /// The medium's delivery/loss/capture counters, or a descriptive error
@@ -208,12 +406,19 @@ impl ScenarioResult {
         self.raw.is_some()
     }
 
-    /// Raw log entries currently held by this result.
+    /// Raw log entries currently held by this result (zero on the
+    /// zero-materialization path — nothing was ever held).
     pub(crate) fn log_entries_held(&self) -> u64 {
         self.raw
             .as_ref()
             .map(|raw| raw.outputs.iter().map(|(_, o)| o.log.len() as u64).sum())
             .unwrap_or(0)
+    }
+
+    /// Total surviving log entries this scenario produced, whether they were
+    /// materialized or streamed.
+    pub(crate) fn total_entries(&self) -> u64 {
+        self.stream.iter().map(|m| m.entries).sum()
     }
 
     /// Releases the raw outputs, returning how many log entries that freed.
@@ -344,6 +549,63 @@ impl ScenarioResult {
             h.write(&c.lost_captured.to_le_bytes());
         }
     }
+
+    /// Folds this result into the *stream* digest: the same shape as
+    /// [`ScenarioResult::fold_digest`], with each node's raw entry bytes
+    /// replaced by its `(count, entry digest)` residue — which is computable
+    /// without ever materializing the log, and catches any byte-level
+    /// divergence in the entry stream all the same.
+    pub(crate) fn fold_stream_digest(&self, h: &mut Fnv) {
+        h.write(self.scenario.name.as_bytes());
+        h.write(&(self.index as u64).to_le_bytes());
+        for m in &self.stream {
+            h.write(&[m.node.as_u8()]);
+            h.write(&m.entries.to_le_bytes());
+            h.write(&m.entry_digest.to_le_bytes());
+            h.write(&m.final_stamp.time.as_micros().to_le_bytes());
+            h.write(&m.final_stamp.icount.to_le_bytes());
+            h.write(&m.log_dropped.to_le_bytes());
+            h.write(&m.radio_stats.packets_sent.to_le_bytes());
+            h.write(&m.radio_stats.packets_received.to_le_bytes());
+            h.write(&m.radio_stats.false_wakeups.to_le_bytes());
+            h.write(
+                &m.ground_truth_total
+                    .as_micro_joules()
+                    .to_bits()
+                    .to_le_bytes(),
+            );
+        }
+        for s in &self.summaries {
+            h.write(&s.average_power.as_micro_watts().to_bits().to_le_bytes());
+            h.write(&s.total_energy.as_micro_joules().to_bits().to_le_bytes());
+            h.write(&s.radio_duty_cycle.to_bits().to_le_bytes());
+            h.write(&s.cpu_segments.to_le_bytes());
+        }
+        if let Some(c) = &self.medium_counters {
+            h.write(self.medium_kind.as_bytes());
+            h.write(&c.delivered.to_le_bytes());
+            h.write(&c.lost_out_of_range.to_le_bytes());
+            h.write(&c.lost_below_sensitivity.to_le_bytes());
+            h.write(&c.lost_captured.to_le_bytes());
+        }
+    }
+}
+
+/// The stream residue of one node, recomputed from its materialized log —
+/// the batch-path equivalent of what the sink accumulates live.  Chunking
+/// independence of [`StreamDigest`] makes the two byte-comparable.
+fn stream_meta_from_raw(node: NodeId, out: &NodeRunOutput) -> NodeStreamMeta {
+    let mut digest = StreamDigest::new();
+    digest.accept(&out.log);
+    NodeStreamMeta {
+        node,
+        entries: digest.entries(),
+        entry_digest: digest.digest(),
+        final_stamp: out.final_stamp,
+        log_dropped: out.log_dropped,
+        radio_stats: out.radio_stats,
+        ground_truth_total: out.ground_truth.total,
+    }
 }
 
 /// How many log entries the summarizer hands the interval builder at a time.
@@ -411,20 +673,28 @@ impl IntervalStats {
 }
 
 /// Runs the shared analysis pipeline over one node's raw outputs, streaming
-/// the log through the incremental interval builder chunk by chunk.
+/// the log through the incremental builders chunk by chunk — the same
+/// per-chunk fold the live sink performs, so summaries are bit-identical
+/// across the materializing and streaming paths.
 fn summarize(node: NodeId, out: &NodeRunOutput, ctx: &ExperimentContext) -> NodeSummary {
     let radio_rx = ctx.sinks.radio_rx;
     let mut builder = IntervalBuilder::new(&ctx.catalog);
     let mut stats = IntervalStats::new();
+    let mut segments = SegmentBuilder::new(ctx.cpu_dev, false);
+    let mut cpu_segments = 0u64;
     for chunk in out.log.chunks(SUMMARY_CHUNK) {
         builder.push_chunk(chunk);
         for iv in builder.drain_completed() {
             stats.absorb(&iv, radio_rx, ctx.energy_per_count);
         }
+        segments.push_chunk(chunk);
+        cpu_segments += segments.drain_completed().count() as u64;
     }
     for iv in builder.finish(Some(out.final_stamp)) {
         stats.absorb(&iv, radio_rx, ctx.energy_per_count);
     }
+    segments.flush(Some(out.final_stamp));
+    cpu_segments += segments.drain_completed().count() as u64;
     let regression_error = regress(
         &stats.pool.observations(ctx.energy_per_count),
         &ctx.catalog,
@@ -443,6 +713,7 @@ fn summarize(node: NodeId, out: &NodeRunOutput, ctx: &ExperimentContext) -> Node
         packets_received: out.radio_stats.packets_received,
         false_wakeups: out.radio_stats.false_wakeups,
         regression_error,
+        cpu_segments,
     }
 }
 
@@ -455,8 +726,11 @@ pub struct FleetReport {
     pub threads: usize,
     /// Host wall-clock time the batch took.
     pub wall_clock: std::time::Duration,
-    /// The digest, folded in submission order during the merge.
+    /// The stream digest, folded in submission order during the merge.
     digest: u64,
+    /// The legacy pinned digest (folds raw entry bytes), when the retention
+    /// mode materialized the logs.
+    pinned_digest: Option<u64>,
     /// Scenario name → index into `results`, built at merge time.
     by_name: HashMap<String, usize>,
     /// High-water mark of raw log entries held at once during the run.
@@ -476,19 +750,33 @@ impl FleetReport {
         self.results
     }
 
-    /// An FNV-1a digest over every scenario's logs, stamps and summaries —
-    /// and nothing host-dependent (thread count and wall clock are
-    /// excluded), so a batch run with 1 thread and with N threads must
-    /// produce identical digests.  The digest is folded in submission order
-    /// as scenarios merge, *before* raw outputs are dropped, so it is
-    /// available (and identical) whether or not the runner retained them.
+    /// The batch's determinism digest: an FNV-1a fold, in submission order,
+    /// of every scenario's per-node stream residues (entry counts and entry
+    /// digests), stamps, summaries and medium counters — and nothing
+    /// host-dependent (thread count and wall clock are excluded), so a batch
+    /// run with 1 thread and with N threads must produce identical digests.
+    /// Available in every retention mode: the zero-materialization path
+    /// folds it from what the sinks saw, the batch paths from the
+    /// materialized logs, and byte-identical entry streams give identical
+    /// digests either way.
     pub fn digest(&self) -> u64 {
         self.digest
     }
 
-    /// Recomputes the digest from the retained raw outputs; `None` when any
-    /// scenario's raw outputs were dropped.  Exists so tests can prove the
-    /// streamed fold equals the batch computation.
+    /// The legacy *pinned* digest — the exact byte layout of the
+    /// pre-streaming batch pipeline, which folds each node's entry count
+    /// followed by its raw entry bytes.  Only computable when the retention
+    /// mode materialized the logs ([`Retention::Batch`] or
+    /// [`Retention::Raw`]); `None` on the zero-materialization path, whose
+    /// equivalence is instead proven through [`FleetReport::digest`] and the
+    /// per-node stream residues.
+    pub fn pinned_digest(&self) -> Option<u64> {
+        self.pinned_digest
+    }
+
+    /// Recomputes the pinned digest from the retained raw outputs; `None`
+    /// when any scenario's raw outputs were dropped.  Exists so tests can
+    /// prove the merge-time fold equals the whole-batch computation.
     pub fn recompute_digest(&self) -> Option<u64> {
         if self.results.iter().any(|r| !r.has_raw()) {
             return None;
@@ -503,14 +791,17 @@ impl FleetReport {
 
     /// High-water mark of raw log entries held at once during the run:
     /// completed-but-unmerged results plus merged results whose raw outputs
-    /// were retained.  Without [`crate::FleetRunner::retain_raw`] this stays
-    /// bounded by the out-of-order completion window (≈ the thread count),
-    /// not by the batch size — the number the smoke gate asserts on.
+    /// were retained.  On the default zero-materialization path this is
+    /// *zero* — no entry is ever held — which is exactly what the smoke
+    /// retention gate asserts.  [`Retention::Batch`] stays bounded by the
+    /// out-of-order completion window (≈ the thread count), and
+    /// [`Retention::Raw`] peaks at the whole batch.
     pub fn peak_entries_held(&self) -> u64 {
         self.peak_entries_held
     }
 
-    /// Total raw log entries produced across the whole batch.
+    /// Total surviving log entries produced across the whole batch, whether
+    /// they streamed through sinks or were materialized.
     pub fn total_log_entries(&self) -> u64 {
         self.total_log_entries
     }
@@ -573,6 +864,10 @@ impl FleetReport {
             self.wall_clock.as_secs_f64() * 1e3
         ));
         out.push_str(&format!("\"digest\":\"{:#018x}\",", self.digest));
+        match self.pinned_digest {
+            Some(d) => out.push_str(&format!("\"pinned_digest\":\"{d:#018x}\",")),
+            None => out.push_str("\"pinned_digest\":null,"),
+        }
         out.push_str(&format!(
             "\"total_log_entries\":{},",
             self.total_log_entries
@@ -640,7 +935,7 @@ fn node_summary_json(s: &NodeSummary) -> String {
     format!(
         "{{\"node\":{},\"log_entries\":{},\"log_dropped\":{},\"avg_power_mw\":{},\
          \"energy_mj\":{},\"radio_duty\":{},\"packets_sent\":{},\"packets_received\":{},\
-         \"false_wakeups\":{},\"regression_error\":{}}}",
+         \"false_wakeups\":{},\"cpu_segments\":{},\"regression_error\":{}}}",
         s.node.as_u8(),
         s.log_entries,
         s.log_dropped,
@@ -650,6 +945,7 @@ fn node_summary_json(s: &NodeSummary) -> String {
         s.packets_sent,
         s.packets_received,
         s.false_wakeups,
+        s.cpu_segments,
         regression,
     )
 }
@@ -670,12 +966,15 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Accumulates merged results in submission order, folding the digest and
-/// (by default) dropping raw outputs as each scenario lands.  Owned by the
-/// runner's merge loop.
+/// Accumulates merged results in submission order, folding the digest(s)
+/// and (in [`Retention::Batch`]) dropping raw outputs as each scenario
+/// lands.  Owned by the runner's merge loop.
 pub(crate) struct ReportAccumulator {
-    retain_raw: bool,
+    retention: Retention,
+    /// The stream digest — folded in every mode.
     hasher: Fnv,
+    /// The legacy pinned digest — folded only when logs are materialized.
+    pinned: Option<Fnv>,
     results: Vec<ScenarioResult>,
     by_name: HashMap<String, usize>,
     total_log_entries: u64,
@@ -683,12 +982,21 @@ pub(crate) struct ReportAccumulator {
 
 impl ReportAccumulator {
     /// Starts a report over `expected` scenarios.
-    pub(crate) fn new(expected: usize, retain_raw: bool) -> Self {
+    pub(crate) fn new(expected: usize, retention: Retention) -> Self {
         let mut hasher = Fnv::new();
         hasher.write(&(expected as u64).to_le_bytes());
+        let pinned = match retention {
+            Retention::Stream => None,
+            Retention::Batch | Retention::Raw => {
+                let mut h = Fnv::new();
+                h.write(&(expected as u64).to_le_bytes());
+                Some(h)
+            }
+        };
         ReportAccumulator {
-            retain_raw,
+            retention,
             hasher,
+            pinned,
             results: Vec::with_capacity(expected),
             by_name: HashMap::with_capacity(expected),
             total_log_entries: 0,
@@ -696,15 +1004,17 @@ impl ReportAccumulator {
     }
 
     /// Merges the next result in submission order.  Returns how many raw log
-    /// entries were released (zero when retaining).
+    /// entries were released (zero when retaining or streaming).
     pub(crate) fn absorb(&mut self, mut result: ScenarioResult) -> u64 {
         debug_assert_eq!(result.index, self.results.len(), "merge order violated");
-        result.fold_digest(&mut self.hasher);
-        self.total_log_entries += result.log_entries_held();
-        let released = if self.retain_raw {
-            0
-        } else {
-            result.drop_raw()
+        result.fold_stream_digest(&mut self.hasher);
+        if let Some(pinned) = self.pinned.as_mut() {
+            result.fold_digest(pinned);
+        }
+        self.total_log_entries += result.total_entries();
+        let released = match self.retention {
+            Retention::Stream | Retention::Raw => 0,
+            Retention::Batch => result.drop_raw(),
         };
         // First submission wins on duplicate names, matching the linear
         // scan's find() semantics.
@@ -727,6 +1037,7 @@ impl ReportAccumulator {
             threads,
             wall_clock,
             digest: self.hasher.finish(),
+            pinned_digest: self.pinned.map(|h| h.finish()),
             by_name: self.by_name,
             peak_entries_held,
             total_log_entries: self.total_log_entries,

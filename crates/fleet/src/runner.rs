@@ -4,15 +4,19 @@
 //! [`os_sim::Engine`] from the plain-data [`Scenario`]), so the only shared
 //! state is the work queue — an atomic cursor over the batch — and an mpsc
 //! channel from the workers to the merge loop.  The merge loop reorders
-//! completions into submission order, folds the report digest, emits a
-//! progress event per scenario and — unless [`FleetRunner::retain_raw`] —
-//! drops each scenario's raw [`os_sim::NodeRunOutput`]s the moment they are
-//! folded.  A backpressure window keeps workers from racing more than
-//! ~2 × `threads` scenarios ahead of the merge watermark, so the raw
-//! entries held at any instant are bounded by the window — not by the batch
-//! size, and not by scheduler-induced skew.  Submission-order merging
-//! together with fully-seeded scenarios makes a fleet run bit-reproducible
-//! at any thread count.
+//! completions into submission order, folds the report digest(s) and emits
+//! a progress event per scenario.  What each worker *retains* is the
+//! [`Retention`] mode: the default [`Retention::Stream`] feeds the analysis
+//! through per-node log sinks during the run and never materializes a
+//! scenario's log at all; [`Retention::Batch`] materializes per scenario
+//! (which is what makes the legacy pinned digest computable) and drops at
+//! merge; [`Retention::Raw`] keeps everything.  A backpressure window keeps
+//! workers from racing more than ~2 × `threads` scenarios ahead of the
+//! merge watermark, so on the materializing paths the raw entries held at
+//! any instant are bounded by the window — not by the batch size, and not
+//! by scheduler-induced skew.  Submission-order merging together with
+//! fully-seeded scenarios makes a fleet run bit-reproducible at any thread
+//! count.
 
 use crate::report::{scenario_json, FleetReport, NodeSummary, ReportAccumulator, ScenarioResult};
 use crate::scenario::Scenario;
@@ -62,11 +66,36 @@ impl FleetProgress {
     }
 }
 
+/// What a fleet run keeps of each scenario's raw data — the axis that
+/// decides both the memory profile and which digests are computable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Retention {
+    /// The zero-materialization default: every node's log streams through a
+    /// sink that drives the incremental analysis and the entry digest
+    /// *during* the run; no [`os_sim::NodeRunOutput::log`] is ever built,
+    /// and the peak raw-entry retention of a whole sweep is zero.  The
+    /// legacy pinned digest is unavailable (its byte layout needs each
+    /// node's entry count before the entry bytes, which a stream cannot
+    /// know); determinism checks use [`crate::FleetReport::digest`].
+    #[default]
+    Stream,
+    /// Materialize each scenario's log, fold both digests at merge time in
+    /// submission order, then drop the raw outputs.  This is the
+    /// pre-refactor default path; peak retention is bounded by the
+    /// out-of-order completion window.  Use it when the pinned pre-refactor
+    /// digest must be reproduced byte-for-byte.
+    Batch,
+    /// Keep every scenario's raw outputs and analysis contexts in the
+    /// report, for consumers that re-analyze raw logs (the figure
+    /// binaries).  Costs memory proportional to the whole batch.
+    Raw,
+}
+
 /// Executes batches of [`Scenario`]s, optionally in parallel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FleetRunner {
     threads: usize,
-    retain_raw: bool,
+    retention: Retention,
 }
 
 impl FleetRunner {
@@ -74,7 +103,7 @@ impl FleetRunner {
     pub fn new(threads: usize) -> Self {
         FleetRunner {
             threads: threads.max(1),
-            retain_raw: false,
+            retention: Retention::Stream,
         }
     }
 
@@ -92,18 +121,35 @@ impl FleetRunner {
         )
     }
 
-    /// Keeps every scenario's raw [`os_sim::NodeRunOutput`]s in the report
-    /// instead of summarizing-and-dropping them at merge time.  Needed by
-    /// consumers that re-analyze raw logs (the figure binaries); costs
-    /// memory proportional to the whole batch.
-    pub fn retain_raw(mut self) -> Self {
-        self.retain_raw = true;
+    /// Selects what each scenario's execution retains (see [`Retention`]).
+    pub fn with_retention(mut self, retention: Retention) -> Self {
+        self.retention = retention;
         self
+    }
+
+    /// Keeps every scenario's raw [`os_sim::NodeRunOutput`]s in the report
+    /// instead of summarizing-and-dropping them.  Needed by consumers that
+    /// re-analyze raw logs (the figure binaries); costs memory proportional
+    /// to the whole batch.
+    pub fn retain_raw(self) -> Self {
+        self.with_retention(Retention::Raw)
+    }
+
+    /// Materializes each scenario's log and folds the legacy pinned digest
+    /// at merge before dropping the raw outputs — the pre-refactor default
+    /// path (see [`Retention::Batch`]).
+    pub fn batch_digest(self) -> Self {
+        self.with_retention(Retention::Batch)
     }
 
     /// Whether this runner keeps raw outputs.
     pub fn retains_raw(&self) -> bool {
-        self.retain_raw
+        self.retention == Retention::Raw
+    }
+
+    /// The configured retention mode.
+    pub fn retention(&self) -> Retention {
+        self.retention
     }
 
     /// The configured worker-thread count.
@@ -144,7 +190,8 @@ impl FleetRunner {
         let started = Instant::now();
         let total = scenarios.len();
         let workers = self.threads.min(total.max(1));
-        let mut acc = ReportAccumulator::new(total, self.retain_raw);
+        let retention = self.retention;
+        let mut acc = ReportAccumulator::new(total, retention);
         // Raw log entries currently held (completed results not yet merged,
         // plus merged results whose raw outputs were retained) and its
         // high-water mark — the number the smoke gate bounds.
@@ -170,7 +217,7 @@ impl FleetRunner {
 
         if workers <= 1 {
             for (i, s) in scenarios.into_iter().enumerate() {
-                let result = ScenarioResult::execute(i, s);
+                let result = ScenarioResult::execute_with(i, s, retention);
                 held += result.log_entries_held();
                 peak = peak.max(held);
                 merge(result, &mut acc, &mut held, &mut progress);
@@ -219,7 +266,8 @@ impl FleetRunner {
                                     break;
                                 }
                             }
-                            let result = ScenarioResult::execute(i, scenarios[i].clone());
+                            let result =
+                                ScenarioResult::execute_with(i, scenarios[i].clone(), retention);
                             if tx.send(result).is_err() {
                                 break;
                             }
@@ -335,46 +383,91 @@ mod tests {
                 assert_eq!(out_a.log_dropped, out_b.log_dropped);
             }
         }
-        // …then the digest the smoke harness relies on, both the streamed
-        // fold and the whole-batch recomputation.
+        // …then the digests the smoke harness relies on: the stream digest,
+        // and the pinned digest's merge-time fold versus the whole-batch
+        // recomputation.
         assert_eq!(sequential.digest(), parallel.digest());
-        assert_eq!(sequential.recompute_digest(), Some(sequential.digest()));
-        assert_eq!(parallel.recompute_digest(), Some(parallel.digest()));
+        assert_eq!(sequential.pinned_digest(), parallel.pinned_digest());
+        assert!(sequential.pinned_digest().is_some());
+        assert_eq!(sequential.recompute_digest(), sequential.pinned_digest());
+        assert_eq!(parallel.recompute_digest(), parallel.pinned_digest());
     }
 
-    /// The summarize-and-drop path must not change the digest — it is folded
-    /// from the same bytes before the raw outputs are released.
+    /// The bridge between the paths: the zero-materialization run must see
+    /// byte-identical entry streams (per-node counts and FNV digests), fold
+    /// the same report digest and produce bit-identical summaries as the
+    /// materializing run — that equality is what extends the pinned-digest
+    /// proof chain to the sink-fed path.
     #[test]
-    fn dropping_raw_outputs_preserves_the_digest() {
+    fn streaming_path_is_byte_identical_to_materializing_path() {
         let retained = FleetRunner::new(3).retain_raw().run(small_batch());
-        let dropped = FleetRunner::new(3).run(small_batch());
-        assert_eq!(retained.digest(), dropped.digest());
+        let streamed = FleetRunner::new(3).run(small_batch());
+        assert_eq!(retained.digest(), streamed.digest());
         assert!(retained.results.iter().all(|r| r.has_raw()));
-        assert!(dropped.results.iter().all(|r| !r.has_raw()));
-        assert_eq!(dropped.recompute_digest(), None);
-        // Summaries are identical either way.
-        for (a, b) in retained.results.iter().zip(dropped.results.iter()) {
+        assert!(streamed.results.iter().all(|r| !r.has_raw()));
+        assert_eq!(streamed.recompute_digest(), None);
+        assert_eq!(streamed.pinned_digest(), None);
+        assert_eq!(
+            retained.total_log_entries(),
+            streamed.total_log_entries(),
+            "both paths must account every surviving entry"
+        );
+        for (a, b) in retained.results.iter().zip(streamed.results.iter()) {
+            // The O(1) stream residues are the byte-identity witness: equal
+            // counts and equal FNV digests mean the sink saw exactly the
+            // bytes the materialized log holds.
+            assert_eq!(a.stream_meta(), b.stream_meta(), "{}", a.scenario.name);
             for (sa, sb) in a.summaries.iter().zip(b.summaries.iter()) {
                 assert_eq!(
                     sa.average_power.as_micro_watts().to_bits(),
                     sb.average_power.as_micro_watts().to_bits()
                 );
+                assert_eq!(
+                    sa.total_energy.as_micro_joules().to_bits(),
+                    sb.total_energy.as_micro_joules().to_bits()
+                );
+                assert_eq!(sa.radio_duty_cycle.to_bits(), sb.radio_duty_cycle.to_bits());
+                assert_eq!(
+                    sa.regression_error.map(f64::to_bits),
+                    sb.regression_error.map(f64::to_bits)
+                );
                 assert_eq!(sa.log_entries, sb.log_entries);
+                assert_eq!(sa.cpu_segments, sb.cpu_segments);
             }
         }
     }
 
-    /// Without retention, peak held entries is bounded by the completion
-    /// window, not the batch — and the report still knows the batch total.
+    /// The batch-digest mode must agree with raw retention on both digests
+    /// — it exists so the pinned digest stays reproducible without keeping
+    /// the whole batch in memory.
     #[test]
-    fn summarize_and_drop_bounds_peak_retention() {
-        let report = FleetRunner::new(4).run(small_batch());
-        assert!(report.total_log_entries() > 0);
+    fn batch_digest_mode_preserves_both_digests() {
+        let retained = FleetRunner::new(3).retain_raw().run(small_batch());
+        let batch = FleetRunner::new(3).batch_digest().run(small_batch());
+        assert_eq!(retained.digest(), batch.digest());
+        assert_eq!(retained.pinned_digest(), batch.pinned_digest());
+        assert!(batch.pinned_digest().is_some());
+        assert!(batch.results.iter().all(|r| !r.has_raw()));
+    }
+
+    /// The default path never holds a raw entry; batch-digest mode is
+    /// bounded by the completion window; raw retention peaks at the total.
+    #[test]
+    fn retention_modes_bound_peak_retention_as_documented() {
+        let streamed = FleetRunner::new(4).run(small_batch());
+        assert!(streamed.total_log_entries() > 0);
+        assert_eq!(
+            streamed.peak_entries_held(),
+            0,
+            "zero-materialization path must hold nothing"
+        );
+        let batch = FleetRunner::new(4).batch_digest().run(small_batch());
+        assert!(batch.peak_entries_held() > 0);
         assert!(
-            report.peak_entries_held() < report.total_log_entries(),
+            batch.peak_entries_held() < batch.total_log_entries(),
             "peak {} should be below total {}",
-            report.peak_entries_held(),
-            report.total_log_entries()
+            batch.peak_entries_held(),
+            batch.total_log_entries()
         );
         // Retaining raw buffers everything: the peak is the total.
         let retained = FleetRunner::new(4).retain_raw().run(small_batch());

@@ -86,6 +86,9 @@ pub struct PathLossSpec {
     pub sensitivity_dbm: f64,
     /// Capture margin, dB.
     pub capture_margin_db: f64,
+    /// Clear-channel-assessment threshold, dBm; `None` couples it to
+    /// `sensitivity_dbm` (the historical behavior — existing digests hold).
+    pub cca_threshold_dbm: Option<f64>,
 }
 
 impl Default for PathLossSpec {
@@ -98,6 +101,7 @@ impl Default for PathLossSpec {
             shadowing_sigma_db: p.shadowing_sigma_db,
             sensitivity_dbm: p.sensitivity_dbm,
             capture_margin_db: p.capture_margin_db,
+            cca_threshold_dbm: p.cca_threshold_dbm,
         }
     }
 }
@@ -111,6 +115,7 @@ impl PathLossSpec {
             shadowing_sigma_db: self.shadowing_sigma_db,
             sensitivity_dbm: self.sensitivity_dbm,
             capture_margin_db: self.capture_margin_db,
+            cca_threshold_dbm: self.cca_threshold_dbm,
             seed,
         }
     }

@@ -1,17 +1,36 @@
-//! Pins the report digest of fixed scenario batches across refactors of the
-//! analysis pipeline.  The constants below were recorded on the pre-streaming
-//! batch pipeline (whole-log `power_intervals`, raw outputs retained to the
-//! end); the streaming pipeline — incremental interval builders, digest
-//! folded at merge time, raw outputs summarized-and-dropped — must reproduce
-//! them byte for byte, at any thread count, with and without raw retention.
+//! Pins the report digests of fixed scenario batches across refactors of
+//! the analysis pipeline.
+//!
+//! Two families of pins, one proof chain:
+//!
+//! * The **pinned digests** ([`FleetReport::pinned_digest`]) were recorded
+//!   on the pre-streaming batch pipeline (whole-log `power_intervals`, raw
+//!   outputs retained to the end).  Every materializing retention mode must
+//!   reproduce them byte for byte, at any thread count — they prove the
+//!   merge-time fold and the incremental builders never drifted from the
+//!   original whole-batch computation.
+//! * The **stream digests** ([`FleetReport::digest`]) fold each node's
+//!   in-run entry stream (count + FNV over the encoded bytes) instead of
+//!   the raw bytes, which is what the zero-materialization path can
+//!   compute.  The bridge test below proves, scenario by scenario and node
+//!   by node, that the sink-fed path sees byte-identical entry streams to
+//!   the materializing path — so the pinned constants transitively cover
+//!   the streaming path too, and the stream constants pin it directly.
 
 use hw_model::SimDuration;
-use quanto_fleet::{scenarios, FleetRunner, MediumSpec, Scenario};
+use quanto_fleet::{scenarios, FleetRunner, GridSpec, MediumSpec, Scenario};
 
-/// `pin_batch()` digest recorded on the pre-refactor batch pipeline.
+/// `pin_batch()` pinned digest recorded on the pre-refactor batch pipeline.
 const PIN_BATCH_DIGEST: u64 = 0x766a_a912_dcd1_2f29;
 /// Single 4-second LPL channel-17 scenario, same provenance.
 const SINGLE_LPL_DIGEST: u64 = 0x297e_7546_08a5_134c;
+
+/// `pin_batch()` stream digest, recorded on the zero-materialization path
+/// whose entry streams the bridge test proves byte-identical to the batch
+/// pipeline above.
+const PIN_BATCH_STREAM_DIGEST: u64 = 0xf73f_b2e3_9f24_1280;
+/// Single 4-second LPL channel-17 scenario, stream digest.
+const SINGLE_LPL_STREAM_DIGEST: u64 = 0x1f37_3cb5_5ee7_ff3a;
 
 fn pin_batch() -> Vec<Scenario> {
     let d = SimDuration::from_secs(2);
@@ -22,31 +41,108 @@ fn pin_batch() -> Vec<Scenario> {
     batch
 }
 
+/// The same batch as `pin_batch()`, but written as a grid config file — a
+/// `GridSpec` must reproduce a hand-built grid scenario-for-scenario, and
+/// therefore digest-for-digest.
+const PIN_BATCH_GRID: &str = "
+[grid]
+name = pin_batch
+seconds = 2
+
+[cell.lpl]
+app = lpl
+interference = 0.18
+seeds = 1..2
+channels = 17, 26
+name = lpl_ch{channel}_seed{seed}
+
+[cell.blink]
+app = blink
+
+[cell.bounce]
+app = bounce
+
+[cell.idle]
+app = idle
+seconds = 1
+";
+
 #[test]
-fn streaming_pipeline_reproduces_pre_refactor_digests() {
+fn materializing_modes_reproduce_pre_refactor_digests() {
     for runner in [
-        FleetRunner::sequential(),
-        FleetRunner::new(4),
+        FleetRunner::sequential().batch_digest(),
+        FleetRunner::new(4).batch_digest(),
         FleetRunner::sequential().retain_raw(),
         FleetRunner::new(4).retain_raw(),
     ] {
         let report = runner.run(pin_batch());
         assert_eq!(
-            report.digest(),
-            PIN_BATCH_DIGEST,
-            "digest drifted from the pre-refactor batch pipeline \
-             (threads {}, retain_raw {})",
+            report.pinned_digest(),
+            Some(PIN_BATCH_DIGEST),
+            "pinned digest drifted from the pre-refactor batch pipeline \
+             (threads {}, retention {:?})",
             runner.threads(),
-            runner.retains_raw(),
+            runner.retention(),
+        );
+        assert_eq!(
+            report.digest(),
+            PIN_BATCH_STREAM_DIGEST,
+            "stream digest drifted (threads {}, retention {:?})",
+            runner.threads(),
+            runner.retention(),
         );
     }
 }
 
 #[test]
-fn single_scenario_digest_is_pinned_too() {
-    let report =
-        FleetRunner::sequential().run(vec![Scenario::lpl(17, 0.18, SimDuration::from_secs(4))]);
-    assert_eq!(report.digest(), SINGLE_LPL_DIGEST);
+fn streaming_mode_reproduces_the_stream_digest_pin() {
+    for runner in [FleetRunner::sequential(), FleetRunner::new(4)] {
+        let report = runner.run(pin_batch());
+        assert_eq!(
+            report.digest(),
+            PIN_BATCH_STREAM_DIGEST,
+            "zero-materialization stream digest drifted (threads {})",
+            runner.threads(),
+        );
+        assert_eq!(
+            report.pinned_digest(),
+            None,
+            "stream mode holds no raw bytes"
+        );
+        assert_eq!(report.peak_entries_held(), 0);
+    }
+}
+
+/// The bridge that extends the pre-refactor pins to the sink-fed path: for
+/// every scenario and node, the zero-materialization run must report the
+/// same entry count and the same FNV digest over the encoded entry bytes as
+/// the materializing run — i.e. the sink saw exactly the bytes the
+/// materialized log holds, in the same order.
+#[test]
+fn in_run_streaming_is_byte_identical_to_the_batch_pipeline() {
+    let streamed = FleetRunner::new(4).run(pin_batch());
+    let materialized = FleetRunner::new(4).batch_digest().run(pin_batch());
+    assert_eq!(materialized.pinned_digest(), Some(PIN_BATCH_DIGEST));
+    for (a, b) in streamed.results.iter().zip(materialized.results.iter()) {
+        assert_eq!(
+            a.stream_meta(),
+            b.stream_meta(),
+            "scenario {} entry streams diverged between the sink-fed and \
+             materializing paths",
+            a.scenario.name
+        );
+    }
+    assert_eq!(streamed.digest(), materialized.digest());
+}
+
+#[test]
+fn single_scenario_digests_are_pinned_too() {
+    let batch = || vec![Scenario::lpl(17, 0.18, SimDuration::from_secs(4))];
+    let report = FleetRunner::sequential().batch_digest().run(batch());
+    assert_eq!(report.pinned_digest(), Some(SINGLE_LPL_DIGEST));
+    assert_eq!(report.digest(), SINGLE_LPL_STREAM_DIGEST);
+    let streamed = FleetRunner::sequential().run(batch());
+    assert_eq!(streamed.digest(), SINGLE_LPL_STREAM_DIGEST);
 }
 
 /// The `Ideal` medium is the pre-medium-subsystem explicit-topology path:
@@ -58,14 +154,27 @@ fn explicit_ideal_medium_reproduces_the_pinned_digests() {
         .into_iter()
         .map(|s| s.with_medium(MediumSpec::Ideal))
         .collect();
-    let report = FleetRunner::new(4).run(batch);
+    let report = FleetRunner::new(4).batch_digest().run(batch);
     assert_eq!(
-        report.digest(),
-        PIN_BATCH_DIGEST,
+        report.pinned_digest(),
+        Some(PIN_BATCH_DIGEST),
         "an explicit Ideal medium must be byte-identical to the topology path"
     );
     assert!(report
         .results
         .iter()
         .all(|r| r.medium_kind == "ideal" && !r.has_medium_counters()));
+}
+
+/// A config-file grid reproducing the pin batch yields byte-identical
+/// digests — the `GridSpec` subsystem composes the same scenarios the
+/// hand-written constructors built, down to the pinned pre-refactor bytes.
+#[test]
+fn grid_config_file_reproduces_the_pinned_digests() {
+    let grid = GridSpec::parse(PIN_BATCH_GRID).expect("pin grid parses");
+    let batch = grid.expand().expect("pin grid expands");
+    assert_eq!(batch, pin_batch(), "grid must expand to the exact batch");
+    let report = FleetRunner::new(4).batch_digest().run(batch);
+    assert_eq!(report.pinned_digest(), Some(PIN_BATCH_DIGEST));
+    assert_eq!(report.digest(), PIN_BATCH_STREAM_DIGEST);
 }

@@ -86,6 +86,21 @@ impl NetSim {
         self.engine.world()
     }
 
+    /// Attaches a streaming log-chunk consumer to one node (see
+    /// [`os_sim::Kernel::set_log_sink`]); with a sink attached that node's
+    /// [`NodeRunOutput::log`] comes back empty — the entries stream through
+    /// the sink during the run instead.  Returns `false` if no node has that
+    /// id.
+    pub fn set_node_log_sink(&mut self, id: NodeId, sink: Box<dyn quanto_core::LogSink>) -> bool {
+        self.engine.set_node_log_sink(id, sink)
+    }
+
+    /// Attaches or detaches every node's ground-truth oscilloscope probe
+    /// (see [`os_sim::Kernel::set_trace_recording`]).
+    pub fn set_trace_recording(&mut self, enabled: bool) {
+        self.engine.set_trace_recording(enabled);
+    }
+
     /// Read-only access to the underlying engine.
     pub fn engine(&self) -> &Engine<Medium> {
         &self.engine

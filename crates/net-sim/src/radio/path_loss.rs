@@ -47,6 +47,13 @@ pub struct PathLossParams {
     /// How many dB a frame must beat the strongest overlapping frame by to
     /// survive a collision.
     pub capture_margin_db: f64,
+    /// Minimum RSSI at which a clear-channel assessment reports the channel
+    /// busy.  `None` couples it to `sensitivity_dbm` (the historical
+    /// behavior, and the default — existing digests hold).  Real radios
+    /// carrier-sense below their decode floor; setting this a few dB under
+    /// `sensitivity_dbm` shrinks the hidden-terminal region, setting it
+    /// above grows it.
+    pub cca_threshold_dbm: Option<f64>,
     /// Seed decorrelating the shadowing of otherwise-identical scenarios.
     pub seed: u64,
 }
@@ -60,8 +67,17 @@ impl Default for PathLossParams {
             shadowing_sigma_db: 4.0,
             sensitivity_dbm: -94.0,
             capture_margin_db: 3.0,
+            cca_threshold_dbm: None,
             seed: 0,
         }
+    }
+}
+
+impl PathLossParams {
+    /// The effective clear-channel-assessment threshold: the explicit knob
+    /// when set, otherwise coupled to the decode sensitivity.
+    pub fn cca_dbm(&self) -> f64 {
+        self.cca_threshold_dbm.unwrap_or(self.sensitivity_dbm)
     }
 }
 
@@ -168,7 +184,7 @@ impl RadioMedium for PathLoss {
     }
 
     fn carrier_senses(&mut self, listener: NodeId, frame: &OnAir, _at: SimTime) -> bool {
-        self.rssi_dbm(frame.from, listener, frame.start) >= self.params.sensitivity_dbm
+        self.rssi_dbm(frame.from, listener, frame.start) >= self.params.cca_dbm()
     }
 
     fn counters(&self) -> Option<DeliveryCounters> {
@@ -267,6 +283,46 @@ mod tests {
         assert_eq!(
             tie.receive(&emission(1, 10), NodeId(3), &[on_air(2, 10, 11)]),
             Reception::Captured
+        );
+    }
+
+    /// The CCA threshold defaults to the decode sensitivity (coupled, the
+    /// historical behavior) and decouples when set: a lower threshold lets a
+    /// listener sense frames it cannot decode, a higher one deafens it.
+    #[test]
+    fn cca_threshold_decouples_from_decode_sensitivity() {
+        // 80 m at n=3: RSSI = 0 − 40 − 30·log10(80) ≈ −97.1 dBm — below the
+        // −94 dBm decode floor but above a −100 dBm CCA threshold.
+        let at = SimTime::from_millis(50);
+        let frame = on_air(1, 50, 51);
+        let place = |cca| {
+            PathLoss::new(PathLossParams {
+                cca_threshold_dbm: cca,
+                ..noiseless()
+            })
+            .with_position(NodeId(1), Position::new(0.0, 0.0))
+            .with_position(NodeId(2), Position::new(80.0, 0.0))
+        };
+        let mut coupled = place(None);
+        assert_eq!(coupled.params().cca_dbm(), -94.0, "couples to sensitivity");
+        assert!(
+            !coupled.carrier_senses(NodeId(2), &frame, at),
+            "coupled CCA must not sense below the decode floor"
+        );
+        let mut sensitive = place(Some(-100.0));
+        assert!(
+            sensitive.carrier_senses(NodeId(2), &frame, at),
+            "a lower CCA threshold senses undecodable energy"
+        );
+        let mut deaf = place(Some(-50.0));
+        assert!(
+            !deaf.carrier_senses(NodeId(2), &frame, at),
+            "a higher CCA threshold widens the hidden-terminal region"
+        );
+        // Decoding is unaffected by the CCA knob: −97 dBm stays undecodable.
+        assert_eq!(
+            sensitive.receive(&emission(1, 50), NodeId(2), &[]),
+            Reception::BelowSensitivity
         );
     }
 

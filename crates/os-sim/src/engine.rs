@@ -143,6 +143,14 @@ impl<W: World> Engine<W> {
         }
     }
 
+    /// Attaches or detaches every node's ground-truth oscilloscope probe
+    /// (see [`crate::kernel::Kernel::set_trace_recording`]).
+    pub fn set_trace_recording(&mut self, enabled: bool) {
+        for node in &mut self.nodes {
+            node.kernel_mut().set_trace_recording(enabled);
+        }
+    }
+
     /// Read-only access to the world.
     pub fn world(&self) -> &W {
         &self.world

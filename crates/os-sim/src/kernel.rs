@@ -1056,6 +1056,15 @@ impl Kernel {
         self.quanto.set_log_sink(sink);
     }
 
+    /// Attaches or detaches the ground-truth oscilloscope probe.  The
+    /// current trace grows with every power-state change, so headless runs
+    /// that only need the Quanto log and the energy totals (the fleet's
+    /// zero-materialization path) detach it to stay memory-bounded.  Energy
+    /// accounting ([`NodeRunOutput::ground_truth`]) is unaffected.
+    pub fn set_trace_recording(&mut self, enabled: bool) {
+        self.trace.set_enabled(enabled);
+    }
+
     /// The tracked device ids: `(cpu, leds, radio, flash, sensor)`.
     pub fn device_ids(&self) -> (DeviceId, [DeviceId; 3], DeviceId, DeviceId, DeviceId) {
         (
