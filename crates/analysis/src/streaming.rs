@@ -29,11 +29,15 @@ use hw_model::{Catalog, SimTime, StateIndex};
 use quanto_core::{ActivityLabel, DeviceId, EntryKind, LogEntry, Stamp};
 
 /// Incrementally reconstructs monotonic 64-bit time from the wrapping 32-bit
-/// log timestamps: each backwards jump is one wrap of the counter.
+/// v1 log timestamps: each backwards jump is one wrap of the counter.
+///
+/// v2 entries carry absolute 64-bit timestamps, which are monotone, so the
+/// wrap rule never fires and they pass through unchanged — one unwrapper
+/// handles both formats.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TimeUnwrapper {
     high: u64,
-    prev: u32,
+    prev: u64,
     seen_any: bool,
 }
 
@@ -43,16 +47,16 @@ impl TimeUnwrapper {
         TimeUnwrapper::default()
     }
 
-    /// Unwraps the next 32-bit timestamp.  Entries must be offered in the
-    /// order they were logged — *every* entry, not just the kinds a consumer
-    /// cares about, since any entry can witness a wrap.
-    pub fn unwrap(&mut self, time_us: u32) -> SimTime {
+    /// Unwraps the next timestamp.  Entries must be offered in the order
+    /// they were logged — *every* entry, not just the kinds a consumer cares
+    /// about, since any entry can witness a wrap.
+    pub fn unwrap(&mut self, time_us: u64) -> SimTime {
         if self.seen_any && time_us < self.prev {
             self.high += 1 << 32;
         }
         self.seen_any = true;
         self.prev = time_us;
-        SimTime::from_micros(self.high + time_us as u64)
+        SimTime::from_micros(self.high + time_us)
     }
 
     /// Unwraps one entry.

@@ -60,7 +60,7 @@ impl Application for BounceApp {
             // Give both radios time to start listening before the first
             // send, and stagger the two originators so their first packets
             // do not collide.
-            let stagger = 50 + os.node_id().as_u8() as u64 * 25;
+            let stagger = 50 + os.node_id().as_u64() * 25;
             self.kickoff_timer = Some(os.start_timer(SimDuration::from_millis(stagger), false));
         }
         os.set_cpu_activity(os.idle_activity());

@@ -26,10 +26,11 @@
 //! decides collisions.
 //!
 //! `--stress-nodes N` runs one single scenario with N nodes (N/2 Bounce
-//! pairs, up to the 254-node architectural cap — node ids are one byte in
-//! the paper's 12-byte log-entry encoding) through the heap scheduler and
-//! the zero-materialization path, and fails unless the run holds zero raw
-//! entries — the bounded-memory proof for large single-scenario cells.
+//! pairs; 10k-node cells are routine now that the v2 log encoding carries
+//! 32-bit node ids and the spatial medium index keeps delivery
+//! O(neighbors)) through the heap scheduler and the zero-materialization
+//! path, and fails unless the run holds zero raw entries — the
+//! bounded-memory proof for large single-scenario cells.
 //!
 //! `--smoke` is the CI job: it runs the smoke grid — which includes one
 //! scenario per medium kind (ideal, unit_disk, path_loss, mobility), so a
@@ -76,8 +77,8 @@ struct Args {
     smoke: bool,
     grid: Option<String>,
     stress: bool,
-    stress_pairs: Option<u8>,
-    stress_nodes: Option<u16>,
+    stress_pairs: Option<u16>,
+    stress_nodes: Option<u32>,
 }
 
 fn usage_error(message: String) -> Result<Args, String> {
@@ -159,11 +160,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 // Optionally followed by a pair count; another flag (or
                 // nothing) means the default, a non-count is an error.
                 if let Some(v) = argv.get(i + 1).filter(|v| !v.starts_with("--")) {
-                    match v.parse::<u8>() {
-                        Ok(p) if (1..=127).contains(&p) => args.stress_pairs = Some(p),
+                    match v.parse::<u16>() {
+                        Ok(p) if (1..=32767).contains(&p) => args.stress_pairs = Some(p),
                         _ => {
                             return usage_error(format!(
-                                "fleet_sweep: --stress PAIRS must be in 1..=127, got {v:?}"
+                                "fleet_sweep: --stress PAIRS must be in 1..=32767, got {v:?}"
                             ))
                         }
                     }
@@ -172,18 +173,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--stress-nodes" => {
                 let v = value(&mut i, "--stress-nodes")?;
-                match v.parse::<u16>() {
-                    Ok(n) if (2..=254).contains(&n) && n % 2 == 0 => args.stress_nodes = Some(n),
-                    Ok(n) if n > 254 => {
-                        return usage_error(format!(
-                            "fleet_sweep: --stress-nodes caps at 254 (node ids are one byte \
-                             in the 12-byte log-entry encoding), got {n}"
-                        ))
-                    }
+                match v.parse::<u32>() {
+                    Ok(n) if (2..=65534).contains(&n) && n % 2 == 0 => args.stress_nodes = Some(n),
                     _ => {
                         return usage_error(format!(
                             "fleet_sweep: --stress-nodes expects an even node count in \
-                             2..=254, got {v:?}"
+                             2..=65534 (counts beyond 254 use the v2 log encoding), got {v:?}"
                         ))
                     }
                 }
@@ -346,8 +341,8 @@ fn smoke(args: &Args) -> ExitCode {
 
 /// `--stress-nodes N`: one N-node scenario through the heap scheduler and
 /// the zero-materialization path, gated on holding zero raw entries.
-fn stress_nodes(nodes: u16, args: &Args) -> ExitCode {
-    let pairs = (nodes / 2) as u8;
+fn stress_nodes(nodes: u32, args: &Args) -> ExitCode {
+    let pairs = (nodes / 2) as u16;
     // Round like `GridSpec` expansion does, so `--stress-nodes --seconds X`
     // and a grid cell with `seconds = X` simulate the identical duration.
     let duration =
@@ -599,9 +594,12 @@ mod tests {
             &["--seconds"][..],
             &["--seconds", "abc"][..],
             &["--threads", "0"][..],
-            &["--stress", "999"][..],
-            &["--stress-nodes", "1000"][..],
+            &["--stress", "0"][..],
+            &["--stress", "40000"][..],
+            &["--stress-nodes", "0"][..],
             &["--stress-nodes", "7"][..],
+            &["--stress-nodes", "70000"][..],
+            &["--stress-nodes", "abc"][..],
             &["--smoke", "--stress"][..],
             &["extra"][..],
         ] {
@@ -630,7 +628,14 @@ mod tests {
         assert!(a.stress && a.stress_pairs.is_none());
         let a = args(&["--stress", "12"]).unwrap();
         assert_eq!(a.stress_pairs, Some(12));
+        let a = args(&["--stress", "999"]).unwrap();
+        assert_eq!(a.stress_pairs, Some(999));
         let a = args(&["--stress-nodes", "254"]).unwrap();
         assert_eq!(a.stress_nodes, Some(254));
+        // Beyond the old 254-node cap: valid since the v2 log encoding.
+        let a = args(&["--stress-nodes", "1024"]).unwrap();
+        assert_eq!(a.stress_nodes, Some(1024));
+        let a = args(&["--stress-nodes", "10000"]).unwrap();
+        assert_eq!(a.stress_nodes, Some(10000));
     }
 }

@@ -7,17 +7,54 @@
 //! components.  Quanto represents an activity by a label `<origin node : id>`
 //! encoded in 16 bits so that it can ride inside every radio packet, which
 //! supports networks of up to 256 nodes with 256 distinct activity ids.
+//!
+//! The paper's 16-bit label (one byte of origin, one of id) is the **v1**
+//! wire format and caps fleets at 254 usable node ids.  [`NodeId`] itself is
+//! 32 bits wide: labels whose origin fits in one byte encode exactly as
+//! before (every pinned v1 digest holds), while wider origins use the
+//! widened label encoding carried by the v2 log-entry format (see
+//! [`crate::log`]).
 
 use std::fmt;
 
 /// Identifier of a node in the network (the `origin node` half of a label).
+///
+/// Ids are 32 bits wide in memory.  The v1 (paper) log encoding packs the
+/// origin into one byte, so v1 scenarios use ids `1..=254`; the v2 encoding
+/// carries the full id, capped at [`NodeId::MAX_LABEL_ORIGIN`] so a widened
+/// label still fits 32 bits alongside its 8-bit activity id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct NodeId(pub u8);
+pub struct NodeId(pub u32);
 
 impl NodeId {
+    /// The broadcast destination (all nodes).  Deliberately outside the
+    /// valid origin range under every encoding: v1 reserved the one-byte
+    /// sentinel `0xFF`, which a widened fleet would collide with, so the
+    /// widened sentinel is the all-ones id no real node may use.
+    pub const BROADCAST: NodeId = NodeId(u32::MAX);
+
+    /// The largest id that can originate an activity label: the widened
+    /// label packs `(origin << 8) | activity` into 32 bits, leaving 24 bits
+    /// of origin.
+    pub const MAX_LABEL_ORIGIN: u32 = (1 << 24) - 1;
+
+    /// The largest id the one-byte v1 log encoding can carry (`0xFF` being
+    /// the historical broadcast sentinel, and 0 the idle origin).
+    pub const MAX_V1: u32 = 254;
+
     /// Returns the raw id.
-    pub const fn as_u8(self) -> u8 {
+    pub const fn as_u32(self) -> u32 {
         self.0
+    }
+
+    /// The raw id, zero-extended (for seed derivations and hashing).
+    pub const fn as_u64(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Whether the one-byte v1 origin encoding can represent this id.
+    pub const fn fits_v1(self) -> bool {
+        self.0 <= NodeId::MAX_V1
     }
 }
 
@@ -47,7 +84,13 @@ impl fmt::Display for ActivityId {
     }
 }
 
-/// A 16-bit activity label `<origin node : id>`.
+/// An activity label `<origin node : id>`.
+///
+/// On the wire and in the log a label is an integer with the origin above the
+/// 8-bit activity id.  Origins `0..=255` produce the paper's 16-bit value
+/// (the v1 log format carries only those 16 bits); wider origins — up to
+/// [`NodeId::MAX_LABEL_ORIGIN`] — use the upper bits of the 32-bit encoding,
+/// which only the v2 log format can carry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct ActivityLabel {
     /// The node where the activity originated.
@@ -73,16 +116,17 @@ impl ActivityLabel {
         self.id.0 == 0
     }
 
-    /// Encodes the label as the 16-bit wire/log format: origin in the high
-    /// byte, id in the low byte.
-    pub const fn encode(self) -> u16 {
-        ((self.origin.0 as u16) << 8) | self.id.0 as u16
+    /// Encodes the label as the wire/log integer: origin above the low id
+    /// byte.  For origins `0..=255` this is exactly the paper's 16-bit value
+    /// zero-extended, so v1 log entries truncate it losslessly.
+    pub const fn encode(self) -> u32 {
+        (self.origin.0 << 8) | self.id.0 as u32
     }
 
-    /// Decodes a label from its 16-bit wire/log format.
-    pub const fn decode(raw: u16) -> Self {
+    /// Decodes a label from its wire/log integer.
+    pub const fn decode(raw: u32) -> Self {
         ActivityLabel {
-            origin: NodeId((raw >> 8) as u8),
+            origin: NodeId(raw >> 8),
             id: ActivityId((raw & 0xFF) as u8),
         }
     }
@@ -233,12 +277,25 @@ mod tests {
 
     #[test]
     fn every_label_round_trips() {
-        for origin in [0u8, 1, 7, 255] {
+        for origin in [0u32, 1, 7, 255, 256, 4242, NodeId::MAX_LABEL_ORIGIN] {
             for id in [0u8, 1, 128, 255] {
                 let l = ActivityLabel::new(NodeId(origin), ActivityId(id));
                 assert_eq!(ActivityLabel::decode(l.encode()), l);
             }
         }
+    }
+
+    #[test]
+    fn wide_origins_extend_the_v1_encoding() {
+        // v1-range origins encode exactly as the paper's 16-bit value.
+        let narrow = ActivityLabel::new(NodeId(254), ActivityId(3));
+        assert_eq!(narrow.encode(), 0xFE03);
+        assert!(narrow.origin.fits_v1());
+        // Wider origins spill into the upper bits only v2 entries carry.
+        let wide = ActivityLabel::new(NodeId(1000), ActivityId(3));
+        assert_eq!(wide.encode(), (1000 << 8) | 3);
+        assert!(!wide.origin.fits_v1());
+        assert!(!NodeId::BROADCAST.fits_v1());
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub mod sink;
 pub use activity::{ActivityId, ActivityKind, ActivityLabel, ActivityRegistry, NodeId};
 pub use cost::{CostModel, CostStats};
 pub use device::{DeviceId, DeviceKind, DeviceTable, MultiActivityError};
-pub use log::{EntryKind, LogEntry, ENTRY_SIZE_BYTES};
+pub use log::{
+    EntryKind, LogEncoding, LogEntry, LogVersion, ENTRY_SIZE_BYTES, ENTRY_SIZE_BYTES_V2, V1, V2,
+};
 pub use logger::{OverflowPolicy, RamLogger};
 pub use power_state::{PowerStateTable, PowerStateTrack, PowerStateValue};
 pub use runtime::{

@@ -10,7 +10,7 @@
 //! incrementally (the `analysis` crate's interval builders) holds memory
 //! proportional to its *open* state, not to the total number of events.
 
-use crate::log::LogEntry;
+use crate::log::{LogEncoding, LogEntry};
 
 /// A chunk-wise consumer of log entries.
 ///
@@ -66,11 +66,15 @@ impl LogSink for VecSink {
 /// digests and equal counts saw the same encoded bytes in the same order).
 ///
 /// Chunk boundaries do not affect the digest: only entry bytes are folded,
-/// in order.
+/// in order.  The digest is over the bytes of a specific wire format:
+/// [`StreamDigest::new`] folds v1 bytes (what every pinned digest in the
+/// repo uses); [`StreamDigest::with_encoding`] picks the format, which wide
+/// fleets need since v1 cannot represent their entries.
 #[derive(Debug, Clone, Copy)]
 pub struct StreamDigest {
     hash: u64,
     entries: u64,
+    encoding: LogEncoding,
 }
 
 impl StreamDigest {
@@ -79,19 +83,34 @@ impl StreamDigest {
     /// FNV-1a 64-bit prime.
     const PRIME: u64 = 0x0000_0100_0000_01B3;
 
-    /// A fresh digest (no entries folded).
+    /// A fresh digest (no entries folded) over v1 entry bytes.
     pub fn new() -> Self {
+        StreamDigest::with_encoding(LogEncoding::V1)
+    }
+
+    /// A fresh digest folding the given wire format's bytes.
+    pub fn with_encoding(encoding: LogEncoding) -> Self {
         StreamDigest {
             hash: Self::OFFSET,
             entries: 0,
+            encoding,
         }
+    }
+
+    /// The wire format whose bytes this digest folds.
+    pub fn encoding(&self) -> LogEncoding {
+        self.encoding
     }
 
     /// Folds one entry's encoded bytes.
     pub fn fold(&mut self, entry: &LogEntry) {
-        for b in entry.encode() {
+        let mut push = |b: u8| {
             self.hash ^= b as u64;
             self.hash = self.hash.wrapping_mul(Self::PRIME);
+        };
+        match self.encoding {
+            LogEncoding::V1 => entry.encode().into_iter().for_each(&mut push),
+            LogEncoding::V2 => entry.encode_v2().into_iter().for_each(&mut push),
         }
         self.entries += 1;
     }
@@ -199,6 +218,24 @@ mod tests {
         swapped.accept(&[entry(1), entry(0), entry(2), entry(3)]);
         assert_ne!(whole.digest(), swapped.digest(), "order must matter");
         assert_ne!(StreamDigest::new().digest(), whole.digest());
+    }
+
+    #[test]
+    fn stream_digest_encoding_selects_the_folded_bytes() {
+        let entries = [entry(0), entry(1), entry(2)];
+        let mut v1 = StreamDigest::new();
+        let mut v2 = StreamDigest::with_encoding(LogEncoding::V2);
+        v1.accept(&entries);
+        v2.accept(&entries);
+        assert_eq!(v1.encoding(), LogEncoding::V1);
+        assert_eq!(v2.encoding(), LogEncoding::V2);
+        assert_eq!(v1.entries(), v2.entries());
+        // Different wire bytes, different digest.
+        assert_ne!(v1.digest(), v2.digest());
+        // The default constructor is the v1 digest the pins use.
+        let mut explicit = StreamDigest::with_encoding(LogEncoding::V1);
+        explicit.accept(&entries);
+        assert_eq!(explicit.digest(), v1.digest());
     }
 
     #[test]

@@ -110,8 +110,8 @@ pub enum CellApp {
     Bounce,
     /// `pairs` side-by-side Bounce exchanges.
     BouncePairs {
-        /// How many two-node exchanges run side by side (1–127).
-        pairs: u8,
+        /// How many two-node exchanges run side by side (1–32767).
+        pairs: u16,
     },
     /// The idle single-node baseline.
     Idle,
@@ -133,7 +133,7 @@ pub enum BaseGeometry {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Placement {
     /// Explicit `(node id, x, y)` coordinates.
-    Explicit(Vec<(u8, f64, f64)>),
+    Explicit(Vec<(u32, f64, f64)>),
     /// Bounce pairs strung along a line: pair `k`'s initiator sits at
     /// `spacing·k`, its partner `gap` meters further.  Resolved against the
     /// cell's `pairs` at expansion time, so a pairs override rescales the
@@ -157,7 +157,7 @@ pub enum TraceTime {
 
 /// One node's mobility trace as grid data: waypoint times may be relative
 /// to the (possibly swept) cell duration.
-pub type TraceTemplate = (u8, Vec<(TraceTime, f64, f64)>);
+pub type TraceTemplate = (u32, Vec<(TraceTime, f64, f64)>);
 
 /// Which radio medium kind a cell sweeps through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -261,7 +261,7 @@ impl GridSpec {
 
     /// Replaces the pair count of every `bounce_pairs` cell — the
     /// `--stress PAIRS` override.
-    pub fn override_pairs(&mut self, pairs: u8) {
+    pub fn override_pairs(&mut self, pairs: u16) {
         for cell in &mut self.cells {
             if let CellApp::BouncePairs { pairs: p } = &mut cell.app {
                 *p = pairs;
@@ -304,15 +304,15 @@ impl CellSpec {
     }
 
     /// The cell's node count (for `{nodes}` and line placements).
-    fn node_count(&self) -> u16 {
+    fn node_count(&self) -> u32 {
         match self.app {
             CellApp::Lpl { .. } | CellApp::Blink | CellApp::Idle => 1,
             CellApp::Bounce => 2,
-            CellApp::BouncePairs { pairs } => 2 * pairs as u16,
+            CellApp::BouncePairs { pairs } => 2 * pairs as u32,
         }
     }
 
-    fn positions(&self) -> Result<Vec<(u8, f64, f64)>, GridError> {
+    fn positions(&self) -> Result<Vec<(u32, f64, f64)>, GridError> {
         match &self.placement {
             Placement::Explicit(list) => Ok(list.clone()),
             Placement::Line { spacing_m, gap_m } => {
@@ -323,7 +323,7 @@ impl CellSpec {
                     ));
                 };
                 let mut positions = Vec::with_capacity(2 * pairs as usize);
-                for k in 0..pairs {
+                for k in 0..pairs as u32 {
                     let x = spacing_m * k as f64;
                     positions.push((2 * k + 1, x, 0.0));
                     positions.push((2 * k + 2, x + gap_m, 0.0));
@@ -543,11 +543,11 @@ struct RawCell {
     channels: Vec<u8>,
     seconds: Vec<f64>,
     interference: Option<f64>,
-    pairs: Option<u8>,
+    pairs: Option<u16>,
     mediums: Vec<MediumKind>,
     base: Option<(String, usize)>,
     range_m: Option<f64>,
-    positions: Option<Vec<(u8, f64, f64)>>,
+    positions: Option<Vec<(u32, f64, f64)>>,
     placement_line: Option<(f64, f64)>,
     traces: Vec<TraceTemplate>,
     path_loss: PathLossSpec,
@@ -594,7 +594,7 @@ impl RawCell {
             "bounce_pairs" => {
                 let pairs = self
                     .pairs
-                    .ok_or_else(|| err("app = bounce_pairs needs pairs = N (1..=127)".into()))?;
+                    .ok_or_else(|| err("app = bounce_pairs needs pairs = N (1..=32767)".into()))?;
                 CellApp::BouncePairs { pairs }
             }
             "idle" => CellApp::Idle,
@@ -826,13 +826,13 @@ fn parse_cell_key(cell: &mut RawCell, n: usize, key: &str, value: &str) -> Resul
         }
         "pairs" => {
             let pairs = parse_u64(n, key, value)?;
-            if !(1..=127).contains(&pairs) {
+            if !(1..=32767).contains(&pairs) {
                 return Err(GridError::at(
                     n,
-                    format!("pairs must be in 1..=127, got {pairs}"),
+                    format!("pairs must be in 1..=32767, got {pairs}"),
                 ));
             }
-            cell.pairs = Some(pairs as u8);
+            cell.pairs = Some(pairs as u16);
         }
         "medium" => {
             cell.mediums = value
@@ -931,18 +931,22 @@ fn parse_u64_list(n: usize, key: &str, value: &str) -> Result<Vec<u64>, GridErro
 }
 
 /// `1:0,0 4:8.5,0` — whitespace-separated `id:x,y` placements.
-fn parse_positions(n: usize, value: &str) -> Result<Vec<(u8, f64, f64)>, GridError> {
+fn parse_positions(n: usize, value: &str) -> Result<Vec<(u32, f64, f64)>, GridError> {
     value
         .split_whitespace()
         .map(|tok| {
             let bad = || GridError::at(n, format!("positions expect `id:x,y` tokens, got {tok:?}"));
             let (id, xy) = tok.split_once(':').ok_or_else(bad)?;
             let (x, y) = xy.split_once(',').ok_or_else(bad)?;
-            let id: u8 = id.parse().map_err(|_| bad())?;
-            if id == 0 || id == 0xFF {
+            let id: u32 = id.parse().map_err(|_| bad())?;
+            if id == 0 || id > quanto_core::NodeId::MAX_LABEL_ORIGIN {
                 return Err(GridError::at(
                     n,
-                    format!("node id {id} is reserved (usable ids are 1..=254)"),
+                    format!(
+                        "node id {id} is out of range (usable ids are 1..={}; ids above 254 \
+                         switch the cell to the v2 log encoding)",
+                        quanto_core::NodeId::MAX_LABEL_ORIGIN
+                    ),
                 ));
             }
             Ok((
@@ -959,7 +963,7 @@ fn parse_trace(n: usize, value: &str) -> Result<TraceTemplate, GridError> {
     let (node, rest) = value.split_once(':').ok_or_else(|| {
         GridError::at(n, format!("trace expects `node: T:x,y ...`, got {value:?}"))
     })?;
-    let node: u8 = node
+    let node: u32 = node
         .trim()
         .parse()
         .map_err(|_| GridError::at(n, format!("trace node id must be an integer, got {node:?}")))?;

@@ -139,9 +139,9 @@ pub mod scenarios {
     /// near the sensitivity floor, close enough to collide but too far to
     /// carrier-sense reliably — the hidden-terminal regime the capture rule
     /// exists for.
-    pub fn path_loss_stress(pairs: u8, seed: u64, duration: SimDuration) -> Scenario {
+    pub fn path_loss_stress(pairs: u16, seed: u64, duration: SimDuration) -> Scenario {
         let mut positions = Vec::with_capacity(2 * pairs as usize);
-        for k in 0..pairs {
+        for k in 0..pairs as u32 {
             let x = 30.0 * k as f64;
             positions.push((2 * k + 1, x, 0.0));
             positions.push((2 * k + 2, x + 5.0, 0.0));
@@ -152,7 +152,7 @@ pub mod scenarios {
                 positions,
             })
             .with_seed(seed)
-            .named(format!("path_loss_stress_{}n_seed{seed}", 2 * pairs as u16))
+            .named(format!("path_loss_stress_{}n_seed{seed}", 2 * pairs as u32))
     }
 
     /// Converts a finished LPL scenario into the `quanto-apps` [`LplRun`]

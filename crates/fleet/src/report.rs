@@ -35,7 +35,7 @@ use net_sim::DeliveryCounters;
 use os_sim::drivers::RadioStats;
 use os_sim::NodeRunOutput;
 use quanto_apps::ExperimentContext;
-use quanto_core::{LogEntry, LogSink, NodeId, Stamp, StreamDigest};
+use quanto_core::{LogEncoding, LogEntry, LogSink, NodeId, Stamp, StreamDigest};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -254,6 +254,7 @@ impl ScenarioResult {
             .collect();
         let medium_counters = net.medium_counters();
         let outputs = net.finish(end);
+        let encoding = scenario.log_encoding();
         let mut summaries = Vec::with_capacity(outputs.len());
         let mut stream = Vec::with_capacity(outputs.len());
         for (id, out) in &outputs {
@@ -262,7 +263,7 @@ impl ScenarioResult {
                 .find(|(cid, _)| cid == id)
                 .expect("context captured for every node");
             summaries.push(summarize(*id, out, ctx));
-            stream.push(stream_meta_from_raw(*id, out));
+            stream.push(stream_meta_from_raw(*id, out, encoding));
         }
         let medium_kind = scenario.medium.kind();
         ScenarioResult {
@@ -295,7 +296,7 @@ impl ScenarioResult {
             let node = Rc::new(RefCell::new(LiveNode {
                 radio_rx: kernel.sink_ids().radio_rx,
                 energy_per_count: kernel.config().icount.nominal_energy_per_pulse,
-                digest: StreamDigest::new(),
+                digest: StreamDigest::with_encoding(scenario.log_encoding()),
                 builder: IntervalBuilder::new(&catalog),
                 segments: SegmentBuilder::new(cpu_dev, false),
                 stats: IntervalStats::new(),
@@ -512,13 +513,17 @@ impl ScenarioResult {
             .raw
             .as_ref()
             .expect("digest is folded before raw outputs are dropped");
+        let encoding = self.scenario.log_encoding();
         h.write(self.scenario.name.as_bytes());
         h.write(&(self.index as u64).to_le_bytes());
         for (id, out) in &raw.outputs {
-            h.write(&[id.as_u8()]);
+            fold_node_id(h, *id);
             h.write(&(out.log.len() as u64).to_le_bytes());
+            let mut bytes = Vec::new();
             for entry in &out.log {
-                h.write(&entry.encode());
+                bytes.clear();
+                encoding.encode_entry(entry, &mut bytes);
+                h.write(&bytes);
             }
             h.write(&out.final_stamp.time.as_micros().to_le_bytes());
             h.write(&out.final_stamp.icount.to_le_bytes());
@@ -559,7 +564,7 @@ impl ScenarioResult {
         h.write(self.scenario.name.as_bytes());
         h.write(&(self.index as u64).to_le_bytes());
         for m in &self.stream {
-            h.write(&[m.node.as_u8()]);
+            fold_node_id(h, m.node);
             h.write(&m.entries.to_le_bytes());
             h.write(&m.entry_digest.to_le_bytes());
             h.write(&m.final_stamp.time.as_micros().to_le_bytes());
@@ -591,11 +596,28 @@ impl ScenarioResult {
     }
 }
 
+/// Folds one node id into a digest.  Ids in the v1 range keep their
+/// historical single byte, so every pinned digest holds; wider ids write the
+/// `0xFF` escape byte (never a plain id — v1 caps at 254) followed by the
+/// full little-endian id.
+fn fold_node_id(h: &mut Fnv, id: NodeId) {
+    if id.fits_v1() {
+        h.write(&[id.as_u32() as u8]);
+    } else {
+        h.write(&[0xFF]);
+        h.write(&id.as_u32().to_le_bytes());
+    }
+}
+
 /// The stream residue of one node, recomputed from its materialized log —
 /// the batch-path equivalent of what the sink accumulates live.  Chunking
 /// independence of [`StreamDigest`] makes the two byte-comparable.
-fn stream_meta_from_raw(node: NodeId, out: &NodeRunOutput) -> NodeStreamMeta {
-    let mut digest = StreamDigest::new();
+fn stream_meta_from_raw(
+    node: NodeId,
+    out: &NodeRunOutput,
+    encoding: LogEncoding,
+) -> NodeStreamMeta {
+    let mut digest = StreamDigest::with_encoding(encoding);
     digest.accept(&out.log);
     NodeStreamMeta {
         node,
@@ -936,7 +958,7 @@ fn node_summary_json(s: &NodeSummary) -> String {
         "{{\"node\":{},\"log_entries\":{},\"log_dropped\":{},\"avg_power_mw\":{},\
          \"energy_mj\":{},\"radio_duty\":{},\"packets_sent\":{},\"packets_received\":{},\
          \"false_wakeups\":{},\"cpu_segments\":{},\"regression_error\":{}}}",
-        s.node.as_u8(),
+        s.node.as_u32(),
         s.log_entries,
         s.log_dropped,
         s.average_power.as_milli_watts(),

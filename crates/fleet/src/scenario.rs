@@ -17,7 +17,7 @@ use quanto_apps::{
     lpl_node_config, paper_interference, BlinkApp, BounceApp, LplListenerApp,
     PAPER_INTERFERENCE_SEED,
 };
-use quanto_core::NodeId;
+use quanto_core::{LogEncoding, NodeId};
 
 /// Which application a scenario's nodes run.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,10 +36,12 @@ pub enum AppSpec {
     Bounce,
     /// `pairs` independent Bounce exchanges: pair `k` is nodes `2k+1`
     /// (initiator) and `2k+2`, for node ids 1..=2·pairs.  The multi-node
-    /// stress workload for geometric mediums (at most 127 pairs).
+    /// stress workload for geometric mediums; beyond 127 pairs the fleet
+    /// exceeds the v1 node-id range and reports switch to the v2 log
+    /// encoding.
     BouncePairs {
-        /// How many two-node exchanges run side by side.
-        pairs: u8,
+        /// How many two-node exchanges run side by side (at most 32767).
+        pairs: u16,
     },
     /// One idle node — the DCO-calibration-only baseline.
     Idle,
@@ -51,7 +53,7 @@ pub enum TopologySpec {
     /// Every node hears every other node.
     Full,
     /// An explicit symmetric link list over raw node ids.
-    Links(Vec<(u8, u8)>),
+    Links(Vec<(u32, u32)>),
 }
 
 impl TopologySpec {
@@ -134,10 +136,18 @@ pub enum GeometrySpec {
 }
 
 impl GeometrySpec {
-    fn build(&self, seed: u64, positions: &[(u8, f64, f64)]) -> Box<dyn PositionedMedium> {
+    fn build(
+        &self,
+        seed: u64,
+        positions: &[(u32, f64, f64)],
+        brute_force: bool,
+    ) -> Box<dyn PositionedMedium> {
         match self {
             GeometrySpec::UnitDisk { range_m } => {
                 let mut disk = UnitDisk::new(*range_m);
+                if brute_force {
+                    disk = disk.without_spatial_index();
+                }
                 for (id, x, y) in positions {
                     disk.set_position(NodeId(*id), Position::new(*x, *y));
                 }
@@ -145,6 +155,9 @@ impl GeometrySpec {
             }
             GeometrySpec::PathLoss(spec) => {
                 let mut model = PathLoss::new(spec.to_params(seed));
+                if brute_force {
+                    model = model.without_spatial_index();
+                }
                 for (id, x, y) in positions {
                     model.set_position(NodeId(*id), Position::new(*x, *y));
                 }
@@ -156,7 +169,7 @@ impl GeometrySpec {
 
 /// One node's mobility trace as plain data: the node id and its
 /// `(time µs, x, y)` waypoints.
-pub type TraceSpec = (u8, Vec<(u64, f64, f64)>);
+pub type TraceSpec = (u32, Vec<(u64, f64, f64)>);
 
 /// Which radio medium a scenario's frames propagate through — a plain-data
 /// sweep axis, like seeds and channels.
@@ -172,21 +185,21 @@ pub enum MediumSpec {
         range_m: f64,
         /// `(node id, x, y)` placements, meters; unplaced nodes sit at the
         /// origin.
-        positions: Vec<(u8, f64, f64)>,
+        positions: Vec<(u32, f64, f64)>,
     },
     /// Log-distance path loss with deterministic shadowing and capture.
     PathLoss {
         /// The propagation model parameters.
         model: PathLossSpec,
         /// `(node id, x, y)` placements, meters.
-        positions: Vec<(u8, f64, f64)>,
+        positions: Vec<(u32, f64, f64)>,
     },
     /// Piecewise-linear waypoint traces over a geometric base model.
     Mobility {
         /// The geometric model underneath.
         base: GeometrySpec,
         /// Static `(node id, x, y)` placements for untraced nodes.
-        positions: Vec<(u8, f64, f64)>,
+        positions: Vec<(u32, f64, f64)>,
         /// Per-node waypoint traces: `(node id, [(time µs, x, y)])`.
         traces: Vec<TraceSpec>,
     },
@@ -207,21 +220,21 @@ impl MediumSpec {
 
     /// Builds the propagation model; `None` for [`MediumSpec::Ideal`], which
     /// keeps the scenario's topology-driven default.
-    fn build(&self, seed: u64) -> Option<Box<dyn RadioMedium>> {
+    fn build(&self, seed: u64, brute_force: bool) -> Option<Box<dyn RadioMedium>> {
         match self {
             MediumSpec::Ideal => None,
-            MediumSpec::UnitDisk { range_m, positions } => {
-                Some(GeometrySpec::UnitDisk { range_m: *range_m }.build(seed, positions))
-            }
+            MediumSpec::UnitDisk { range_m, positions } => Some(
+                GeometrySpec::UnitDisk { range_m: *range_m }.build(seed, positions, brute_force),
+            ),
             MediumSpec::PathLoss { model, positions } => {
-                Some(GeometrySpec::PathLoss(model.clone()).build(seed, positions))
+                Some(GeometrySpec::PathLoss(model.clone()).build(seed, positions, brute_force))
             }
             MediumSpec::Mobility {
                 base,
                 positions,
                 traces,
             } => {
-                let mut mobility = Mobility::new(base.build(seed, positions));
+                let mut mobility = Mobility::new(base.build(seed, positions, brute_force));
                 for (id, waypoints) in traces {
                     let waypoints = waypoints
                         .iter()
@@ -259,6 +272,11 @@ pub struct Scenario {
     pub topology: TopologySpec,
     /// The radio medium frames propagate through.
     pub medium: MediumSpec,
+    /// When true, geometric mediums are built without their spatial index
+    /// and answer every delivery with the full node scan — the reference
+    /// path for the index-equivalence tests and microbenches.  Results are
+    /// byte-identical either way; only the run time differs.
+    pub brute_force_medium: bool,
 }
 
 impl Scenario {
@@ -273,6 +291,7 @@ impl Scenario {
             duration,
             topology: TopologySpec::Full,
             medium: MediumSpec::Ideal,
+            brute_force_medium: false,
         }
     }
 
@@ -289,6 +308,7 @@ impl Scenario {
             duration,
             topology: TopologySpec::Full,
             medium: MediumSpec::Ideal,
+            brute_force_medium: false,
         }
     }
 
@@ -303,13 +323,14 @@ impl Scenario {
             duration,
             topology: TopologySpec::Full,
             medium: MediumSpec::Ideal,
+            brute_force_medium: false,
         }
     }
 
     /// `pairs` side-by-side Bounce exchanges (node ids 1..=2·pairs) — the
     /// multi-node workload geometric mediums are stressed with.
-    pub fn bounce_pairs(pairs: u8, duration: SimDuration) -> Self {
-        assert!((1..=127).contains(&pairs), "pairs must be in 1..=127");
+    pub fn bounce_pairs(pairs: u16, duration: SimDuration) -> Self {
+        assert!((1..=32767).contains(&pairs), "pairs must be in 1..=32767");
         Scenario {
             name: format!("bounce_pairs{pairs}_{}s", duration.as_secs_f64()),
             app: AppSpec::BouncePairs { pairs },
@@ -319,6 +340,7 @@ impl Scenario {
             duration,
             topology: TopologySpec::Full,
             medium: MediumSpec::Ideal,
+            brute_force_medium: false,
         }
     }
 
@@ -333,6 +355,7 @@ impl Scenario {
             duration,
             topology: TopologySpec::Full,
             medium: MediumSpec::Ideal,
+            brute_force_medium: false,
         }
     }
 
@@ -362,15 +385,29 @@ impl Scenario {
         self
     }
 
+    /// Builds geometric mediums without their spatial index (the full-scan
+    /// reference path).  Byte-identical results, O(nodes) per frame — for
+    /// equivalence tests and microbenches only.
+    pub fn without_spatial_index(mut self) -> Self {
+        self.brute_force_medium = true;
+        self
+    }
+
     /// The node ids this scenario instantiates, in insertion order.
     pub fn node_ids(&self) -> Vec<NodeId> {
         match self.app {
             AppSpec::Blink | AppSpec::LplListener { .. } | AppSpec::Idle => vec![NodeId(1)],
             AppSpec::Bounce => vec![NodeId(1), NodeId(4)],
-            AppSpec::BouncePairs { pairs } => {
-                (1..=2 * pairs as u16).map(|id| NodeId(id as u8)).collect()
-            }
+            AppSpec::BouncePairs { pairs } => (1..=2 * pairs as u32).map(NodeId).collect(),
         }
+    }
+
+    /// The log wire format this scenario's digests fold: v1 while every
+    /// node id fits the paper's one-byte origin (keeping historical digests
+    /// byte-identical), v2 once any id exceeds 254.
+    pub fn log_encoding(&self) -> LogEncoding {
+        let max = self.node_ids().into_iter().max().unwrap_or(NodeId(0));
+        LogEncoding::required_for(max)
     }
 
     /// Applies the scenario's channel and (optionally) seed to a node
@@ -381,7 +418,7 @@ impl Scenario {
             config.seed = self
                 .seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(config.node_id.as_u8() as u64 + 1);
+                .wrapping_add(config.node_id.as_u64() + 1);
         }
         config
     }
@@ -389,7 +426,7 @@ impl Scenario {
     /// Builds a ready-to-run simulation of this scenario.
     pub fn build(&self) -> NetSim {
         let mut net = NetSim::new();
-        let quiet = |id: u8| NodeConfig {
+        let quiet = |id: u32| NodeConfig {
             dco_calibration: false,
             ..NodeConfig::new(NodeId(id))
         };
@@ -420,7 +457,7 @@ impl Scenario {
                 );
             }
             AppSpec::BouncePairs { pairs } => {
-                for k in 0..*pairs {
+                for k in 0..*pairs as u32 {
                     let a = 2 * k + 1;
                     let b = 2 * k + 2;
                     net.add_node(
@@ -438,7 +475,7 @@ impl Scenario {
             }
         }
         net.set_topology(self.topology.to_topology());
-        if let Some(model) = self.medium.build(self.seed) {
+        if let Some(model) = self.medium.build(self.seed, self.brute_force_medium) {
             net.set_medium(model);
         }
         net

@@ -8,7 +8,7 @@
 //! the original explicit-topology simulator byte for byte.
 
 use crate::interference::WifiInterferer;
-use crate::radio::{DeliveryCounters, Ideal, OnAir, RadioMedium, Reception};
+use crate::radio::{DeliveryCounters, Ideal, OnAir, RadioMedium};
 use hw_model::{SimDuration, SimTime};
 use os_sim::{Emission, World};
 use quanto_core::NodeId;
@@ -173,14 +173,9 @@ impl World for Medium {
             .collect();
         self.register_transmission(emission);
         let sfd = emission.start + SFD_DELAY;
-        let model = &mut self.model;
-        nodes
-            .iter()
-            .copied()
-            .filter(|to| {
-                *to != emission.from
-                    && model.receive(emission, *to, &competing) == Reception::Delivered
-            })
+        self.model
+            .deliver(emission, nodes, &competing)
+            .into_iter()
             .map(|to| (to, sfd))
             .collect()
     }
@@ -192,7 +187,7 @@ mod tests {
     use crate::radio::{PathLoss, PathLossParams, Position, UnitDisk};
     use os_sim::AmPacket;
 
-    fn emission(from: u8, channel: u8, start_ms: u64, end_ms: u64) -> Emission {
+    fn emission(from: u32, channel: u8, start_ms: u64, end_ms: u64) -> Emission {
         Emission {
             from: NodeId(from),
             channel,

@@ -182,7 +182,7 @@ mod tests {
     #[test]
     fn two_nodes_exchange_packets_and_carry_activities() {
         let mut net = NetSim::new();
-        let cfg = |id: u8| NodeConfig {
+        let cfg = |id: u32| NodeConfig {
             dco_calibration: false,
             ..NodeConfig::new(NodeId(id))
         };
@@ -223,7 +223,7 @@ mod tests {
     #[test]
     fn disconnected_topology_blocks_delivery() {
         let mut net = NetSim::new();
-        let cfg = |id: u8| NodeConfig {
+        let cfg = |id: u32| NodeConfig {
             dco_calibration: false,
             ..NodeConfig::new(NodeId(id))
         };
@@ -231,7 +231,7 @@ mod tests {
         net.add_node(cfg(4), Box::new(Echo::new(NodeId(1), false)));
         net.set_topology(Topology::from_links(&[]));
         let out = net.run_for(SimDuration::from_secs(1));
-        let (_, out4) = out.iter().find(|(id, _)| id.as_u8() == 4).unwrap();
+        let (_, out4) = out.iter().find(|(id, _)| id.as_u32() == 4).unwrap();
         assert_eq!(out4.radio_stats.packets_received, 0);
     }
 

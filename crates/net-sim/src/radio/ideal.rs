@@ -55,7 +55,7 @@ mod tests {
     use hw_model::SimTime;
     use os_sim::AmPacket;
 
-    fn emission(from: u8) -> Emission {
+    fn emission(from: u32) -> Emission {
         Emission {
             from: NodeId(from),
             channel: 26,

@@ -155,6 +155,19 @@ impl RadioMedium for Mobility {
         self.inner.receive(emission, to, competing)
     }
 
+    fn deliver(
+        &mut self,
+        emission: &Emission,
+        nodes: &[NodeId],
+        competing: &[OnAir],
+    ) -> Vec<NodeId> {
+        // Sync once, then let the inner geometric model answer the whole
+        // delivery — through its spatial index when it has one (each
+        // `set_position` above updated the index incrementally).
+        self.sync_positions(emission.start);
+        self.inner.deliver(emission, nodes, competing)
+    }
+
     fn carrier_senses(&mut self, listener: NodeId, frame: &OnAir, at: SimTime) -> bool {
         self.sync_positions(at);
         self.inner.carrier_senses(listener, frame, at)
@@ -208,7 +221,7 @@ mod tests {
         assert_eq!(trace.position_at(SimTime::ZERO), Position::new(1.0, 0.0));
     }
 
-    fn emission_at(from: u8, at: SimTime) -> Emission {
+    fn emission_at(from: u32, at: SimTime) -> Emission {
         Emission {
             from: NodeId(from),
             channel: 26,

@@ -25,12 +25,14 @@ pub mod geometry;
 pub mod ideal;
 pub mod mobility;
 pub mod path_loss;
+pub mod spatial;
 pub mod unit_disk;
 
 pub use geometry::{Position, Positions};
 pub use ideal::Ideal;
 pub use mobility::{Mobility, MobilityTrace, PositionedMedium};
 pub use path_loss::{PathLoss, PathLossParams};
+pub use spatial::SpatialIndex;
 pub use unit_disk::UnitDisk;
 
 use crate::medium::Topology;
@@ -127,6 +129,23 @@ pub trait RadioMedium: std::fmt::Debug + Send {
     /// is never queried.
     fn receive(&mut self, emission: &Emission, to: NodeId, competing: &[OnAir]) -> Reception;
 
+    /// Answers one whole delivery: which of `nodes` hear `emission`?  The
+    /// default scans every node through [`RadioMedium::receive`] — the exact
+    /// historical behavior, which [`Ideal`] keeps.  Geometric models
+    /// override it with a [`SpatialIndex`] range query so a frame's cost is
+    /// O(neighbors), not O(nodes); overrides must return the *same set* the
+    /// default would (the engine's scheduling heap makes delivery order
+    /// irrelevant, but the set is digest-critical) and must account every
+    /// skipped node in their [`DeliveryCounters`].
+    fn deliver(
+        &mut self,
+        emission: &Emission,
+        nodes: &[NodeId],
+        competing: &[OnAir],
+    ) -> Vec<NodeId> {
+        deliver_by_scan(self, emission, nodes, competing)
+    }
+
     /// Whether a clear-channel assessment by `listener` at `at` detects the
     /// energy of `frame`.  The default — every frame is sensed everywhere —
     /// is the ideal-ether behavior; geometric models override it so distant
@@ -148,6 +167,24 @@ pub trait RadioMedium: std::fmt::Debug + Send {
     fn topology(&self) -> Option<&Topology> {
         None
     }
+}
+
+/// The reference delivery: query every node.  Both the trait default and
+/// the geometric models' no-index fallback route through this one loop, so
+/// "brute force" means exactly one thing everywhere.
+pub(crate) fn deliver_by_scan<M: RadioMedium + ?Sized>(
+    model: &mut M,
+    emission: &Emission,
+    nodes: &[NodeId],
+    competing: &[OnAir],
+) -> Vec<NodeId> {
+    nodes
+        .iter()
+        .copied()
+        .filter(|to| {
+            *to != emission.from && model.receive(emission, *to, competing) == Reception::Delivered
+        })
+        .collect()
 }
 
 /// SplitMix64 finalizer: the one hash every deterministic "RNG" in this

@@ -20,7 +20,8 @@
 
 use super::geometry::{Position, Positions};
 use super::mobility::PositionedMedium;
-use super::{mix, unit_uniform, DeliveryCounters, OnAir, RadioMedium, Reception};
+use super::spatial::SpatialIndex;
+use super::{deliver_by_scan, mix, unit_uniform, DeliveryCounters, OnAir, RadioMedium, Reception};
 use hw_model::SimTime;
 use os_sim::Emission;
 use quanto_core::NodeId;
@@ -79,31 +80,96 @@ impl PathLossParams {
     pub fn cca_dbm(&self) -> f64 {
         self.cca_threshold_dbm.unwrap_or(self.sensitivity_dbm)
     }
+
+    /// The distance beyond which RSSI is *provably* under `floor_dbm`, or
+    /// `None` when no finite distance guarantees it (non-positive exponent,
+    /// or a floor so low the model always clears it).
+    ///
+    /// The shadowing fade is an Irwin–Hall(4) sample: four uniforms in
+    /// `[0, 1)` summed, so the fade lies in `[−2√3σ, +2√3σ)` — strictly
+    /// below `+2√3σ`.  Past the distance where even that maximal fade
+    /// cannot lift the mean RSSI to the floor, every query answers "below".
+    /// A relative safety margin swamps the floating-point noise between
+    /// this closed form and the per-query `log10`, keeping the cutoff a
+    /// sound over-approximation rather than a knife edge.
+    pub fn cutoff_m(&self, floor_dbm: f64) -> Option<f64> {
+        // `partial_cmp`, not `>`: a NaN exponent must also disable the cutoff.
+        if self.exponent.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return None;
+        }
+        let max_fade = 2.0 * SQRT_3 * self.shadowing_sigma_db.max(0.0);
+        let exp10 =
+            (self.tx_power_dbm - self.ref_loss_db + max_fade - floor_dbm) / (10.0 * self.exponent);
+        let raw = 10f64.powf(exp10);
+        if !raw.is_finite() {
+            return None;
+        }
+        // ≥ 1 m: inside the reference distance the loss is clamped, so no
+        // node closer than 1 m may ever be pruned.
+        Some((raw * 1.000_001 + 1e-9).max(1.0))
+    }
 }
 
 /// Log-distance propagation with deterministic shadowing and capture.
+///
+/// Deliveries go through a [`SpatialIndex`] range query at the sensitivity
+/// cutoff radius (see [`PathLossParams::cutoff_m`]): nodes provably below
+/// the decode floor even under the maximal shadowing fade are counted as
+/// sensitivity losses in bulk, without hashing a fade or taking a log, so a
+/// frame costs O(neighbors) instead of O(nodes).  Candidates inside the
+/// radius still get the exact RSSI/capture rule — the receiver set and the
+/// counters are bit-identical to the brute scan
+/// ([`PathLoss::without_spatial_index`], the reference path).
 #[derive(Debug, Clone)]
 pub struct PathLoss {
     params: PathLossParams,
     positions: Positions,
     counters: DeliveryCounters,
+    /// Beyond this distance decoding is provably impossible (`None`: no
+    /// finite bound — every delivery scans every node).
+    sense_cutoff_m: Option<f64>,
+    /// Beyond this distance CCA provably reports idle; lets `mote_energy`
+    /// skip the fade hash for distant frames.
+    cca_cutoff_m: Option<f64>,
+    index: Option<SpatialIndex>,
 }
 
 impl PathLoss {
     /// A path-loss medium under `params`, with every node at the origin
     /// until placed.
     pub fn new(params: PathLossParams) -> Self {
+        let sense_cutoff_m = params.cutoff_m(params.sensitivity_dbm);
+        let cca_cutoff_m = params.cutoff_m(params.cca_dbm());
         PathLoss {
             params,
             positions: Positions::new(),
             counters: DeliveryCounters::default(),
+            sense_cutoff_m,
+            cca_cutoff_m,
+            index: sense_cutoff_m.map(SpatialIndex::new),
         }
+    }
+
+    /// Disables the spatial index: every delivery scans every node.  The
+    /// reference path the equivalence tests and microbenches compare the
+    /// indexed fast path against (CCA keeps its distance early-out, which
+    /// is a per-query shortcut independent of the index).
+    pub fn without_spatial_index(mut self) -> Self {
+        self.index = None;
+        self
     }
 
     /// Places one node (builder form).
     pub fn with_position(mut self, node: NodeId, position: Position) -> Self {
-        self.positions.set(node, position);
+        self.put(node, position);
         self
+    }
+
+    fn put(&mut self, node: NodeId, position: Position) {
+        self.positions.set(node, position);
+        if let Some(index) = self.index.as_mut() {
+            index.place(node, position);
+        }
     }
 
     /// The model parameters.
@@ -125,13 +191,25 @@ impl PathLoss {
         if self.params.shadowing_sigma_db <= 0.0 {
             return 0.0;
         }
+        // The legacy key packed the two one-byte ids into fixed bit
+        // positions; fleets with v1-range ids must keep producing the exact
+        // same fades, so that part is unchanged.  Wider ids would collide
+        // modulo 256 there, so the full 32-bit pair is mixed in as an extra
+        // term — which is zero for v1-range ids, leaving legacy keys
+        // bit-identical.
+        let wide = if from.fits_v1() && to.fits_v1() {
+            0
+        } else {
+            mix((from.as_u64() << 32) | to.as_u64())
+        };
         let key = self
             .params
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(start.as_micros())
-            .wrapping_add((from.as_u8() as u64) << 48)
-            .wrapping_add((to.as_u8() as u64) << 56);
+            .wrapping_add((from.as_u64() & 0xFF) << 48)
+            .wrapping_add((to.as_u64() & 0xFF) << 56)
+            .wrapping_add(wide);
         let mut sum = 0.0;
         let mut z = key;
         for _ in 0..4 {
@@ -183,7 +261,42 @@ impl RadioMedium for PathLoss {
         reception
     }
 
+    fn deliver(
+        &mut self,
+        emission: &Emission,
+        nodes: &[NodeId],
+        competing: &[OnAir],
+    ) -> Vec<NodeId> {
+        let (Some(index), Some(cutoff)) = (self.index.as_mut(), self.sense_cutoff_m) else {
+            return deliver_by_scan(self, emission, nodes, competing);
+        };
+        index.sync_roster(nodes, &self.positions);
+        let candidates = index.candidates(self.positions.get(emission.from), cutoff);
+        let mut delivered = Vec::new();
+        let mut queried = 0u64;
+        for &to in &candidates {
+            if to == emission.from {
+                continue;
+            }
+            queried += 1;
+            if self.receive(emission, to, competing) == Reception::Delivered {
+                delivered.push(to);
+            }
+        }
+        // Every skipped node is provably below the decode floor even under
+        // the maximal shadowing fade: the brute scan would have recorded
+        // each as a sensitivity loss.
+        self.counters.lost_below_sensitivity += (nodes.len() as u64 - 1) - queried;
+        delivered
+    }
+
     fn carrier_senses(&mut self, listener: NodeId, frame: &OnAir, _at: SimTime) -> bool {
+        if let Some(cutoff) = self.cca_cutoff_m {
+            // Provably under the CCA threshold: skip the fade hash and log.
+            if self.positions.distance(frame.from, listener) > cutoff {
+                return false;
+            }
+        }
         self.rssi_dbm(frame.from, listener, frame.start) >= self.params.cca_dbm()
     }
 
@@ -194,7 +307,7 @@ impl RadioMedium for PathLoss {
 
 impl PositionedMedium for PathLoss {
     fn set_position(&mut self, node: NodeId, position: Position) {
-        self.positions.set(node, position);
+        self.put(node, position);
     }
 }
 
@@ -210,7 +323,7 @@ mod tests {
         }
     }
 
-    fn emission(from: u8, start_ms: u64) -> Emission {
+    fn emission(from: u32, start_ms: u64) -> Emission {
         Emission {
             from: NodeId(from),
             channel: 26,
@@ -220,7 +333,7 @@ mod tests {
         }
     }
 
-    fn on_air(from: u8, start_ms: u64, end_ms: u64) -> OnAir {
+    fn on_air(from: u32, start_ms: u64, end_ms: u64) -> OnAir {
         OnAir {
             from: NodeId(from),
             channel: 26,

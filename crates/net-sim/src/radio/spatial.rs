@@ -1,0 +1,212 @@
+//! A uniform-grid spatial index over node positions.
+//!
+//! The geometric mediums ([`super::UnitDisk`], [`super::PathLoss`]) answer
+//! "who hears this frame?" — a range query around the transmitter.  The
+//! brute-force answer scans every node in the simulation per frame, which is
+//! what capped practical fleets at a few hundred nodes.  [`SpatialIndex`]
+//! buckets nodes into square cells at least as wide as the query radius, so
+//! a delivery only examines the 3×3 (or fewer) cells the query disk can
+//! touch: O(neighbors) per frame instead of O(nodes).
+//!
+//! The index is *exact*, not approximate: [`SpatialIndex::candidates`]
+//! returns a superset of every node within the radius (cell membership uses
+//! the same `floor(coord / cell)` arithmetic as the insertion path, and
+//! floor and IEEE division are monotone, so a node inside the disk can never
+//! land outside the scanned cell box).  Callers re-check each candidate with
+//! the exact propagation rule; the index only licenses *skipping* nodes that
+//! are provably beyond the radius.
+//!
+//! Determinism: candidate lists are sorted by node id before they are
+//! returned, so delivery behavior never depends on `HashMap` iteration
+//! order (the fleet runner requires bit-identical runs on every thread).
+
+use super::geometry::{Position, Positions};
+use quanto_core::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// A uniform grid of square cells bucketing node positions.
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    /// Cell edge length, meters.  At least the query radius, so a range
+    /// query touches at most a 3×3 cell box.
+    cell_m: f64,
+    /// Cell coordinate → the nodes currently inside it.
+    cells: HashMap<(i64, i64), Vec<NodeId>>,
+    /// Node → the cell it currently occupies.
+    where_is: HashMap<NodeId, (i64, i64)>,
+    /// The simulation's node roster, as of the last [`SpatialIndex::sync_roster`].
+    /// Candidates are filtered against it so stale placements of nodes that
+    /// are not part of the run never leak into a delivery.
+    roster: HashSet<NodeId>,
+    /// Length of the roster slice last synced — rosters only ever grow
+    /// (the engine has no node removal), so a length match means the roster
+    /// is current and the sync loop can be skipped.
+    roster_len: usize,
+}
+
+impl SpatialIndex {
+    /// An empty index with the given cell size (clamped to ≥ 1 m so
+    /// degenerate radii cannot explode the cell count).
+    pub fn new(cell_m: f64) -> Self {
+        SpatialIndex {
+            cell_m: cell_m.max(1.0),
+            cells: HashMap::new(),
+            where_is: HashMap::new(),
+            roster: HashSet::new(),
+            roster_len: usize::MAX,
+        }
+    }
+
+    /// The cell edge length, meters.
+    pub fn cell_m(&self) -> f64 {
+        self.cell_m
+    }
+
+    fn cell_of(&self, position: Position) -> (i64, i64) {
+        (
+            (position.x / self.cell_m).floor() as i64,
+            (position.y / self.cell_m).floor() as i64,
+        )
+    }
+
+    /// Places (or moves) one node — an O(cell occupancy) incremental update,
+    /// and a no-op when the move stays within the node's current cell (the
+    /// common case under waypoint mobility, where per-frame motion is tiny).
+    pub fn place(&mut self, node: NodeId, position: Position) {
+        let cell = self.cell_of(position);
+        if let Some(&old) = self.where_is.get(&node) {
+            if old == cell {
+                return;
+            }
+            if let Some(members) = self.cells.get_mut(&old) {
+                if let Some(i) = members.iter().position(|n| *n == node) {
+                    members.swap_remove(i);
+                }
+                if members.is_empty() {
+                    self.cells.remove(&old);
+                }
+            }
+        }
+        self.cells.entry(cell).or_default().push(node);
+        self.where_is.insert(node, cell);
+    }
+
+    /// Brings the index's roster up to date with the simulation's node list,
+    /// placing nodes that were never explicitly positioned at their
+    /// [`Positions`] default (the origin).  Gated on the roster length:
+    /// node lists only grow during a run, so an unchanged length means an
+    /// unchanged roster.
+    pub fn sync_roster(&mut self, nodes: &[NodeId], positions: &Positions) {
+        if nodes.len() == self.roster_len {
+            return;
+        }
+        self.roster.clear();
+        for &node in nodes {
+            self.roster.insert(node);
+            if !self.where_is.contains_key(&node) {
+                self.place(node, positions.get(node));
+            }
+        }
+        self.roster_len = nodes.len();
+    }
+
+    /// Every roster node that *could* lie within `radius` meters of
+    /// `center` — a superset of the exact answer, sorted by node id.
+    pub fn candidates(&self, center: Position, radius: f64) -> Vec<NodeId> {
+        let x0 = ((center.x - radius) / self.cell_m).floor() as i64;
+        let x1 = ((center.x + radius) / self.cell_m).floor() as i64;
+        let y0 = ((center.y - radius) / self.cell_m).floor() as i64;
+        let y1 = ((center.y + radius) / self.cell_m).floor() as i64;
+        let mut out = Vec::new();
+        for cx in x0..=x1 {
+            for cy in y0..=y1 {
+                if let Some(members) = self.cells.get(&(cx, cy)) {
+                    out.extend(members.iter().copied().filter(|n| self.roster.contains(n)));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn positions(nodes: &[(u32, f64, f64)]) -> Positions {
+        nodes
+            .iter()
+            .map(|&(id, x, y)| (NodeId(id), Position::new(x, y)))
+            .collect()
+    }
+
+    #[test]
+    fn candidates_cover_every_node_within_the_radius() {
+        let placed = positions(&[
+            (1, 0.0, 0.0),
+            (2, 9.9, 0.0),
+            (3, 10.0, 0.0),
+            (4, -9.9, -9.9),
+            (5, 25.0, 0.0),
+        ]);
+        let mut ix = SpatialIndex::new(10.0);
+        let roster: Vec<NodeId> = (1..=5).map(NodeId).collect();
+        ix.sync_roster(&roster, &placed);
+        let c = ix.candidates(Position::ORIGIN, 10.0);
+        for id in [1u32, 2, 3, 4] {
+            assert!(c.contains(&NodeId(id)), "node {id} is within 10 m√2 box");
+        }
+        // Node 5 sits 25 m away — provably outside every scanned cell.
+        assert!(!c.contains(&NodeId(5)));
+        assert!(c.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates");
+    }
+
+    #[test]
+    fn place_moves_nodes_between_cells_incrementally() {
+        let mut ix = SpatialIndex::new(10.0);
+        ix.place(NodeId(1), Position::new(5.0, 5.0));
+        assert!(
+            ix.candidates(Position::ORIGIN, 10.0).is_empty(),
+            "roster empty: placements alone never deliver"
+        );
+        ix.sync_roster(&[NodeId(1)], &Positions::new());
+        assert_eq!(ix.candidates(Position::ORIGIN, 10.0), vec![NodeId(1)]);
+        // Move far away: the old cell no longer yields the node.
+        ix.place(NodeId(1), Position::new(500.0, 0.0));
+        assert!(ix.candidates(Position::ORIGIN, 10.0).is_empty());
+        assert_eq!(
+            ix.candidates(Position::new(500.0, 0.0), 10.0),
+            vec![NodeId(1)]
+        );
+        // Move within the same cell: still found (the fast no-op path).
+        ix.place(NodeId(1), Position::new(501.0, 1.0));
+        assert_eq!(
+            ix.candidates(Position::new(500.0, 0.0), 10.0),
+            vec![NodeId(1)]
+        );
+    }
+
+    #[test]
+    fn sync_roster_places_unpositioned_nodes_at_the_origin() {
+        let mut ix = SpatialIndex::new(10.0);
+        let roster: Vec<NodeId> = (1..=3).map(NodeId).collect();
+        ix.sync_roster(&roster, &positions(&[(2, 50.0, 0.0)]));
+        let near_origin = ix.candidates(Position::ORIGIN, 5.0);
+        assert_eq!(near_origin, vec![NodeId(1), NodeId(3)]);
+        // A grown roster re-syncs; same-length rosters skip the scan.
+        let grown: Vec<NodeId> = (1..=4).map(NodeId).collect();
+        ix.sync_roster(&grown, &positions(&[(2, 50.0, 0.0)]));
+        assert_eq!(
+            ix.candidates(Position::ORIGIN, 5.0),
+            vec![NodeId(1), NodeId(3), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn degenerate_cell_sizes_are_clamped() {
+        let ix = SpatialIndex::new(0.0);
+        assert_eq!(ix.cell_m(), 1.0);
+        assert_eq!(SpatialIndex::new(f64::NAN).cell_m(), 1.0);
+    }
+}

@@ -1,7 +1,8 @@
 //! The unit-disk medium: positions plus a hard communication range.
 
 use super::geometry::{Position, Positions};
-use super::{DeliveryCounters, OnAir, RadioMedium, Reception};
+use super::spatial::SpatialIndex;
+use super::{deliver_by_scan, DeliveryCounters, OnAir, RadioMedium, Reception};
 use crate::radio::mobility::PositionedMedium;
 use hw_model::SimTime;
 use os_sim::Emission;
@@ -13,11 +14,20 @@ use quanto_core::NodeId;
 /// each other's range do not defer to each other (hidden terminals exist,
 /// but collisions do not — unit disks have no signal levels to capture
 /// with; use [`super::PathLoss`] for that).
+///
+/// Deliveries go through a [`SpatialIndex`] range query (finite ranges
+/// only): nodes provably beyond `range_m` are counted out of range in bulk
+/// without being queried, which is what lets 10k-node fleets run.  The set
+/// of receivers and the final counters are identical to the brute-force
+/// scan (`range_m` is the exact query radius and the index over-covers, so
+/// the inclusive `d <= range_m` edge is re-checked per candidate); see
+/// [`UnitDisk::without_spatial_index`] for the reference path.
 #[derive(Debug, Clone)]
 pub struct UnitDisk {
     positions: Positions,
     range_m: f64,
     counters: DeliveryCounters,
+    index: Option<SpatialIndex>,
 }
 
 impl UnitDisk {
@@ -28,13 +38,29 @@ impl UnitDisk {
             positions: Positions::new(),
             range_m,
             counters: DeliveryCounters::default(),
+            index: range_m.is_finite().then(|| SpatialIndex::new(range_m)),
         }
+    }
+
+    /// Disables the spatial index: every delivery scans every node.  The
+    /// reference path the equivalence tests and microbenches compare the
+    /// indexed fast path against.
+    pub fn without_spatial_index(mut self) -> Self {
+        self.index = None;
+        self
     }
 
     /// Places one node (builder form).
     pub fn with_position(mut self, node: NodeId, position: Position) -> Self {
-        self.positions.set(node, position);
+        self.put(node, position);
         self
+    }
+
+    fn put(&mut self, node: NodeId, position: Position) {
+        self.positions.set(node, position);
+        if let Some(index) = self.index.as_mut() {
+            index.place(node, position);
+        }
     }
 
     /// The configured range, meters.
@@ -67,6 +93,37 @@ impl RadioMedium for UnitDisk {
         reception
     }
 
+    fn deliver(
+        &mut self,
+        emission: &Emission,
+        nodes: &[NodeId],
+        competing: &[OnAir],
+    ) -> Vec<NodeId> {
+        if self.index.is_none() {
+            return deliver_by_scan(self, emission, nodes, competing);
+        }
+        let candidates = {
+            let index = self.index.as_mut().expect("checked above");
+            index.sync_roster(nodes, &self.positions);
+            index.candidates(self.positions.get(emission.from), self.range_m)
+        };
+        let mut delivered = Vec::new();
+        let mut queried = 0u64;
+        for &to in &candidates {
+            if to == emission.from {
+                continue;
+            }
+            queried += 1;
+            if self.receive(emission, to, competing) == Reception::Delivered {
+                delivered.push(to);
+            }
+        }
+        // Every node the index skipped is provably beyond `range_m`: the
+        // brute scan would have recorded each as out of range.
+        self.counters.lost_out_of_range += (nodes.len() as u64 - 1) - queried;
+        delivered
+    }
+
     fn carrier_senses(&mut self, listener: NodeId, frame: &OnAir, _at: SimTime) -> bool {
         self.in_range(frame.from, listener)
     }
@@ -78,7 +135,7 @@ impl RadioMedium for UnitDisk {
 
 impl PositionedMedium for UnitDisk {
     fn set_position(&mut self, node: NodeId, position: Position) {
-        self.positions.set(node, position);
+        self.put(node, position);
     }
 }
 
@@ -87,7 +144,7 @@ mod tests {
     use super::*;
     use os_sim::AmPacket;
 
-    fn emission(from: u8) -> Emission {
+    fn emission(from: u32) -> Emission {
         Emission {
             from: NodeId(from),
             channel: 26,

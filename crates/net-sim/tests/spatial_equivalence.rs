@@ -1,0 +1,248 @@
+//! The spatial index must be invisible: for every geometry, every medium
+//! parameterization and every mobility trace, the indexed fast path must
+//! produce the exact receiver set, the exact delivery counters and the
+//! exact CCA answers of the brute-force all-nodes scan.  The index is only
+//! allowed to make runs *faster*, never different — that is what lets the
+//! pinned fleet digests survive the 254-node cap removal.
+
+use hw_model::{SimDuration, SimTime};
+use net_sim::{
+    Mobility, MobilityTrace, OnAir, PathLoss, PathLossParams, Position, RadioMedium, UnitDisk,
+};
+use os_sim::{AmPacket, Emission};
+use proptest::prelude::*;
+use quanto_core::NodeId;
+
+/// A `(node id, x, y)` scatter: ids 1..=n (unique by construction).  Raw
+/// decimeter integers keep the offline proptest shim happy (it has no f64
+/// strategies) while still exercising fractional coordinates.
+fn scatter(coords_dm: &[(i32, i32)]) -> Vec<(NodeId, Position)> {
+    coords_dm
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| {
+            (
+                NodeId(i as u32 + 1),
+                Position::new(x as f64 / 10.0, y as f64 / 10.0),
+            )
+        })
+        .collect()
+}
+
+fn emission(from: NodeId, channel: u8, start_us: u64) -> Emission {
+    Emission {
+        from,
+        channel,
+        packet: AmPacket::new(from, NodeId::BROADCAST, 0, vec![]),
+        start: SimTime::from_micros(start_us),
+        end: SimTime::from_micros(start_us) + SimDuration::from_millis(1),
+    }
+}
+
+/// Runs the same delivery through both models and requires identical
+/// receiver sets and identical counters.
+fn assert_deliveries_match(
+    fast: &mut dyn RadioMedium,
+    brute: &mut dyn RadioMedium,
+    e: &Emission,
+    roster: &[NodeId],
+    competing: &[OnAir],
+) -> Result<(), TestCaseError> {
+    let mut a = fast.deliver(e, roster, competing);
+    let mut b = brute.deliver(e, roster, competing);
+    a.sort_unstable();
+    b.sort_unstable();
+    prop_assert!(
+        a == b,
+        "receiver sets diverged for {:?}: {:?} vs {:?}",
+        e.from,
+        a,
+        b
+    );
+    prop_assert!(
+        fast.counters() == brute.counters(),
+        "counters diverged for {:?}: {:?} vs {:?}",
+        e.from,
+        fast.counters(),
+        brute.counters()
+    );
+    Ok(())
+}
+
+const SIGMAS: [f64; 4] = [0.0, 2.0, 4.0, 9.0];
+
+proptest! {
+    /// Unit disk: indexed deliveries equal the brute scan for random
+    /// geometries, ranges (including the inclusive `d == range` edge, which
+    /// `grid_snap` lands nodes on exactly) and transmitters.
+    #[test]
+    fn unit_disk_indexed_deliveries_match_brute(
+        coords_dm in prop::collection::vec((-3000i32..3000, -3000i32..3000), 2..40),
+        grid_snap in any::<bool>(),
+        range_dm in 10u32..2000,
+        tx_picks in prop::collection::vec(any::<usize>(), 1..6),
+    ) {
+        let range_m = range_dm as f64 / 10.0;
+        let placed = scatter(&coords_dm);
+        let mut fast = UnitDisk::new(range_m);
+        let mut brute = UnitDisk::new(range_m).without_spatial_index();
+        for &(id, mut p) in &placed {
+            if grid_snap {
+                // Snap to multiples of the range: distances hit the
+                // inclusive delivery edge exactly.
+                p = Position::new(
+                    (p.x / range_m).round() * range_m,
+                    (p.y / range_m).round() * range_m,
+                );
+            }
+            fast = fast.with_position(id, p);
+            brute = brute.with_position(id, p);
+        }
+        let roster: Vec<NodeId> = placed.iter().map(|&(id, _)| id).collect();
+        for (i, pick) in tx_picks.iter().enumerate() {
+            let from = roster[pick % roster.len()];
+            let e = emission(from, 26, 1_000 * (i as u64 + 1));
+            assert_deliveries_match(&mut fast, &mut brute, &e, &roster, &[])?;
+        }
+    }
+
+    /// Path loss: indexed deliveries equal the brute scan for random
+    /// geometries, shadowing strengths (zero and strong), exponents, seeds
+    /// and overlapping capture competitors.
+    #[test]
+    fn path_loss_indexed_deliveries_match_brute(
+        coords_dm in prop::collection::vec((-4000i32..4000, -4000i32..4000), 2..40),
+        sigma_pick in 0usize..4,
+        exponent_tenths in 20u32..45,
+        seed in any::<u64>(),
+        tx_picks in prop::collection::vec(any::<usize>(), 1..6),
+        n_competing in 0usize..3,
+    ) {
+        let params = PathLossParams {
+            shadowing_sigma_db: SIGMAS[sigma_pick],
+            exponent: exponent_tenths as f64 / 10.0,
+            seed,
+            ..PathLossParams::default()
+        };
+        let placed = scatter(&coords_dm);
+        let mut fast = PathLoss::new(params);
+        let mut brute = PathLoss::new(params).without_spatial_index();
+        for &(id, p) in &placed {
+            fast = fast.with_position(id, p);
+            brute = brute.with_position(id, p);
+        }
+        let roster: Vec<NodeId> = placed.iter().map(|&(id, _)| id).collect();
+        for (i, pick) in tx_picks.iter().enumerate() {
+            let from = roster[pick % roster.len()];
+            let start = 10_000 * (i as u64 + 1);
+            // Competitors from the first nodes of the roster, overlapping
+            // the frame — exercises the capture rule on both paths.
+            let competing: Vec<OnAir> = roster
+                .iter()
+                .filter(|&&n| n != from)
+                .take(n_competing)
+                .map(|&n| OnAir {
+                    from: n,
+                    channel: 26,
+                    start: SimTime::from_micros(start - 100),
+                    end: SimTime::from_micros(start + 2_000),
+                })
+                .collect();
+            let e = emission(from, 26, start);
+            assert_deliveries_match(&mut fast, &mut brute, &e, &roster, &competing)?;
+        }
+    }
+
+    /// The CCA distance early-out never changes an assessment: for every
+    /// geometry and threshold, `carrier_senses` equals the raw RSSI
+    /// comparison it short-circuits.
+    #[test]
+    fn path_loss_cca_cutoff_matches_the_rssi_rule(
+        coords_dm in prop::collection::vec((-4000i32..4000, -4000i32..4000), 2..30),
+        sigma_pick in 0usize..4,
+        cca_pick in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let base = PathLossParams::default();
+        let cca_offsets: [Option<f64>; 3] = [None, Some(-8.0), Some(8.0)];
+        let params = PathLossParams {
+            shadowing_sigma_db: SIGMAS[sigma_pick],
+            cca_threshold_dbm: cca_offsets[cca_pick].map(|off| base.sensitivity_dbm + off),
+            seed,
+            ..base
+        };
+        let placed = scatter(&coords_dm);
+        let mut m = PathLoss::new(params);
+        for &(id, p) in &placed {
+            m = m.with_position(id, p);
+        }
+        let from = placed[0].0;
+        let frame = OnAir {
+            from,
+            channel: 26,
+            start: SimTime::from_millis(5),
+            end: SimTime::from_millis(6),
+        };
+        let at = SimTime::from_millis(5);
+        for &(listener, _) in &placed[1..] {
+            let expected = m.rssi_dbm(from, listener, frame.start) >= m.params().cca_dbm();
+            prop_assert!(
+                m.carrier_senses(listener, &frame, at) == expected,
+                "CCA diverged for listener {:?}",
+                listener
+            );
+        }
+    }
+
+    /// Mobility over a geometric base: as traced nodes walk (updating the
+    /// index incrementally, cell by cell), deliveries at every sampled time
+    /// still equal the brute scan's.
+    #[test]
+    fn mobility_indexed_deliveries_match_brute_over_traces(
+        coords_dm in prop::collection::vec((-3000i32..3000, -3000i32..3000), 3..20),
+        walks_dm in prop::collection::vec((-5000i32..5000, -5000i32..5000), 1..8),
+        sigma_pick in 0usize..2,
+        seed in any::<u64>(),
+        sample_times_s in prop::collection::vec(0u64..120, 1..6),
+    ) {
+        let params = PathLossParams {
+            shadowing_sigma_db: SIGMAS[sigma_pick * 2],
+            seed,
+            ..PathLossParams::default()
+        };
+        let placed = scatter(&coords_dm);
+        let build = |brute: bool| {
+            let mut inner = PathLoss::new(params);
+            if brute {
+                inner = inner.without_spatial_index();
+            }
+            for &(id, p) in &placed {
+                inner = inner.with_position(id, p);
+            }
+            let mut mob = Mobility::new(Box::new(inner));
+            // The first `walks_dm.len()` nodes walk from their start to a
+            // random endpoint over 100 s; the rest stay parked.
+            for (k, &(ex, ey)) in walks_dm.iter().enumerate() {
+                let (id, p) = placed[k % placed.len()];
+                mob = mob.with_trace(id, MobilityTrace::new(vec![
+                    (SimTime::ZERO, p),
+                    (
+                        SimTime::from_secs(100),
+                        Position::new(ex as f64 / 10.0, ey as f64 / 10.0),
+                    ),
+                ]));
+            }
+            mob
+        };
+        let mut fast = build(false);
+        let mut brute = build(true);
+        let roster: Vec<NodeId> = placed.iter().map(|&(id, _)| id).collect();
+        let mut times = sample_times_s.clone();
+        times.sort_unstable();
+        for (i, s) in times.iter().enumerate() {
+            let from = roster[i % roster.len()];
+            let e = emission(from, 26, s * 1_000_000 + 17);
+            assert_deliveries_match(&mut fast, &mut brute, &e, &roster, &[])?;
+        }
+    }
+}

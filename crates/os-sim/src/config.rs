@@ -112,7 +112,7 @@ impl NodeConfig {
             spi_dma_cycles_per_byte: 12,
             radio_kbps: 250,
             backoff_us: (320, 2_240),
-            seed: node_id.as_u8() as u64 + 1,
+            seed: node_id.as_u64() + 1,
         }
     }
 

@@ -73,6 +73,13 @@ pub struct Engine<W: World> {
     index: HashMap<NodeId, usize>,
     /// Lazy-invalidation scheduling heap (see the module docs).
     ready: BinaryHeap<Pending>,
+    /// `queued[idx]` is the time of a heap entry known to still be in the
+    /// heap for node `idx` (the most recently pushed one).  [`Engine::refresh`]
+    /// skips the push when the node's next-event time already has a live
+    /// entry — without this, every frame delivered to a long-idle node (LPL
+    /// receivers hear thousands in a big fleet) would pile another copy of
+    /// the same far-future entry onto the heap.
+    queued: Vec<Option<SimTime>>,
     world: W,
 }
 
@@ -92,6 +99,7 @@ impl<W: World> Engine<W> {
             ids: Vec::new(),
             index: HashMap::new(),
             ready: BinaryHeap::new(),
+            queued: Vec::new(),
             world,
         }
     }
@@ -111,6 +119,7 @@ impl<W: World> Engine<W> {
         let kernel = Kernel::new(config);
         self.nodes.push(Node::new(kernel, app));
         self.ids.push(id);
+        self.queued.push(None);
         self.refresh(idx);
         id
     }
@@ -177,25 +186,38 @@ impl<W: World> Engine<W> {
         self.nodes.iter().filter_map(Node::next_event_time).min()
     }
 
-    /// Pushes a fresh heap entry for the node at `idx`, if it has events.
+    /// Pushes a fresh heap entry for the node at `idx`, if it has events —
+    /// unless an entry at that exact time is already known to be in the
+    /// heap, in which case the existing entry serves and the push is
+    /// skipped (`queued[idx] == Some(t)` always implies a live `(t, idx)`
+    /// entry, so skipping can never starve the node).
     fn refresh(&mut self, idx: usize) {
         if let Some(time) = self.nodes[idx].next_event_time() {
+            if self.queued[idx] == Some(time) {
+                return;
+            }
             self.ready.push(Pending { time, idx });
+            self.queued[idx] = Some(time);
         }
     }
 
     /// Pops the earliest valid `(time, node index)` pair, discarding stale
     /// heap entries, or `None` when no node has pending events.
     fn pop_earliest(&mut self) -> Option<(SimTime, usize)> {
-        while let Some(&Pending { time, idx }) = self.ready.peek() {
+        while let Some(Pending { time, idx }) = self.ready.pop() {
+            // This entry is leaving the heap: if it is the one the dedup
+            // marker points at, clear the marker so a future refresh at the
+            // same time pushes a fresh entry instead of assuming this one
+            // is still there.
+            if self.queued[idx] == Some(time) {
+                self.queued[idx] = None;
+            }
             if self.nodes[idx].next_event_time() == Some(time) {
-                self.ready.pop();
                 return Some((time, idx));
             }
             // Stale: the node's queue moved on since this entry was pushed
             // (every queue mutation pushes a fresh entry, so the real next
             // event is represented elsewhere in the heap).
-            self.ready.pop();
         }
         None
     }
@@ -239,6 +261,7 @@ impl<W: World> Engine<W> {
                 // Not consumed: put the (still valid) entry back for a later
                 // `run_until` with a larger bound.
                 self.ready.push(Pending { time, idx });
+                self.queued[idx] = Some(time);
                 break;
             }
             self.step_node(idx);
@@ -320,10 +343,10 @@ mod tests {
     #[test]
     fn nodes_are_found_by_id_after_many_insertions() {
         let mut engine = Engine::new(QuietWorld);
-        for id in (1..=32u8).rev() {
+        for id in (1..=32u32).rev() {
             engine.add_node(NodeConfig::new(NodeId(id)), Box::new(NullApp));
         }
-        for id in 1..=32u8 {
+        for id in 1..=32u32 {
             assert_eq!(engine.node(NodeId(id)).map(Node::id), Some(NodeId(id)));
         }
         assert!(engine.node(NodeId(33)).is_none());
@@ -448,7 +471,7 @@ mod tests {
 
     fn random_engine(seed: u64) -> Engine<QuietWorld> {
         let mut mix = Mix(seed);
-        let nodes = 2 + mix.below(5) as u8;
+        let nodes = 2 + mix.below(5) as u32;
         let mut engine = Engine::new(QuietWorld);
         for id in 1..=nodes {
             let mut timers = Vec::new();
@@ -498,7 +521,7 @@ mod tests {
     #[test]
     fn delivery_reschedules_the_receiver() {
         let mut engine = Engine::new(EchoWorld { heard: 0 });
-        let cfg = |id: u8| NodeConfig {
+        let cfg = |id: u32| NodeConfig {
             dco_calibration: false,
             ..NodeConfig::new(NodeId(id))
         };

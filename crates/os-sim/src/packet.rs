@@ -49,8 +49,10 @@ impl AmPacket {
     }
 }
 
-/// The broadcast destination (all nodes).
-pub const AM_BROADCAST: NodeId = NodeId(0xFF);
+/// The broadcast destination (all nodes).  Re-exported alias of
+/// [`NodeId::BROADCAST`]; the historical one-byte sentinel `0xFF` would be a
+/// real node id in fleets beyond 254 nodes.
+pub const AM_BROADCAST: NodeId = NodeId::BROADCAST;
 
 #[cfg(test)]
 mod tests {

@@ -110,7 +110,7 @@ mod tests {
         let cpu_active = count_entries(&out.log, |e| {
             e.kind == EntryKind::PowerState
                 && e.sink() == Some(cpu_sink)
-                && e.value == cpu_state::ACTIVE.as_u8() as u16
+                && e.value == cpu_state::ACTIVE.as_u8() as u32
         });
         assert!(
             (30..=36).contains(&cpu_active),
@@ -134,7 +134,7 @@ mod tests {
         let cpu_active = count_entries(&out.log, |e| {
             e.kind == EntryKind::PowerState
                 && e.sink() == Some(cpu_sink)
-                && e.value == cpu_state::ACTIVE.as_u8() as u16
+                && e.value == cpu_state::ACTIVE.as_u8() as u32
         });
         // Only the boot batch wakes the CPU.
         assert_eq!(cpu_active, 1);
@@ -180,7 +180,7 @@ mod tests {
         let led_on = count_entries(&out.log, |e| {
             e.kind == EntryKind::PowerState
                 && e.sink() == Some(led0)
-                && e.value == led_state::ON.as_u8() as u16
+                && e.value == led_state::ON.as_u8() as u32
         });
         // Toggling every 250 ms for 2 s: 8 toggles, 4 of them to ON.
         assert_eq!(led_on, 4, "expected 4 LED-on transitions");

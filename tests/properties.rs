@@ -10,31 +10,38 @@ use quanto::quanto_core::{
 use std::sync::Arc;
 
 proptest! {
-    /// Activity labels survive the 16-bit wire encoding for every possible
-    /// (origin, id) pair.
+    /// Activity labels survive the wire encoding for every representable
+    /// (origin, id) pair — including origins beyond the one-byte v1 range.
     #[test]
-    fn activity_labels_round_trip(origin in 0u8..=255, id in 0u8..=255) {
+    fn activity_labels_round_trip(origin in 0u32..=NodeId::MAX_LABEL_ORIGIN, id in 0u8..=255) {
         let label = ActivityLabel::new(NodeId(origin), ActivityId(id));
         prop_assert_eq!(ActivityLabel::decode(label.encode()), label);
     }
 
-    /// Log entries survive the 12-byte wire encoding for arbitrary fields.
+    /// Log entries survive the 12-byte v1 wire encoding for arbitrary
+    /// v1-representable fields, and the 18-byte v2 encoding for arbitrary
+    /// wide fields.
     #[test]
     fn log_entries_round_trip(
         kind in 0u8..5,
         res in 0u8..=255,
         time in any::<u32>(),
+        wide_time in any::<u64>(),
         ic in any::<u32>(),
         value in any::<u16>(),
+        wide_value in any::<u32>(),
     ) {
         let entry = LogEntry {
             kind: EntryKind::from_u8(kind).unwrap(),
             res_id: res,
-            time_us: time,
+            time_us: time as u64,
             icount: ic,
-            value,
+            value: value as u32,
         };
+        prop_assert!(entry.fits_v1());
         prop_assert_eq!(LogEntry::decode(&entry.encode()), Some(entry));
+        let wide = LogEntry { time_us: wide_time, value: wide_value, ..entry };
+        prop_assert_eq!(LogEntry::decode_v2(&wide.encode_v2()), Some(wide));
     }
 
     /// The RAM logger never exceeds its capacity and never loses entries
