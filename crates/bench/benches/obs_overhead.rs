@@ -1,0 +1,43 @@
+//! Criterion bench: what turning the `quanto-obs` layer on costs a fleet
+//! run.  The same small batch executes with observability off and on;
+//! `BENCH_BASELINE.json` pins both, so a hot-path regression in either the
+//! disabled fast path (one relaxed load per probe) or the enabled recording
+//! path trips `bench_check`.
+//!
+//! Ordering matters: the obs-off case runs first, in the same process, so
+//! it measures the true disabled cost — not a cache still warm from an
+//! enabled run.  Each iteration drains whatever it recorded (`reset`), so
+//! the sink never grows across samples.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hw_model::SimDuration;
+use quanto_fleet::{FleetRunner, Scenario};
+
+fn small_batch() -> Vec<Scenario> {
+    let d = SimDuration::from_millis(500);
+    vec![
+        Scenario::lpl(17, 0.18, d),
+        Scenario::blink(d),
+        Scenario::bounce(d),
+    ]
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    for (name, on) in [("off", false), ("on", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                quanto_obs::set_enabled(on);
+                let report = FleetRunner::sequential().run(small_batch());
+                quanto_obs::set_enabled(false);
+                quanto_obs::reset();
+                report.digest()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -15,10 +15,23 @@
 //! fleet_sweep [--seconds N] [--threads N] [--seeds N] [--json]
 //!             [--grid FILE] [--smoke] [--min-speedup X]
 //!             [--stress [PAIRS]] [--stress-nodes N]
+//!             [--obs] [--obs-json FILE]
 //! ```
 //!
 //! Unknown flags are a usage error — a typo'd axis override must fail
 //! loudly, not silently run the wrong sweep.
+//!
+//! `--obs` turns the `quanto-obs` tracing/metrics layer on for the run
+//! (off by default — spans and counters record nothing otherwise) and
+//! prints the profile table at the end: time by phase × scenario kind,
+//! per-worker utilization, the hottest scenarios and the merged engine,
+//! medium and stream counters.  `--obs-json FILE` additionally writes the
+//! structured profile, including a chrome://tracing-compatible
+//! `trace_events` array.  Both compose with every mode; with `--json` the
+//! table goes to stderr so stdout stays machine-readable.  Observability
+//! is non-perturbing: the simulation takes the identical path either way,
+//! and every report digest is byte-identical with it on or off (enforced
+//! by the fleet `obs_equivalence` test).
 //!
 //! `--stress` runs the multi-node path-loss stress grid: PAIRS (default 8)
 //! side-by-side Bounce exchanges spaced along a line under the log-distance
@@ -64,7 +77,8 @@ const STRESS_GRID: &str = include_str!("../../grids/stress.grid");
 
 const USAGE: &str = "usage: fleet_sweep [--seconds N] [--threads N] [--seeds N] [--json]\n\
                      \x20                 [--grid FILE] [--smoke] [--min-speedup X]\n\
-                     \x20                 [--stress [PAIRS]] [--stress-nodes N]";
+                     \x20                 [--stress [PAIRS]] [--stress-nodes N]\n\
+                     \x20                 [--obs] [--obs-json FILE]";
 
 /// Parsed command line.  Every flag is validated; leftovers are errors.
 #[derive(Debug)]
@@ -79,6 +93,8 @@ struct Args {
     stress: bool,
     stress_pairs: Option<u16>,
     stress_nodes: Option<u32>,
+    obs: bool,
+    obs_json: Option<String>,
 }
 
 fn usage_error(message: String) -> Result<Args, String> {
@@ -97,6 +113,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         stress: false,
         stress_pairs: None,
         stress_nodes: None,
+        obs: false,
+        obs_json: None,
     };
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -155,6 +173,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--grid" => args.grid = Some(value(&mut i, "--grid")?),
             "--json" => args.json = true,
             "--smoke" => args.smoke = true,
+            // Observability composes with every mode (including --smoke and
+            // --stress), so neither flag counts toward the mode exclusion.
+            "--obs" => args.obs = true,
+            "--obs-json" => args.obs_json = Some(value(&mut i, "--obs-json")?),
             "--stress" => {
                 args.stress = true;
                 // Optionally followed by a pair count; another flag (or
@@ -391,6 +413,35 @@ fn stress_nodes(nodes: u32, args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Harvests and emits the obs profile: the human table to stdout (stderr
+/// when `--json` owns stdout), and the structured JSON document — profile
+/// aggregates, merged metrics and a chrome://tracing `trace_events` array —
+/// to the `--obs-json` file.  A no-op unless observability was enabled.
+fn emit_obs(args: &Args) -> Result<(), String> {
+    if !quanto_obs::enabled() {
+        return Ok(());
+    }
+    quanto_obs::flush_thread();
+    let harvest = quanto_obs::harvest();
+    let profile = quanto_obs::Profile::build(&harvest);
+    let table = profile.render_table(&harvest, 10);
+    if args.json {
+        eprint!("{table}");
+    } else {
+        print!("{table}");
+    }
+    if let Some(path) = &args.obs_json {
+        std::fs::write(path, profile.to_json(&harvest))
+            .map_err(|why| format!("cannot write obs profile {path:?}: {why}"))?;
+        if args.json {
+            eprintln!("obs profile written to {path}");
+        } else {
+            println!("obs profile written to {path}");
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -400,16 +451,27 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.obs || args.obs_json.is_some() {
+        quanto_obs::set_enabled(true);
+    }
+    let code = run_mode(&args);
+    if let Err(why) = emit_obs(&args) {
+        eprintln!("fleet_sweep: OBS FAILURE — {why}");
+        return ExitCode::FAILURE;
+    }
+    code
+}
 
+fn run_mode(args: &Args) -> ExitCode {
     if args.smoke {
         quanto_bench::header(
             "fleet_sweep --smoke",
             "determinism (all 4 medium kinds) + speedup + retention gates",
         );
-        return smoke(&args);
+        return smoke(args);
     }
     if let Some(nodes) = args.stress_nodes {
-        return stress_nodes(nodes, &args);
+        return stress_nodes(nodes, args);
     }
 
     let grid = match &args.grid {
@@ -436,8 +498,8 @@ fn main() -> ExitCode {
             }
             grid
         }
-        None if args.stress => built_in_grid(STRESS_GRID, &args),
-        None => built_in_grid(DEFAULT_GRID, &args),
+        None if args.stress => built_in_grid(STRESS_GRID, args),
+        None => built_in_grid(DEFAULT_GRID, args),
     };
     let batch = match grid.expand() {
         Ok(batch) => batch,
@@ -488,9 +550,17 @@ fn main() -> ExitCode {
                     Some(c) => format!(" — delivered {}, lost {}", c.delivered, c.lost()),
                     None => String::new(),
                 };
+                let eta = match p.eta_ms {
+                    Some(ms) => format!(", eta {:.1} s", ms as f64 / 1e3),
+                    None => String::new(),
+                };
                 println!(
-                    "[{}/{}] {} ({}) — {summary}{delivery}",
-                    p.completed, p.total, p.name, p.medium_kind
+                    "[{}/{}] {} ({}) — {summary}{delivery} [{:.1} s{eta}]",
+                    p.completed,
+                    p.total,
+                    p.name,
+                    p.medium_kind,
+                    p.elapsed_ms as f64 / 1e3
                 );
             }
         }
@@ -637,5 +707,21 @@ mod tests {
         assert_eq!(a.stress_nodes, Some(1024));
         let a = args(&["--stress-nodes", "10000"]).unwrap();
         assert_eq!(a.stress_nodes, Some(10000));
+    }
+
+    /// The obs flags compose with every mode instead of counting toward the
+    /// mode exclusion — the whole point is profiling the existing sweeps.
+    #[test]
+    fn obs_flags_parse_and_compose_with_modes() {
+        let a = args(&["--obs"]).unwrap();
+        assert!(a.obs && a.obs_json.is_none());
+        let a = args(&["--smoke", "--obs", "--obs-json", "obs.json"]).unwrap();
+        assert!(a.smoke && a.obs);
+        assert_eq!(a.obs_json.as_deref(), Some("obs.json"));
+        let a = args(&["--stress", "--obs-json", "p.json"]).unwrap();
+        assert!(a.stress);
+        assert_eq!(a.obs_json.as_deref(), Some("p.json"));
+        let err = args(&["--obs-json"]).expect_err("missing value");
+        assert!(err.contains("usage:"), "{err}");
     }
 }

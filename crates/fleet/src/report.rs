@@ -208,11 +208,15 @@ struct LiveNode {
     segments: SegmentBuilder,
     stats: IntervalStats,
     cpu_segments: u64,
+    /// Log-drain chunks this sink consumed (a plain count the obs layer
+    /// reads after the run; never branches on the hot path).
+    chunks: u64,
 }
 
 impl LiveNode {
     /// Consumes one chunk: entry digest, power intervals, CPU segments.
     fn accept(&mut self, chunk: &[LogEntry]) {
+        self.chunks += 1;
         self.digest.accept(chunk);
         self.builder.push_chunk(chunk);
         for iv in self.builder.drain_completed() {
@@ -241,9 +245,16 @@ impl ScenarioResult {
     /// pinned pre-refactor digest; the fleet default is
     /// [`ScenarioResult::execute_streaming`].
     pub fn execute(index: usize, scenario: Scenario) -> ScenarioResult {
+        let kind = scenario.app.kind();
+        let _scenario_span = quanto_obs::span_with("scenario", &scenario.name);
+        let build_span = quanto_obs::span_with("build", kind);
         let mut net = scenario.build();
+        drop(build_span);
+        let run_span = quanto_obs::span_with("run", kind);
         let end = SimTime::ZERO + scenario.duration;
         net.run_until(end);
+        drop(run_span);
+        let _analyze_span = quanto_obs::span_with("analyze", kind);
         let contexts: Vec<(NodeId, ExperimentContext)> = scenario
             .node_ids()
             .into_iter()
@@ -254,6 +265,11 @@ impl ScenarioResult {
             .collect();
         let medium_counters = net.medium_counters();
         let outputs = net.finish(end);
+        flush_obs_metrics(&net);
+        // Tear the simulation down while the analyze span is still open —
+        // the implicit end-of-function drop would land between spans and
+        // show up as unattributed busy time in the profile.
+        drop(net);
         let encoding = scenario.log_encoding();
         let mut summaries = Vec::with_capacity(outputs.len());
         let mut stream = Vec::with_capacity(outputs.len());
@@ -285,6 +301,9 @@ impl ScenarioResult {
     /// bit-identical to [`ScenarioResult::execute`] (the builders are
     /// chunking-independent); raw access is unavailable by construction.
     pub fn execute_streaming(index: usize, scenario: Scenario) -> ScenarioResult {
+        let kind = scenario.app.kind();
+        let _scenario_span = quanto_obs::span_with("scenario", &scenario.name);
+        let build_span = quanto_obs::span_with("build", kind);
         let mut net = scenario.build();
         net.set_trace_recording(false);
         let node_ids = scenario.node_ids();
@@ -301,6 +320,7 @@ impl ScenarioResult {
                 segments: SegmentBuilder::new(cpu_dev, false),
                 stats: IntervalStats::new(),
                 cpu_segments: 0,
+                chunks: 0,
                 catalog,
             }));
             let tap = node.clone();
@@ -310,12 +330,20 @@ impl ScenarioResult {
             );
             live.push((id, node));
         }
+        drop(build_span);
+        let run_span = quanto_obs::span_with("run", kind);
         let end = SimTime::ZERO + scenario.duration;
         net.run_until(end);
+        drop(run_span);
+        let _analyze_span = quanto_obs::span_with("analyze", kind);
         let medium_counters = net.medium_counters();
         // `finish` drains each logger's tail through its sink; the outputs
         // come back with empty logs and tiny traces.
         let outputs = net.finish(end);
+        flush_obs_metrics(&net);
+        // Tear the simulation down (sinks included) while the analyze span
+        // is still open, for the same attribution reason as in `execute`.
+        drop(net);
         let mut summaries = Vec::with_capacity(outputs.len());
         let mut stream = Vec::with_capacity(outputs.len());
         for ((id, out), (live_id, node)) in outputs.iter().zip(live.iter()) {
@@ -323,6 +351,8 @@ impl ScenarioResult {
             debug_assert!(out.log.is_empty(), "sink mode must not materialize logs");
             let mut node = node.borrow_mut();
             node.close(out.final_stamp);
+            quanto_obs::counter_add("stream.chunks", node.chunks);
+            quanto_obs::counter_add("stream.entries", node.digest.entries());
             let regression_error = regress(
                 &node.stats.pool.observations(node.energy_per_count),
                 &node.catalog,
@@ -593,6 +623,31 @@ impl ScenarioResult {
             h.write(&c.lost_below_sensitivity.to_le_bytes());
             h.write(&c.lost_captured.to_le_bytes());
         }
+    }
+}
+
+/// Folds a finished scenario's engine and medium effort counters into the
+/// calling thread's obs registry.  The counters themselves are plain
+/// unconditional increments inside the simulators (no obs branching on any
+/// hot path); this read-out is the only obs-gated code, so an obs-off run
+/// takes exactly the same simulation path as an obs-on run.
+fn flush_obs_metrics(net: &net_sim::NetSim) {
+    if !quanto_obs::enabled() {
+        return;
+    }
+    let s = net.engine().stats();
+    quanto_obs::counter_add("engine.events_dispatched", s.events_dispatched);
+    quanto_obs::counter_add("engine.heap_pushes", s.heap_pushes);
+    quanto_obs::counter_add("engine.heap_pops", s.heap_pops);
+    quanto_obs::counter_add("engine.stale_pops", s.stale_pops);
+    quanto_obs::counter_add("engine.dedup_hits", s.dedup_hits);
+    if let Some(c) = net.medium_counters() {
+        quanto_obs::counter_add("medium.candidates_examined", c.candidates_examined);
+        quanto_obs::counter_add("medium.pruned_by_cutoff", c.pruned_by_cutoff);
+    }
+    if let Some(e) = net.medium_effort() {
+        quanto_obs::counter_add("medium.fades_hashed", e.fades_hashed);
+        quanto_obs::counter_add("medium.cca_early_outs", e.cca_early_outs);
     }
 }
 
@@ -933,8 +988,14 @@ pub(crate) fn scenario_json(
     match counters {
         Some(c) => out.push_str(&format!(
             "\"delivery\":{{\"delivered\":{},\"lost_out_of_range\":{},\
-             \"lost_below_sensitivity\":{},\"lost_captured\":{}}},",
-            c.delivered, c.lost_out_of_range, c.lost_below_sensitivity, c.lost_captured
+             \"lost_below_sensitivity\":{},\"lost_captured\":{},\
+             \"candidates_examined\":{},\"pruned_by_cutoff\":{}}},",
+            c.delivered,
+            c.lost_out_of_range,
+            c.lost_below_sensitivity,
+            c.lost_captured,
+            c.candidates_examined,
+            c.pruned_by_cutoff
         )),
         None => out.push_str("\"delivery\":null,"),
     }

@@ -44,17 +44,29 @@ pub struct FleetProgress {
     pub medium_counters: Option<DeliveryCounters>,
     /// The scenario's per-node summaries.
     pub summaries: Vec<NodeSummary>,
+    /// Wall-clock milliseconds since the batch started.
+    pub elapsed_ms: u64,
+    /// Naive remaining-time estimate, extrapolated from the merged-scenario
+    /// rate: `elapsed / completed × (total − completed)`.  `None` until at
+    /// least two scenarios have merged (one sample is no trend).
+    pub eta_ms: Option<u64>,
 }
 
 impl FleetProgress {
     /// This progress event as one machine-readable JSON line (the same
     /// per-scenario shape `FleetReport::summary_json` uses, plus the
-    /// completed/total counters).
+    /// completed/total counters and elapsed/ETA timings).
     pub fn to_json(&self) -> String {
+        let eta = match self.eta_ms {
+            Some(ms) => ms.to_string(),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\"completed\":{},\"total\":{},\"result\":{}}}",
+            "{{\"completed\":{},\"total\":{},\"elapsed_ms\":{},\"eta_ms\":{},\"result\":{}}}",
             self.completed,
             self.total,
+            self.elapsed_ms,
+            eta,
             scenario_json(
                 self.index,
                 &self.name,
@@ -202,26 +214,37 @@ impl FleetRunner {
                      acc: &mut ReportAccumulator,
                      held: &mut u64,
                      progress: &mut dyn FnMut(FleetProgress)| {
+            let completed = result.index + 1;
+            let elapsed_ms = started.elapsed().as_millis() as u64;
+            let eta_ms = (completed >= 2)
+                .then(|| elapsed_ms * (total - completed) as u64 / completed as u64);
             let event = FleetProgress {
                 index: result.index,
                 name: result.scenario.name.clone(),
-                completed: result.index + 1,
+                completed,
                 total,
                 medium_kind: result.medium_kind,
                 medium_counters: result.medium_counters().ok().copied(),
                 summaries: result.summaries.clone(),
+                elapsed_ms,
+                eta_ms,
             };
             *held -= acc.absorb(result);
             progress(event);
         };
 
         if workers <= 1 {
+            quanto_obs::set_thread_label("worker-0");
+            let worker_span = quanto_obs::span("worker");
             for (i, s) in scenarios.into_iter().enumerate() {
                 let result = ScenarioResult::execute_with(i, s, retention);
                 held += result.log_entries_held();
                 peak = peak.max(held);
+                let _merge_span = quanto_obs::span("merge");
                 merge(result, &mut acc, &mut held, &mut progress);
             }
+            drop(worker_span);
+            quanto_obs::flush_thread();
         } else {
             // Backpressure window: a worker may not *start* scenario `i`
             // until fewer than `window` scenarios separate it from the merge
@@ -244,34 +267,56 @@ impl FleetRunner {
             let advanced = Condvar::new();
             let (tx, rx) = mpsc::channel::<ScenarioResult>();
             std::thread::scope(|scope| {
-                for _ in 0..workers {
+                for w in 0..workers {
                     let tx = tx.clone();
                     let cursor = &cursor;
                     let scenarios = &scenarios;
                     let gate = &gate;
                     let advanced = &advanced;
                     scope.spawn(move || {
+                        quanto_obs::set_thread_label(&format!("worker-{w}"));
                         let _wake = WakeOnUnwind { gate, advanced };
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= total {
-                                break;
-                            }
-                            {
-                                let mut g = gate.lock().unwrap_or_else(|p| p.into_inner());
-                                while i >= g.merged + window && !g.abort {
-                                    g = advanced.wait(g).unwrap_or_else(|p| p.into_inner());
+                        {
+                            let _worker_span = quanto_obs::span("worker");
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= total {
+                                    break;
                                 }
-                                if g.abort {
+                                {
+                                    let mut g = gate.lock().unwrap_or_else(|p| p.into_inner());
+                                    if i >= g.merged + window && !g.abort {
+                                        // Only an actual wait opens a stall
+                                        // span — an open gate costs nothing.
+                                        let _stall_span = quanto_obs::span("stall");
+                                        quanto_obs::counter_add("runner.backpressure_stalls", 1);
+                                        while i >= g.merged + window && !g.abort {
+                                            g = advanced.wait(g).unwrap_or_else(|p| p.into_inner());
+                                        }
+                                    }
+                                    if g.abort {
+                                        break;
+                                    }
+                                }
+                                let result = ScenarioResult::execute_with(
+                                    i,
+                                    scenarios[i].clone(),
+                                    retention,
+                                );
+                                // The send wakes a parked receiver, which is
+                                // where the scheduler preempts oversubscribed
+                                // workers — span it so worker wall-clock
+                                // still reconciles on small hosts.
+                                let _send_span = quanto_obs::span("send");
+                                if tx.send(result).is_err() {
                                     break;
                                 }
                             }
-                            let result =
-                                ScenarioResult::execute_with(i, scenarios[i].clone(), retention);
-                            if tx.send(result).is_err() {
-                                break;
-                            }
                         }
+                        // `thread::scope` returns before TLS destructors run,
+                        // so the dump must be flushed explicitly — otherwise
+                        // the harvest races the worker's TLS teardown.
+                        quanto_obs::flush_thread();
                     });
                 }
                 drop(tx);
@@ -289,7 +334,9 @@ impl FleetRunner {
                     held += result.log_entries_held();
                     peak = peak.max(held);
                     pending.insert(result.index, result);
+                    quanto_obs::observe("runner.reorder_window_occupancy", pending.len() as u64);
                     let before = next;
+                    let _merge_span = quanto_obs::span("merge");
                     while let Some(result) = pending.remove(&next) {
                         merge(result, &mut acc, &mut held, &mut progress);
                         next += 1;
@@ -481,6 +528,7 @@ mod tests {
         let mut seen = Vec::new();
         let report = FleetRunner::new(3).run_with_progress(batch, |p| seen.push(p));
         assert_eq!(seen.len(), total);
+        let mut last_elapsed = 0;
         for (i, p) in seen.iter().enumerate() {
             assert_eq!(p.index, i);
             assert_eq!(p.completed, i + 1);
@@ -488,7 +536,19 @@ mod tests {
             assert!(!p.summaries.is_empty());
             assert_eq!(p.name, report.results[i].scenario.name);
             assert!(p.to_json().contains(&format!("\"total\":{total}")));
+            assert!(p.to_json().contains("\"elapsed_ms\":"));
+            // One merged scenario is no trend; from the second on the ETA
+            // extrapolates and must reach zero at the end of the batch.
+            if p.completed < 2 {
+                assert_eq!(p.eta_ms, None);
+                assert!(p.to_json().contains("\"eta_ms\":null"));
+            } else {
+                assert!(p.eta_ms.is_some());
+            }
+            assert!(p.elapsed_ms >= last_elapsed, "elapsed must not go back");
+            last_elapsed = p.elapsed_ms;
         }
+        assert_eq!(seen.last().unwrap().eta_ms, Some(0));
     }
 
     #[test]

@@ -47,6 +47,21 @@ pub enum AppSpec {
     Idle,
 }
 
+impl AppSpec {
+    /// The application's stable kind name (`"blink"`, `"lpl"`, `"bounce"`,
+    /// `"bounce_pairs"`, `"idle"`) — the axis the obs profile groups phase
+    /// time by.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AppSpec::Blink => "blink",
+            AppSpec::LplListener { .. } => "lpl",
+            AppSpec::Bounce => "bounce",
+            AppSpec::BouncePairs { .. } => "bounce_pairs",
+            AppSpec::Idle => "idle",
+        }
+    }
+}
+
 /// Which pairs of nodes can hear each other.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TopologySpec {

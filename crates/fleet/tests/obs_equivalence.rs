@@ -1,0 +1,108 @@
+//! The non-perturbation contract of the `quanto-obs` layer: enabling
+//! observability must not change a single simulated byte.  Every digest pin
+//! from `digest_pin.rs` is re-asserted here with obs recording, and the
+//! obs-on reports are compared stream-for-stream against obs-off runs of
+//! the same batches — including the smoke grid's medium axis, so the
+//! path-loss effort counters and the spatial index are covered too.
+//!
+//! One `#[test]` on purpose: the enabled flag is process-global, and this
+//! integration binary owning exactly one test keeps the off-reference and
+//! on-replay phases strictly ordered without any cross-test races.
+
+use hw_model::SimDuration;
+use quanto_fleet::{scenarios, FleetRunner, GridSpec, Scenario};
+
+const PIN_BATCH_DIGEST: u64 = 0x766a_a912_dcd1_2f29;
+const SINGLE_LPL_DIGEST: u64 = 0x297e_7546_08a5_134c;
+const PIN_BATCH_STREAM_DIGEST: u64 = 0xf73f_b2e3_9f24_1280;
+const SINGLE_LPL_STREAM_DIGEST: u64 = 0x1f37_3cb5_5ee7_ff3a;
+
+fn pin_batch() -> Vec<Scenario> {
+    let d = SimDuration::from_secs(2);
+    let mut batch = scenarios::lpl_grid(&[1, 2], &[17, 26], 0.18, d);
+    batch.push(Scenario::blink(d));
+    batch.push(Scenario::bounce(d));
+    batch.push(Scenario::idle(SimDuration::from_secs(1)));
+    batch
+}
+
+/// The CI smoke grid with every cell cut to two simulated seconds: the same
+/// scenario structure (all four medium kinds, the seed axes), test-sized.
+fn smoke_batch() -> Vec<Scenario> {
+    let mut grid =
+        GridSpec::parse(include_str!("../../bench/grids/smoke.grid")).expect("smoke grid parses");
+    grid.override_seconds(2.0);
+    grid.expand().expect("smoke grid expands")
+}
+
+#[test]
+fn observability_never_perturbs_a_digest() {
+    // Phase 1: obs off (the default) — record the reference digests and
+    // re-assert the pre-refactor pins.
+    assert!(!quanto_obs::enabled(), "obs must start disabled");
+    let off_pin = FleetRunner::new(4).batch_digest().run(pin_batch());
+    assert_eq!(off_pin.pinned_digest(), Some(PIN_BATCH_DIGEST));
+    assert_eq!(off_pin.digest(), PIN_BATCH_STREAM_DIGEST);
+    let single = || vec![Scenario::lpl(17, 0.18, SimDuration::from_secs(4))];
+    let off_single = FleetRunner::sequential().batch_digest().run(single());
+    assert_eq!(off_single.pinned_digest(), Some(SINGLE_LPL_DIGEST));
+    assert_eq!(off_single.digest(), SINGLE_LPL_STREAM_DIGEST);
+    let off_smoke = FleetRunner::new(4).run(smoke_batch());
+    assert_eq!(
+        off_smoke.digest(),
+        FleetRunner::sequential().run(smoke_batch()).digest(),
+        "smoke grid must already be thread-count independent obs-off"
+    );
+
+    // Phase 2: the identical runs with every span and metric recording.
+    quanto_obs::set_enabled(true);
+    let on_pin = FleetRunner::new(4).batch_digest().run(pin_batch());
+    let on_single = FleetRunner::sequential().batch_digest().run(single());
+    let on_smoke = FleetRunner::new(4).run(smoke_batch());
+    let on_smoke_seq = FleetRunner::sequential().run(smoke_batch());
+    quanto_obs::set_enabled(false);
+    let harvest = quanto_obs::harvest();
+
+    assert_eq!(
+        on_pin.pinned_digest(),
+        Some(PIN_BATCH_DIGEST),
+        "obs-on run drifted from the pinned batch digest"
+    );
+    assert_eq!(on_pin.digest(), PIN_BATCH_STREAM_DIGEST);
+    assert_eq!(on_single.pinned_digest(), Some(SINGLE_LPL_DIGEST));
+    assert_eq!(on_single.digest(), SINGLE_LPL_STREAM_DIGEST);
+    assert_eq!(
+        on_smoke.digest(),
+        off_smoke.digest(),
+        "obs-on smoke grid digest diverged from the obs-off reference"
+    );
+    assert_eq!(on_smoke_seq.digest(), off_smoke.digest());
+    // Stronger than the folded digest: every scenario's entry stream
+    // (count + FNV over encoded bytes) must match node-for-node.
+    for (off, on) in off_smoke.results.iter().zip(on_smoke.results.iter()) {
+        assert_eq!(
+            off.stream_meta(),
+            on.stream_meta(),
+            "scenario {} entry stream changed under observation",
+            off.scenario.name
+        );
+    }
+
+    // Guard against vacuous success: the obs-on phase must actually have
+    // recorded worker spans and engine counters.
+    assert!(
+        harvest
+            .threads
+            .iter()
+            .any(|t| t.label.starts_with("worker-")),
+        "no worker dumps harvested — instrumentation never ran"
+    );
+    assert!(
+        harvest
+            .merged
+            .counter("engine.events_dispatched")
+            .unwrap_or(0)
+            > 0,
+        "engine counters missing from the harvest"
+    );
+}

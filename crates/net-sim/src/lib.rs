@@ -27,6 +27,6 @@ pub use interference::WifiInterferer;
 pub use medium::{Medium, Topology};
 pub use netsim::NetSim;
 pub use radio::{
-    DeliveryCounters, Ideal, Mobility, MobilityTrace, OnAir, PathLoss, PathLossParams, Position,
-    PositionedMedium, Positions, RadioMedium, Reception, UnitDisk,
+    DeliveryCounters, Ideal, MediumEffort, Mobility, MobilityTrace, OnAir, PathLoss,
+    PathLossParams, Position, PositionedMedium, Positions, RadioMedium, Reception, UnitDisk,
 };

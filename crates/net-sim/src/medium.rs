@@ -112,6 +112,11 @@ impl Medium {
         self.model.counters()
     }
 
+    /// The model's effort counters, when it tracks them (path loss only).
+    pub fn effort(&self) -> Option<crate::radio::MediumEffort> {
+        self.model.effort()
+    }
+
     /// Adds an 802.11 interference source.
     pub fn add_interferer(&mut self, interferer: WifiInterferer) {
         self.interferers.push(interferer);

@@ -71,6 +71,12 @@ impl NetSim {
         self.medium().counters()
     }
 
+    /// The medium's effort counters, when its model tracks them (path loss
+    /// only — `None` elsewhere).
+    pub fn medium_effort(&self) -> Option<crate::radio::MediumEffort> {
+        self.medium().effort()
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.engine.node_count()

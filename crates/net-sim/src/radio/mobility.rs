@@ -1,7 +1,7 @@
 //! Mobility: waypoint traces driving node positions over simulation time.
 
 use super::geometry::Position;
-use super::{DeliveryCounters, OnAir, RadioMedium, Reception};
+use super::{DeliveryCounters, MediumEffort, OnAir, RadioMedium, Reception};
 use hw_model::SimTime;
 use os_sim::Emission;
 use quanto_core::NodeId;
@@ -175,6 +175,10 @@ impl RadioMedium for Mobility {
 
     fn counters(&self) -> Option<DeliveryCounters> {
         self.inner.counters()
+    }
+
+    fn effort(&self) -> Option<MediumEffort> {
+        self.inner.effort()
     }
 }
 

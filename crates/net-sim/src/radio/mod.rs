@@ -84,6 +84,14 @@ pub struct DeliveryCounters {
     pub lost_below_sensitivity: u64,
     /// Pairs lost to a stronger overlapping frame (capture effect).
     pub lost_captured: u64,
+    /// Pairs actually pushed through [`RadioMedium::receive`] — the
+    /// spatial index's *effort*.  The brute scan examines every pair, so
+    /// here `candidates_examined == attempts()`; the indexed path examines
+    /// only the index's candidates.
+    pub candidates_examined: u64,
+    /// Pairs the spatial index proved lossy without a query (bulk-counted
+    /// into the matching `lost_*` field).  Always zero on the brute path.
+    pub pruned_by_cutoff: u64,
 }
 
 impl DeliveryCounters {
@@ -91,6 +99,7 @@ impl DeliveryCounters {
     /// as out-of-range: both mean "the geometry/topology never connected the
     /// pair", as opposed to signal-level losses.
     pub fn record(&mut self, reception: Reception) {
+        self.candidates_examined += 1;
         match reception {
             Reception::Delivered => self.delivered += 1,
             Reception::Disconnected | Reception::OutOfRange => self.lost_out_of_range += 1,
@@ -104,10 +113,36 @@ impl DeliveryCounters {
         self.lost_out_of_range + self.lost_below_sensitivity + self.lost_captured
     }
 
-    /// Total propagation queries answered.
+    /// Total propagation queries answered (examined or bulk-pruned).
     pub fn attempts(&self) -> u64 {
         self.delivered + self.lost()
     }
+
+    /// The four propagation *outcomes* as one comparable tuple, excluding
+    /// the effort fields.  This is what the index-vs-brute equivalence
+    /// tests compare: outcomes must match exactly, while effort differs by
+    /// construction (the brute scan examines everything and prunes
+    /// nothing).  Only these four fields fold into the pinned digests.
+    pub fn outcomes(&self) -> (u64, u64, u64, u64) {
+        (
+            self.delivered,
+            self.lost_out_of_range,
+            self.lost_below_sensitivity,
+            self.lost_captured,
+        )
+    }
+}
+
+/// Model-specific work counters beyond delivery bookkeeping — how hard the
+/// signal math itself worked.  Only [`PathLoss`] tracks these today.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediumEffort {
+    /// Shadowing fades actually hashed (the σ ≤ 0 fast path skips the
+    /// hash, so this counts real SplitMix work).
+    pub fades_hashed: u64,
+    /// Clear-channel assessments answered by the distance cutoff without
+    /// evaluating RSSI.
+    pub cca_early_outs: u64,
 }
 
 /// A propagation model the shared [`crate::medium::Medium`] consults.
@@ -159,6 +194,12 @@ pub trait RadioMedium: std::fmt::Debug + Send {
     /// Delivery counters, when this medium tracks them.  The default is
     /// `None` ([`Ideal`] keeps it); geometric models return their counts.
     fn counters(&self) -> Option<DeliveryCounters> {
+        None
+    }
+
+    /// Model-specific effort counters, when this medium tracks them
+    /// ([`PathLoss`] only; wrappers delegate).
+    fn effort(&self) -> Option<MediumEffort> {
         None
     }
 
@@ -220,6 +261,11 @@ mod tests {
         assert_eq!(c.lost_captured, 1);
         assert_eq!(c.lost(), 4);
         assert_eq!(c.attempts(), 6);
+        // Effort fields stay out of the loss/attempt arithmetic: every
+        // recorded pair was examined, none were bulk-pruned.
+        assert_eq!(c.candidates_examined, 6);
+        assert_eq!(c.pruned_by_cutoff, 0);
+        assert_eq!(c.outcomes(), (2, 2, 1, 1));
     }
 
     #[test]

@@ -21,10 +21,14 @@
 use super::geometry::{Position, Positions};
 use super::mobility::PositionedMedium;
 use super::spatial::SpatialIndex;
-use super::{deliver_by_scan, mix, unit_uniform, DeliveryCounters, OnAir, RadioMedium, Reception};
+use super::{
+    deliver_by_scan, mix, unit_uniform, DeliveryCounters, MediumEffort, OnAir, RadioMedium,
+    Reception,
+};
 use hw_model::SimTime;
 use os_sim::Emission;
 use quanto_core::NodeId;
+use std::cell::Cell;
 
 /// √3: scales an Irwin–Hall(4) sum to unit variance (see
 /// [`PathLoss::shadowing_db`]).
@@ -132,6 +136,11 @@ pub struct PathLoss {
     /// skip the fade hash for distant frames.
     cca_cutoff_m: Option<f64>,
     index: Option<SpatialIndex>,
+    /// Shadowing fades actually hashed (a `Cell`: fades are drawn inside
+    /// `&self` RSSI queries).  Effort bookkeeping only — never digested.
+    fades_hashed: Cell<u64>,
+    /// CCA queries answered by the distance cutoff without touching RSSI.
+    cca_early_outs: u64,
 }
 
 impl PathLoss {
@@ -147,6 +156,8 @@ impl PathLoss {
             sense_cutoff_m,
             cca_cutoff_m,
             index: sense_cutoff_m.map(SpatialIndex::new),
+            fades_hashed: Cell::new(0),
+            cca_early_outs: 0,
         }
     }
 
@@ -191,6 +202,7 @@ impl PathLoss {
         if self.params.shadowing_sigma_db <= 0.0 {
             return 0.0;
         }
+        self.fades_hashed.set(self.fades_hashed.get() + 1);
         // The legacy key packed the two one-byte ids into fixed bit
         // positions; fleets with v1-range ids must keep producing the exact
         // same fades, so that part is unchanged.  Wider ids would collide
@@ -286,7 +298,9 @@ impl RadioMedium for PathLoss {
         // Every skipped node is provably below the decode floor even under
         // the maximal shadowing fade: the brute scan would have recorded
         // each as a sensitivity loss.
-        self.counters.lost_below_sensitivity += (nodes.len() as u64 - 1) - queried;
+        let pruned = (nodes.len() as u64 - 1) - queried;
+        self.counters.lost_below_sensitivity += pruned;
+        self.counters.pruned_by_cutoff += pruned;
         delivered
     }
 
@@ -294,6 +308,7 @@ impl RadioMedium for PathLoss {
         if let Some(cutoff) = self.cca_cutoff_m {
             // Provably under the CCA threshold: skip the fade hash and log.
             if self.positions.distance(frame.from, listener) > cutoff {
+                self.cca_early_outs += 1;
                 return false;
             }
         }
@@ -302,6 +317,13 @@ impl RadioMedium for PathLoss {
 
     fn counters(&self) -> Option<DeliveryCounters> {
         Some(self.counters)
+    }
+
+    fn effort(&self) -> Option<MediumEffort> {
+        Some(MediumEffort {
+            fades_hashed: self.fades_hashed.get(),
+            cca_early_outs: self.cca_early_outs,
+        })
     }
 }
 
@@ -469,6 +491,40 @@ mod tests {
             a.rssi_dbm(NodeId(1), NodeId(2), SimTime::from_millis(124))
                 .to_bits()
         );
+    }
+
+    /// Effort counters separate real work from short-circuits: the σ ≤ 0
+    /// fast path hashes nothing, the CCA distance cutoff answers without
+    /// RSSI, and the indexed delivery accounts every pair as examined or
+    /// pruned.
+    #[test]
+    fn effort_counters_track_fades_cutoffs_and_pruning() {
+        let mut quiet = PathLoss::new(noiseless())
+            .with_position(NodeId(1), Position::new(0.0, 0.0))
+            .with_position(NodeId(2), Position::new(10.0, 0.0));
+        quiet.receive(&emission(1, 5), NodeId(2), &[]);
+        assert_eq!(
+            quiet.effort(),
+            Some(MediumEffort::default()),
+            "σ = 0 must never hash a fade"
+        );
+
+        let mut shadowed = PathLoss::new(PathLossParams::default())
+            .with_position(NodeId(1), Position::new(0.0, 0.0))
+            .with_position(NodeId(2), Position::new(10.0, 0.0))
+            .with_position(NodeId(3), Position::new(1.0e6, 0.0));
+        shadowed.receive(&emission(1, 5), NodeId(2), &[]);
+        assert_eq!(shadowed.effort().unwrap().fades_hashed, 1);
+        // Node 3 is ~1000 km out: CCA early-outs on distance, no new fade.
+        assert!(!shadowed.carrier_senses(NodeId(3), &on_air(1, 5, 6), SimTime::from_millis(5)));
+        let e = shadowed.effort().unwrap();
+        assert_eq!((e.fades_hashed, e.cca_early_outs), (1, 1));
+        // Indexed delivery: node 2 examined, node 3 bulk-pruned.
+        let roster = [NodeId(1), NodeId(2), NodeId(3)];
+        shadowed.deliver(&emission(1, 7), &roster, &[]);
+        let c = shadowed.counters().unwrap();
+        assert_eq!(c.pruned_by_cutoff, 1);
+        assert_eq!(c.candidates_examined + c.pruned_by_cutoff, c.attempts());
     }
 
     #[test]

@@ -120,7 +120,9 @@ impl RadioMedium for UnitDisk {
         }
         // Every node the index skipped is provably beyond `range_m`: the
         // brute scan would have recorded each as out of range.
-        self.counters.lost_out_of_range += (nodes.len() as u64 - 1) - queried;
+        let pruned = (nodes.len() as u64 - 1) - queried;
+        self.counters.lost_out_of_range += pruned;
+        self.counters.pruned_by_cutoff += pruned;
         delivered
     }
 

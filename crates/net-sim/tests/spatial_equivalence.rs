@@ -40,7 +40,10 @@ fn emission(from: NodeId, channel: u8, start_us: u64) -> Emission {
 }
 
 /// Runs the same delivery through both models and requires identical
-/// receiver sets and identical counters.
+/// receiver sets and identical delivery *outcomes*.  The effort fields
+/// (`candidates_examined`, `pruned_by_cutoff`) legitimately differ — the
+/// brute scan examines every pair and prunes none — but on both paths they
+/// must conserve: every attempted pair was examined or bulk-pruned.
 fn assert_deliveries_match(
     fast: &mut dyn RadioMedium,
     brute: &mut dyn RadioMedium,
@@ -59,12 +62,27 @@ fn assert_deliveries_match(
         a,
         b
     );
+    let fc = fast.counters().expect("geometric models track counters");
+    let bc = brute.counters().expect("geometric models track counters");
     prop_assert!(
-        fast.counters() == brute.counters(),
-        "counters diverged for {:?}: {:?} vs {:?}",
+        fc.outcomes() == bc.outcomes(),
+        "outcomes diverged for {:?}: {:?} vs {:?}",
         e.from,
-        fast.counters(),
-        brute.counters()
+        fc,
+        bc
+    );
+    for (label, c) in [("fast", fc), ("brute", bc)] {
+        prop_assert!(
+            c.candidates_examined + c.pruned_by_cutoff == c.attempts(),
+            "{} path lost effort accounting: {:?}",
+            label,
+            c
+        );
+    }
+    prop_assert!(
+        bc.pruned_by_cutoff == 0,
+        "the brute scan must never prune: {:?}",
+        bc
     );
     Ok(())
 }

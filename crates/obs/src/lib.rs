@@ -1,0 +1,432 @@
+//! `quanto-obs`: the sweep engine turning the paper's lens on itself.
+//!
+//! Quanto attributes a scarce resource (energy) to the activities that
+//! spend it; this crate does the same for the simulator's own wall-clock.
+//! It is a zero-dependency observability layer with two primitives:
+//!
+//! - **Spans** — thread-local stacks of named, nesting-checked intervals
+//!   over one process-wide monotonic clock ([`span`], [`span_with`]).
+//!   Closing a span out of order panics: a span tree that lies about
+//!   nesting would attribute time to the wrong phase, which is worse than
+//!   no attribution.
+//! - **Metrics** — per-thread registries of counters, gauges and
+//!   power-of-two-bucket histograms ([`counter_add`], [`gauge_set`],
+//!   [`observe`]) merged at [`harvest`] time in byte-stable order (see
+//!   [`metrics::Registry`]).
+//!
+//! # Determinism contract
+//!
+//! The layer is **off by default** and, crucially, *non-perturbing*: no
+//! simulation hot path branches on the flag. Enabled or not, every pinned
+//! fleet digest must hold byte-identical (enforced by
+//! `crates/fleet/tests/obs_equivalence.rs`). All recording goes to
+//! thread-local state — there is no cross-thread synchronization until a
+//! thread exits (its state drains into a global sink) or [`harvest`] runs.
+//!
+//! When the flag is off, [`span`] returns an inert guard and the metric
+//! calls return after one relaxed atomic load, so instrumented code pays
+//! approximately nothing (pinned by the `obs_overhead` bench).
+
+pub mod metrics;
+pub mod profile;
+
+pub use metrics::{Histogram, Registry};
+pub use profile::{PhaseCell, Profile, ScenarioRow, WorkerRow};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static SINK: Mutex<Vec<ThreadDump>> = Mutex::new(Vec::new());
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+/// Turns recording on or off process-wide. The first enable pins the
+/// monotonic epoch all span timestamps are measured from.
+pub fn set_enabled(on: bool) {
+    if on {
+        EPOCH.get_or_init(Instant::now);
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is on. One relaxed load — the only cost the
+/// instrumented hot paths pay when observability is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Microseconds since the recording epoch.
+fn now_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// One finished span: a named interval on one thread's stack.
+#[derive(Debug, Clone)]
+pub struct ClosedSpan {
+    /// Span kind — one of the small fixed vocabulary the profile layer
+    /// aggregates by (`"worker"`, `"scenario"`, `"build"`, `"run"`,
+    /// `"analyze"`, `"stall"`, `"merge"`).
+    pub name: &'static str,
+    /// Free-form qualifier (scenario name, app kind); empty when none.
+    pub detail: String,
+    /// Start, µs since the epoch.
+    pub start_us: u64,
+    /// End, µs since the epoch.
+    pub end_us: u64,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: u32,
+}
+
+impl ClosedSpan {
+    /// Span duration in microseconds.
+    pub fn dur_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// Everything one thread recorded: its label, its closed spans (in close
+/// order) and its metrics registry.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadDump {
+    /// `worker-N` for fleet workers, `thread-N` otherwise.
+    pub label: String,
+    /// Closed spans, in the order they closed.
+    pub spans: Vec<ClosedSpan>,
+    /// This thread's metrics.
+    pub registry: Registry,
+}
+
+impl ThreadDump {
+    fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.registry.is_empty()
+    }
+}
+
+struct OpenSpan {
+    name: &'static str,
+    detail: String,
+    start_us: u64,
+}
+
+/// Per-thread recording state. Dropping it (thread exit) drains what was
+/// recorded into the global sink as a backstop; threads that must be
+/// visible to a harvest right after a join call [`flush_thread`] instead.
+struct ThreadState {
+    label: String,
+    open: Vec<OpenSpan>,
+    closed: Vec<ClosedSpan>,
+    registry: Registry,
+}
+
+impl ThreadState {
+    fn new() -> Self {
+        ThreadState {
+            label: format!("thread-{}", NEXT_THREAD.fetch_add(1, Ordering::Relaxed)),
+            open: Vec::new(),
+            closed: Vec::new(),
+            registry: Registry::default(),
+        }
+    }
+
+    fn take_dump(&mut self) -> ThreadDump {
+        ThreadDump {
+            label: self.label.clone(),
+            spans: std::mem::take(&mut self.closed),
+            registry: std::mem::take(&mut self.registry),
+        }
+    }
+}
+
+impl Drop for ThreadState {
+    fn drop(&mut self) {
+        let dump = self.take_dump();
+        if !dump.is_empty() {
+            if let Ok(mut sink) = SINK.lock() {
+                sink.push(dump);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static STATE: RefCell<ThreadState> = RefCell::new(ThreadState::new());
+}
+
+/// Names the current thread in dumps and profiles (e.g. `worker-3`).
+/// No-op while recording is off.
+pub fn set_thread_label(label: &str) {
+    if !enabled() {
+        return;
+    }
+    STATE.with(|s| s.borrow_mut().label = label.to_string());
+}
+
+/// An open span; closing happens on drop. Guards must drop in strict LIFO
+/// order — a guard outliving a span opened after it panics at drop time.
+#[must_use = "a span measures nothing unless it is held"]
+pub struct SpanGuard {
+    /// Depth this span was opened at; `u32::MAX` marks an inert guard.
+    depth: u32,
+}
+
+impl SpanGuard {
+    const INERT: SpanGuard = SpanGuard { depth: u32::MAX };
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.depth == u32::MAX {
+            return;
+        }
+        let end_us = now_us();
+        STATE.with(|s| {
+            let mut st = s.borrow_mut();
+            let top = st.open.len() as u32;
+            if top != self.depth + 1 {
+                // Unbalanced exit: closing a span that is not the top of
+                // this thread's stack. Attribute nothing — and fail loudly,
+                // unless a panic is already unwinding through the guards.
+                if !std::thread::panicking() {
+                    panic!(
+                        "unbalanced span exit: closing depth {} with stack at {}",
+                        self.depth, top
+                    );
+                }
+                return;
+            }
+            let open = st.open.pop().expect("stack nonempty: top > 0");
+            let depth = st.open.len() as u32;
+            st.closed.push(ClosedSpan {
+                name: open.name,
+                detail: open.detail,
+                start_us: open.start_us,
+                end_us,
+                depth,
+            });
+        });
+    }
+}
+
+/// Opens a span named `name` on this thread's stack. Inert when recording
+/// is off.
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, "")
+}
+
+/// Opens a span with a detail qualifier (allocated only while recording).
+pub fn span_with(name: &'static str, detail: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::INERT;
+    }
+    let start_us = now_us();
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        let depth = st.open.len() as u32;
+        st.open.push(OpenSpan {
+            name,
+            detail: detail.to_string(),
+            start_us,
+        });
+        SpanGuard { depth }
+    })
+}
+
+/// Adds `n` to the counter `key` on this thread. No-op while off.
+#[inline]
+pub fn counter_add(key: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    STATE.with(|s| s.borrow_mut().registry.counter_add(key, n));
+}
+
+/// Sets the gauge `key` on this thread (merge keeps the maximum across
+/// threads). No-op while off.
+#[inline]
+pub fn gauge_set(key: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    STATE.with(|s| s.borrow_mut().registry.gauge_set(key, v));
+}
+
+/// Records `v` into the histogram `key` on this thread. No-op while off.
+#[inline]
+pub fn observe(key: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    STATE.with(|s| s.borrow_mut().registry.observe(key, v));
+}
+
+/// Hands the calling thread's recorded data to the global sink now.
+///
+/// Worker threads must call this as their last act: `thread::scope` (and
+/// `JoinHandle::join` on some platforms) unblocks when the spawned closure
+/// returns, which is *before* the thread's TLS destructors run — so a
+/// harvest right after a join can miss dumps that only the destructor
+/// would have flushed. The destructor stays as a backstop for threads that
+/// never flush explicitly; flushing twice is harmless (the second dump is
+/// empty and dropped).
+pub fn flush_thread() {
+    let dump = STATE.with(|s| s.borrow_mut().take_dump());
+    if !dump.is_empty() {
+        SINK.lock().expect("obs sink poisoned").push(dump);
+    }
+}
+
+/// Everything recorded so far: per-thread dumps (sorted by label for
+/// stable output) plus the registries merged into one.
+#[derive(Debug, Clone, Default)]
+pub struct HarvestResult {
+    /// One dump per thread that recorded anything, sorted by label.
+    pub threads: Vec<ThreadDump>,
+    /// All per-thread registries merged ([`Registry::merge`] semantics).
+    pub merged: Registry,
+}
+
+/// Drains and returns everything recorded so far: dumps parked in the
+/// global sink by flushed or exited threads, plus the calling thread's own
+/// state. Threads that recorded data must have called [`flush_thread`] (or
+/// fully terminated) first — a still-running thread's data is simply not
+/// there yet.
+pub fn harvest() -> HarvestResult {
+    let mut threads: Vec<ThreadDump> = {
+        let mut sink = SINK.lock().expect("obs sink poisoned");
+        std::mem::take(&mut *sink)
+    };
+    let own = STATE.with(|s| s.borrow_mut().take_dump());
+    if !own.is_empty() {
+        threads.push(own);
+    }
+    threads.sort_by(|a, b| a.label.cmp(&b.label));
+    let mut merged = Registry::default();
+    for t in &threads {
+        merged.merge(&t.registry);
+    }
+    HarvestResult { threads, merged }
+}
+
+/// Clears the global sink and the calling thread's state (label included).
+/// Test scaffolding — production code harvests instead.
+pub fn reset() {
+    SINK.lock().expect("obs sink poisoned").clear();
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        st.open.clear();
+        st.closed.clear();
+        st.registry = Registry::default();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests here mutate process-global state (the enabled flag, the sink);
+    /// serialize them so the default multi-threaded test runner cannot
+    /// interleave their enable/disable windows.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_and_metrics_record_nothing() {
+        let _g = lock();
+        set_enabled(false);
+        reset();
+        {
+            let _s = span("worker");
+            counter_add("engine.events_dispatched", 5);
+            observe("runner.reorder_window_occupancy", 3);
+        }
+        let h = harvest();
+        assert!(h.threads.is_empty());
+        assert!(h.merged.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_close_in_lifo_order() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span_with("scenario", "lpl_ch26_seed1");
+            {
+                let _inner = span("run");
+            }
+        }
+        set_enabled(false);
+        let h = harvest();
+        assert_eq!(h.threads.len(), 1);
+        let spans = &h.threads[0].spans;
+        // Close order: inner first.
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].name, spans[0].depth), ("run", 1));
+        assert_eq!((spans[1].name, spans[1].depth), ("scenario", 0));
+        assert_eq!(spans[1].detail, "lpl_ch26_seed1");
+        assert!(spans[0].start_us >= spans[1].start_us);
+        assert!(spans[0].end_us <= spans[1].end_us);
+    }
+
+    #[test]
+    fn unbalanced_span_exit_panics() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        let result = std::panic::catch_unwind(|| {
+            let outer = span("worker");
+            let inner = span("run");
+            // Dropping the outer guard while the inner is still open is an
+            // unbalanced exit.
+            drop(outer);
+            drop(inner);
+        });
+        set_enabled(false);
+        reset();
+        assert!(result.is_err(), "out-of-order span close must panic");
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge_across_threads() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        counter_add("engine.heap_pushes", 2);
+        counter_add("engine.heap_pushes", 3);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    counter_add("engine.heap_pushes", 10);
+                    flush_thread();
+                });
+            }
+        });
+        set_enabled(false);
+        let h = harvest();
+        assert_eq!(h.merged.counter("engine.heap_pushes"), Some(25));
+    }
+
+    #[test]
+    fn thread_labels_name_the_dumps() {
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                set_thread_label("worker-0");
+                counter_add("x", 1);
+                flush_thread();
+            });
+        });
+        set_enabled(false);
+        let h = harvest();
+        assert_eq!(h.threads.len(), 1);
+        assert_eq!(h.threads[0].label, "worker-0");
+    }
+}

@@ -1,0 +1,302 @@
+//! Counters, gauges and power-of-two-bucket histograms with byte-stable
+//! merge order.
+//!
+//! Each thread records into its own [`Registry`]; [`crate::harvest`] merges
+//! them with commutative, associative rules (counters sum, gauges keep the
+//! maximum, histograms add bucket-wise) over `BTreeMap` keys, so the merged
+//! registry — and its [`Registry::to_text`] rendering — is byte-identical
+//! for any thread count and any merge order. That is the property the
+//! N-thread-vs-1-thread determinism test pins.
+
+use std::collections::BTreeMap;
+
+/// A histogram over `u64` values with one bucket per power of two.
+///
+/// Bucket `k` counts values `v` with `bit_width(v) == k`: bucket 0 holds
+/// only zero, bucket 1 holds `1`, bucket 2 holds `2..=3`, bucket `k` holds
+/// `2^(k-1) ..= 2^k - 1`. Coarse on purpose — occupancy and queue-depth
+/// distributions need shape, not precision, and bucket-wise addition makes
+/// the merge exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index `v` falls in: its bit width.
+    pub fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Records one value.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds another histogram bucket-wise.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub fn nonempty_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect()
+    }
+}
+
+/// One thread's metrics; merged across threads at harvest.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Adds `n` to the counter `key`.
+    pub fn counter_add(&mut self, key: &str, n: u64) {
+        if let Some(c) = self.counters.get_mut(key) {
+            *c += n;
+        } else {
+            self.counters.insert(key.to_string(), n);
+        }
+    }
+
+    /// Sets the gauge `key` to `v`.
+    pub fn gauge_set(&mut self, key: &str, v: u64) {
+        self.gauges.insert(key.to_string(), v);
+    }
+
+    /// Records `v` into the histogram `key`.
+    pub fn observe(&mut self, key: &str, v: u64) {
+        if let Some(h) = self.histograms.get_mut(key) {
+            h.observe(v);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(v);
+            self.histograms.insert(key.to_string(), h);
+        }
+    }
+
+    /// The counter `key`, if recorded.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters.get(key).copied()
+    }
+
+    /// The gauge `key`, if recorded.
+    pub fn gauge(&self, key: &str) -> Option<u64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// The histogram `key`, if recorded.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// All counters, key-ascending.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges, key-ascending.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, key-ascending.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another registry in: counters sum, gauges keep the maximum,
+    /// histograms add bucket-wise. Commutative and associative, so the
+    /// result is independent of merge order and thread count.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, &v) in &other.counters {
+            self.counter_add(k, v);
+        }
+        for (k, &v) in &other.gauges {
+            let slot = self.gauges.entry(k.clone()).or_insert(0);
+            *slot = (*slot).max(v);
+        }
+        for (k, h) in &other.histograms {
+            if let Some(mine) = self.histograms.get_mut(k) {
+                mine.merge(h);
+            } else {
+                self.histograms.insert(k.clone(), h.clone());
+            }
+        }
+    }
+
+    /// A deterministic text rendering: one line per metric, key-ascending
+    /// within each section. Byte-identical for equal contents — the
+    /// determinism tests compare these bytes directly.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter {k} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge {k} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {k} count={} sum={} min={} max={} buckets=",
+                h.count(),
+                h.sum(),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0)
+            ));
+            for (i, (bucket, n)) in h.nonempty_buckets().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{bucket}:{n}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_split_at_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(7), 3);
+        assert_eq!(Histogram::bucket_of(8), 4);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let mut h = Histogram::default();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        for v in [3, 0, 17, 3] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 23);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(17));
+        assert_eq!(h.nonempty_buckets(), vec![(0, 1), (2, 2), (5, 1)]);
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_thread_count_blind() {
+        // Simulate the same stream of events recorded on 1 thread vs
+        // sharded over 3, merged in two different orders: every rendering
+        // must be byte-identical.
+        let events: Vec<(u64, u64)> = (0..60).map(|i| (i % 7, i * 13 % 97)).collect();
+        let record = |into: &mut Registry, slice: &[(u64, u64)]| {
+            for &(c, v) in slice {
+                into.counter_add("events", c);
+                // Gauges are recorded as running maxima (how the runner
+                // uses them), matching the merge's keep-the-max rule.
+                let peak = into.gauge("peak").unwrap_or(0).max(v);
+                into.gauge_set("peak", peak);
+                into.observe("occupancy", v);
+            }
+        };
+        let mut single = Registry::default();
+        record(&mut single, &events);
+
+        let shards: Vec<Registry> = events
+            .chunks(20)
+            .map(|chunk| {
+                let mut r = Registry::default();
+                record(&mut r, chunk);
+                r
+            })
+            .collect();
+        let mut forward = Registry::default();
+        for s in &shards {
+            forward.merge(s);
+        }
+        let mut backward = Registry::default();
+        for s in shards.iter().rev() {
+            backward.merge(s);
+        }
+        assert_eq!(forward.to_text(), backward.to_text());
+        assert_eq!(forward.to_text(), single.to_text());
+    }
+
+    #[test]
+    fn text_rendering_is_stable_and_sorted() {
+        let mut r = Registry::default();
+        r.counter_add("z.last", 2);
+        r.counter_add("a.first", 1);
+        r.gauge_set("mid", 9);
+        r.observe("h", 5);
+        assert_eq!(
+            r.to_text(),
+            "counter a.first 1\ncounter z.last 2\ngauge mid 9\nhistogram h count=1 sum=5 min=5 max=5 buckets=3:1\n"
+        );
+    }
+}

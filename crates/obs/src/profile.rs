@@ -1,0 +1,442 @@
+//! Profile assembly: turns a raw [`HarvestResult`] into the documents
+//! `fleet_sweep --obs` surfaces — a human-readable attribution table, a
+//! structured JSON profile, and a chrome://tracing-compatible trace-event
+//! array.
+//!
+//! The builder keys on the span-name vocabulary the fleet layer emits:
+//! `worker` (one per worker loop), `scenario` (detail = scenario name),
+//! `build`/`run`/`analyze` (detail = app kind), `stall` (backpressure
+//! waits), `merge` (reorder-loop work) and `send` (result handoff to the
+//! merge thread). Unknown names pass through to
+//! the trace array untouched, so new instrumentation shows up in viewers
+//! before the table learns about it.
+
+use crate::{ClosedSpan, HarvestResult};
+use std::collections::BTreeMap;
+
+/// Aggregated time for one `(phase, scenario kind)` cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseCell {
+    /// Phase name: `build`, `run` or `analyze`.
+    pub phase: String,
+    /// App kind the phase ran for (`lpl`, `blink`, …).
+    pub kind: String,
+    /// Total time across all such spans, µs.
+    pub total_us: u64,
+    /// Number of spans aggregated.
+    pub count: u64,
+}
+
+/// Utilization of one worker thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerRow {
+    /// Thread label (`worker-0`, …).
+    pub label: String,
+    /// Total time inside `worker` spans, µs.
+    pub elapsed_us: u64,
+    /// Total time inside `scenario` spans, µs.
+    pub busy_us: u64,
+    /// Total time inside `stall` (backpressure) spans, µs.
+    pub stall_us: u64,
+    /// Total time inside `merge` (reorder-loop) spans, µs.
+    pub merge_us: u64,
+    /// Total time inside `send` (result handoff) spans, µs.
+    pub send_us: u64,
+    /// Total time inside phase (`build`/`run`/`analyze`) spans, µs.
+    pub phase_us: u64,
+    /// Scenarios this worker executed.
+    pub scenarios: u64,
+}
+
+/// Aggregated cost of one scenario (across repeat runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioRow {
+    /// Scenario name.
+    pub name: String,
+    /// Total time across runs, µs.
+    pub total_us: u64,
+    /// Times the scenario ran.
+    pub runs: u64,
+}
+
+/// The assembled profile.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Phase × kind attribution, sorted by (phase, kind).
+    pub phases: Vec<PhaseCell>,
+    /// Worker utilization, sorted by label.
+    pub workers: Vec<WorkerRow>,
+    /// Scenario costs, most expensive first.
+    pub scenarios: Vec<ScenarioRow>,
+}
+
+const PHASE_NAMES: [&str; 3] = ["build", "run", "analyze"];
+
+impl Profile {
+    /// Aggregates a harvest into phase, worker and scenario tables.
+    pub fn build(h: &HarvestResult) -> Profile {
+        let mut phases: BTreeMap<(String, String), (u64, u64)> = BTreeMap::new();
+        let mut scenarios: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        let mut workers = Vec::new();
+        for t in &h.threads {
+            let mut row = WorkerRow {
+                label: t.label.clone(),
+                elapsed_us: 0,
+                busy_us: 0,
+                stall_us: 0,
+                merge_us: 0,
+                send_us: 0,
+                phase_us: 0,
+                scenarios: 0,
+            };
+            for s in &t.spans {
+                match s.name {
+                    "worker" => row.elapsed_us += s.dur_us(),
+                    "scenario" => {
+                        row.busy_us += s.dur_us();
+                        row.scenarios += 1;
+                        let slot = scenarios.entry(s.detail.clone()).or_insert((0, 0));
+                        slot.0 += s.dur_us();
+                        slot.1 += 1;
+                    }
+                    "stall" => row.stall_us += s.dur_us(),
+                    "merge" => row.merge_us += s.dur_us(),
+                    "send" => row.send_us += s.dur_us(),
+                    name if PHASE_NAMES.contains(&name) => {
+                        row.phase_us += s.dur_us();
+                        let key = (name.to_string(), s.detail.clone());
+                        let slot = phases.entry(key).or_insert((0, 0));
+                        slot.0 += s.dur_us();
+                        slot.1 += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if row.elapsed_us > 0 || row.busy_us > 0 {
+                workers.push(row);
+            }
+        }
+        let mut scenario_rows: Vec<ScenarioRow> = scenarios
+            .into_iter()
+            .map(|(name, (total_us, runs))| ScenarioRow {
+                name,
+                total_us,
+                runs,
+            })
+            .collect();
+        // Most expensive first; ties break by name so the order is stable.
+        scenario_rows.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+        Profile {
+            phases: phases
+                .into_iter()
+                .map(|((phase, kind), (total_us, count))| PhaseCell {
+                    phase,
+                    kind,
+                    total_us,
+                    count,
+                })
+                .collect(),
+            workers,
+            scenarios: scenario_rows,
+        }
+    }
+
+    /// The human-readable profile: time by phase × kind, worker
+    /// utilization, the top `top_n` hottest scenarios, and the merged
+    /// counters.
+    pub fn render_table(&self, h: &HarvestResult, top_n: usize) -> String {
+        let mut out = String::new();
+        out.push_str("== obs profile ==\n");
+        out.push_str("phase      kind              total        spans\n");
+        for c in &self.phases {
+            out.push_str(&format!(
+                "{:<10} {:<14} {:>12} {:>8}\n",
+                c.phase,
+                c.kind,
+                fmt_us(c.total_us),
+                c.count
+            ));
+        }
+        out.push_str(
+            "\nworker     elapsed      busy         stall        merge        send         util\n",
+        );
+        for w in &self.workers {
+            let util = if w.elapsed_us > 0 {
+                100.0 * w.busy_us as f64 / w.elapsed_us as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>6.1}%\n",
+                w.label,
+                fmt_us(w.elapsed_us),
+                fmt_us(w.busy_us),
+                fmt_us(w.stall_us),
+                fmt_us(w.merge_us),
+                fmt_us(w.send_us),
+                util
+            ));
+        }
+        out.push_str("\nhottest scenarios\n");
+        for s in self.scenarios.iter().take(top_n) {
+            out.push_str(&format!(
+                "{:<28} {:>12}  ({} runs)\n",
+                s.name,
+                fmt_us(s.total_us),
+                s.runs
+            ));
+        }
+        if !h.merged.is_empty() {
+            out.push_str("\nmerged metrics\n");
+            out.push_str(&h.merged.to_text());
+        }
+        out
+    }
+
+    /// The structured profile document: aggregates plus merged metrics plus
+    /// a chrome://tracing-compatible `trace_events` array (load the file in
+    /// a trace viewer and read the `trace_events` key, or extract it as a
+    /// standalone JSON array).
+    pub fn to_json(&self, h: &HarvestResult) -> String {
+        let mut out = String::from("{\"version\":1,");
+        out.push_str("\"phases\":[");
+        for (i, c) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"phase\":{},\"kind\":{},\"total_us\":{},\"count\":{}}}",
+                json_str(&c.phase),
+                json_str(&c.kind),
+                c.total_us,
+                c.count
+            ));
+        }
+        out.push_str("],\"workers\":[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":{},\"elapsed_us\":{},\"busy_us\":{},\"stall_us\":{},\"merge_us\":{},\"send_us\":{},\"phase_us\":{},\"scenarios\":{}}}",
+                json_str(&w.label),
+                w.elapsed_us,
+                w.busy_us,
+                w.stall_us,
+                w.merge_us,
+                w.send_us,
+                w.phase_us,
+                w.scenarios
+            ));
+        }
+        out.push_str("],\"scenarios\":[");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"total_us\":{},\"runs\":{}}}",
+                json_str(&s.name),
+                s.total_us,
+                s.runs
+            ));
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (k, v)) in h.merged.counters().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(k), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in h.merged.gauges().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(k), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, hist)) in h.merged.histograms().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                json_str(k),
+                hist.count(),
+                hist.sum(),
+                hist.min().unwrap_or(0),
+                hist.max().unwrap_or(0)
+            ));
+            for (j, (bucket, n)) in hist.nonempty_buckets().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{bucket},{n}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"trace_events\":[");
+        let mut first = true;
+        for (tid, t) in h.threads.iter().enumerate() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            // Thread-name metadata event, so viewers show worker labels.
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
+                tid,
+                json_str(&t.label)
+            ));
+            for s in &t.spans {
+                out.push(',');
+                out.push_str(&trace_event(s, tid));
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One complete ("X"-phase) chrome trace event for a closed span.
+fn trace_event(s: &ClosedSpan, tid: usize) -> String {
+    let name = if s.detail.is_empty() {
+        s.name.to_string()
+    } else {
+        format!("{} {}", s.name, s.detail)
+    };
+    format!(
+        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":{},\"cat\":{},\"ts\":{},\"dur\":{}}}",
+        tid,
+        json_str(&name),
+        json_str(s.name),
+        s.start_us,
+        s.dur_us()
+    )
+}
+
+/// Formats microseconds for the table (`12.3 ms`, `4.56 s`).
+fn fmt_us(us: u64) -> String {
+    let us = us as f64;
+    if us >= 1e6 {
+        format!("{:.2} s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.1} ms", us / 1e3)
+    } else {
+        format!("{us:.0} µs")
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control bytes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClosedSpan, Registry, ThreadDump};
+
+    fn span(name: &'static str, detail: &str, start: u64, end: u64, depth: u32) -> ClosedSpan {
+        ClosedSpan {
+            name,
+            detail: detail.to_string(),
+            start_us: start,
+            end_us: end,
+            depth,
+        }
+    }
+
+    fn harvest_fixture() -> HarvestResult {
+        let mut registry = Registry::default();
+        registry.counter_add("engine.events_dispatched", 42);
+        let threads = vec![ThreadDump {
+            label: "worker-0".to_string(),
+            spans: vec![
+                span("build", "lpl", 10, 40, 2),
+                span("run", "lpl", 40, 900, 2),
+                span("analyze", "lpl", 900, 960, 2),
+                span("scenario", "lpl_ch26_seed1", 5, 970, 1),
+                span("stall", "", 970, 1000, 1),
+                span("worker", "", 0, 1010, 0),
+            ],
+            registry: registry.clone(),
+        }];
+        HarvestResult {
+            threads,
+            merged: registry,
+        }
+    }
+
+    #[test]
+    fn build_attributes_time_to_phases_workers_and_scenarios() {
+        let p = Profile::build(&harvest_fixture());
+        assert_eq!(p.phases.len(), 3);
+        let run = p.phases.iter().find(|c| c.phase == "run").unwrap();
+        assert_eq!(
+            (run.kind.as_str(), run.total_us, run.count),
+            ("lpl", 860, 1)
+        );
+        assert_eq!(p.workers.len(), 1);
+        let w = &p.workers[0];
+        assert_eq!(
+            (w.elapsed_us, w.busy_us, w.stall_us, w.phase_us, w.scenarios),
+            (1010, 965, 30, 950, 1)
+        );
+        assert_eq!(p.scenarios.len(), 1);
+        assert_eq!(p.scenarios[0].name, "lpl_ch26_seed1");
+    }
+
+    #[test]
+    fn json_document_has_the_advertised_shape() {
+        let h = harvest_fixture();
+        let p = Profile::build(&h);
+        let json = p.to_json(&h);
+        assert!(json.starts_with("{\"version\":1,"));
+        for key in [
+            "\"phases\":[",
+            "\"workers\":[",
+            "\"scenarios\":[",
+            "\"counters\":{",
+            "\"histograms\":{",
+            "\"trace_events\":[",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"engine.events_dispatched\":42"));
+    }
+
+    #[test]
+    fn table_renders_phases_and_utilization() {
+        let h = harvest_fixture();
+        let p = Profile::build(&h);
+        let table = p.render_table(&h, 10);
+        assert!(table.contains("== obs profile =="));
+        assert!(table.contains("worker-0"));
+        assert!(table.contains("lpl_ch26_seed1"));
+        assert!(table.contains("engine.events_dispatched"));
+    }
+
+    #[test]
+    fn json_strings_escape_quotes_and_controls() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Validates a fleet_sweep --obs-json profile: well-formed document, and
+# every measurable worker's busy + stall + merge + send time reconciles
+# with its wall-clock to within 5% (the obs layer's accounting must
+# actually explain where sweep time went, not just emit numbers).
+#
+#   scripts/check_obs.sh PROFILE.json   # validate an existing profile
+#   scripts/check_obs.sh                # run a sweep, then validate it
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile="${1:-}"
+if [[ -z "$profile" ]]; then
+  profile="$(mktemp --suffix=.json)"
+  trap 'rm -f "$profile"' EXIT
+  cargo run --release -q -p quanto-bench --bin fleet_sweep -- \
+    --seconds 6 --seeds 2 --obs-json "$profile"
+fi
+
+cargo run --release -q -p quanto-bench --bin obs_check -- "$profile"

@@ -13,8 +13,12 @@
 //!   arbiters, drivers, Active Messages) instrumented with Quanto,
 //! * [`net_sim`] — the multi-node radio medium with 802.11 interference,
 //! * [`analysis`] — the offline regression, breakdowns and reports,
-//! * [`quanto_apps`] — the paper's applications and experiment drivers, and
-//! * [`quanto_fleet`] — declarative scenarios and the parallel sweep runner.
+//! * [`quanto_apps`] — the paper's applications and experiment drivers,
+//! * [`quanto_fleet`] — declarative scenarios and the parallel sweep runner,
+//!   and
+//! * [`quanto_obs`] — the sweep engine's own tracing & metrics layer,
+//!   attributing wall-clock to scenarios and phases the way Quanto
+//!   attributes energy to activities.
 //!
 //! # Quickstart
 //!
@@ -48,6 +52,7 @@ pub use os_sim;
 pub use quanto_apps;
 pub use quanto_core;
 pub use quanto_fleet;
+pub use quanto_obs;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
