@@ -15,11 +15,30 @@
 //! fleet_sweep [--seconds N] [--threads N] [--seeds N] [--json]
 //!             [--grid FILE] [--smoke] [--min-speedup X]
 //!             [--stress [PAIRS]] [--stress-nodes N]
+//!             [--shards N] [--cache DIR] [--no-cache]
 //!             [--obs] [--obs-json FILE]
 //! ```
 //!
 //! Unknown flags are a usage error — a typo'd axis override must fail
 //! loudly, not silently run the wrong sweep.
+//!
+//! `--shards N` (N ≥ 2) runs the grid as a fleet of fleets: N shard
+//! processes of this same binary claim adaptively-sized scenario chunks
+//! from a coordinator work queue over loopback TCP (see
+//! `quanto_fleet::dist`), each executing its chunk on its own
+//! `FleetRunner` with `--threads` workers.  The merged report — and its
+//! digest — is byte-identical to `--shards 1` at any thread count.  The
+//! internal `--shard ADDR` spelling is what the spawned children run; it
+//! must be the only argument.
+//!
+//! Grid sweeps consult a content-addressed result cache by default
+//! (`.quanto-cache/` next to the working directory; `--cache DIR` moves
+//! it, `--no-cache` disables it): every scenario whose canonical spec
+//! digest has a valid entry is answered from disk instead of simulated,
+//! and freshly-simulated cells are written back atomically.  A warm
+//! re-run of an unchanged grid executes zero simulations and folds the
+//! byte-identical digest.  `--smoke` and `--stress-nodes` are gates, not
+//! sweeps — the shard and cache flags are rejected there.
 //!
 //! `--obs` turns the `quanto-obs` tracing/metrics layer on for the run
 //! (off by default — spans and counters record nothing otherwise) and
@@ -65,9 +84,12 @@
 //! the speedup check here, not the baseline entry.
 
 use quanto_bench::baseline::bench_line;
-use quanto_fleet::{scenarios, FleetProgress, FleetRunner, GridSpec, Scenario};
+use quanto_fleet::{
+    dist, scenarios, DistOptions, FleetProgress, FleetRunner, GridOverrides, GridSpec, ResultCache,
+    Scenario,
+};
+use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::mpsc;
 use std::time::Duration;
 
 /// The checked-in built-in grids (also runnable via `--grid <path>`).
@@ -78,7 +100,12 @@ const STRESS_GRID: &str = include_str!("../../grids/stress.grid");
 const USAGE: &str = "usage: fleet_sweep [--seconds N] [--threads N] [--seeds N] [--json]\n\
                      \x20                 [--grid FILE] [--smoke] [--min-speedup X]\n\
                      \x20                 [--stress [PAIRS]] [--stress-nodes N]\n\
+                     \x20                 [--shards N] [--cache DIR] [--no-cache]\n\
                      \x20                 [--obs] [--obs-json FILE]";
+
+/// Where grid sweeps cache results unless `--cache DIR` / `--no-cache`
+/// says otherwise.
+const DEFAULT_CACHE_DIR: &str = ".quanto-cache";
 
 /// Parsed command line.  Every flag is validated; leftovers are errors.
 #[derive(Debug)]
@@ -93,8 +120,27 @@ struct Args {
     stress: bool,
     stress_pairs: Option<u16>,
     stress_nodes: Option<u32>,
+    shards: Option<u32>,
+    cache: Option<String>,
+    no_cache: bool,
+    /// Internal: run as a shard worker against this coordinator address.
+    shard_addr: Option<String>,
     obs: bool,
     obs_json: Option<String>,
+}
+
+impl Args {
+    /// The cache directory a grid sweep should use: `--no-cache` disables,
+    /// `--cache DIR` relocates, otherwise the default next to the working
+    /// directory.
+    fn cache_dir(&self) -> Option<PathBuf> {
+        if self.no_cache {
+            return None;
+        }
+        Some(PathBuf::from(
+            self.cache.as_deref().unwrap_or(DEFAULT_CACHE_DIR),
+        ))
+    }
 }
 
 fn usage_error(message: String) -> Result<Args, String> {
@@ -113,6 +159,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         stress: false,
         stress_pairs: None,
         stress_nodes: None,
+        shards: None,
+        cache: None,
+        no_cache: false,
+        shard_addr: None,
         obs: false,
         obs_json: None,
     };
@@ -171,6 +221,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--grid" => args.grid = Some(value(&mut i, "--grid")?),
+            "--shards" => {
+                let v = value(&mut i, "--shards")?;
+                match v.parse::<u32>() {
+                    Ok(n) if (1..=256).contains(&n) => args.shards = Some(n),
+                    _ => {
+                        return usage_error(format!(
+                            "fleet_sweep: --shards expects a shard count in 1..=256, got {v:?}"
+                        ))
+                    }
+                }
+            }
+            "--cache" => args.cache = Some(value(&mut i, "--cache")?),
+            "--no-cache" => args.no_cache = true,
+            "--shard" => args.shard_addr = Some(value(&mut i, "--shard")?),
             "--json" => args.json = true,
             "--smoke" => args.smoke = true,
             // Observability composes with every mode (including --smoke and
@@ -227,6 +291,25 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 .to_string(),
         );
     }
+    if args.shard_addr.is_some() && argv.len() != 2 {
+        return usage_error(
+            "fleet_sweep: --shard ADDR is internal (spawned by --shards) and must be \
+             the only argument"
+                .to_string(),
+        );
+    }
+    if args.cache.is_some() && args.no_cache {
+        return usage_error("fleet_sweep: --cache and --no-cache conflict".to_string());
+    }
+    if (args.shards.is_some() || args.cache.is_some() || args.no_cache)
+        && (args.smoke || args.stress_nodes.is_some())
+    {
+        return usage_error(
+            "fleet_sweep: --shards/--cache/--no-cache apply to grid sweeps; --smoke and \
+             --stress-nodes are gates with their own fixed execution"
+                .to_string(),
+        );
+    }
     Ok(args)
 }
 
@@ -248,6 +331,25 @@ fn built_in_grid(text: &str, args: &Args) -> GridSpec {
 fn run_timed(threads: usize, batch: Vec<Scenario>) -> (u64, Duration, String) {
     let report = FleetRunner::new(threads).run(batch);
     (report.digest(), report.wall_clock, report.summary_table())
+}
+
+/// Runs a grid as a fleet of spawned shard processes (no cache) and
+/// returns the stream digest plus the wall clock.
+fn run_shards_timed(
+    grid_text: &str,
+    overrides: GridOverrides,
+    shards: u32,
+    threads: usize,
+) -> Result<(u64, Duration), String> {
+    let exe = std::env::current_exe().map_err(|why| format!("cannot locate own binary: {why}"))?;
+    let options = DistOptions {
+        shards,
+        threads,
+        cache_dir: None,
+    };
+    let report = dist::run_sweep_spawned(&exe, grid_text, overrides, &options, |_| {})
+        .map_err(|why| why.to_string())?;
+    Ok((report.digest(), report.wall_clock))
 }
 
 /// The streaming-retention gates.  The default zero-materialization path
@@ -354,6 +456,41 @@ fn smoke(args: &Args) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Fleet-of-fleets gate: the same smoke grid through 2 spawned shard
+    // processes × 2 threads each must fold the byte-identical stream
+    // digest the in-process runs just agreed on.  Two samples, best wall —
+    // same policy as the thread-count lines above.
+    let overrides = GridOverrides {
+        seconds: args.seconds,
+        seed_count: args.seeds,
+        pairs: None,
+    };
+    let shards_run = run_shards_timed(SMOKE_GRID, overrides, 2, 2).and_then(|(da, wa)| {
+        run_shards_timed(SMOKE_GRID, overrides, 2, 2).map(|(db, wb)| (da, db, wa.min(wb)))
+    });
+    let (digest_s2a, digest_s2b, wall_s2) = match shards_run {
+        Ok(outcome) => outcome,
+        Err(why) => {
+            eprintln!("fleet_sweep: SHARD FAILURE — {why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{}",
+        bench_line("fleet/sweep_smoke_shards2", wall_s2.as_nanos() as f64)
+    );
+    if digest_s2a != digest_s2b || digest_s2a != digest1 {
+        eprintln!(
+            "fleet_sweep: DETERMINISM FAILURE — 2-shard digests {digest_s2a:#018x}/\
+             {digest_s2b:#018x} vs in-process {digest1:#018x}"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "Determinism: 2 shard processes × 2 threads fold the identical digest \
+         ({digest_s2a:#018x}, {wall_s2:.1?})"
+    );
+
     if let Err(why) = smoke_retention_gate() {
         eprintln!("fleet_sweep: RETENTION FAILURE — {why}");
         return ExitCode::FAILURE;
@@ -451,6 +588,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Shard-worker mode: dial the coordinator, execute chunks, exit.  The
+    // parent process owns all reporting.
+    if let Some(addr) = &args.shard_addr {
+        return match dist::run_shard(addr) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(why) => {
+                eprintln!("fleet_sweep: shard worker failed: {why}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.obs || args.obs_json.is_some() {
         quanto_obs::set_enabled(true);
     }
@@ -474,41 +622,47 @@ fn run_mode(args: &Args) -> ExitCode {
         return stress_nodes(nodes, args);
     }
 
-    let grid = match &args.grid {
-        Some(path) => {
-            let text = match std::fs::read_to_string(path) {
-                Ok(text) => text,
-                Err(why) => {
-                    eprintln!("fleet_sweep: cannot read grid file {path:?}: {why}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let mut grid = match GridSpec::parse(&text) {
-                Ok(grid) => grid,
-                Err(why) => {
-                    eprintln!("fleet_sweep: {path}: {why}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            if let Some(secs) = args.seconds {
-                grid.override_seconds(secs);
+    // Grid sweeps keep the grid *text*: the distributed path ships it to
+    // the shard processes verbatim (each re-expands identically), and the
+    // in-process path parses the same bytes — one source of truth for both.
+    let (grid_text, source) = match &args.grid {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => (text, path.clone()),
+            Err(why) => {
+                eprintln!("fleet_sweep: cannot read grid file {path:?}: {why}");
+                return ExitCode::FAILURE;
             }
-            if let Some(seeds) = args.seeds {
-                grid.override_seed_count(seeds);
-            }
+        },
+        None if args.stress => (STRESS_GRID.to_string(), "built-in stress grid".to_string()),
+        None => (
+            DEFAULT_GRID.to_string(),
+            "built-in default grid".to_string(),
+        ),
+    };
+    let overrides = GridOverrides {
+        seconds: args.seconds,
+        seed_count: args.seeds,
+        pairs: args.stress_pairs,
+    };
+    let grid = match GridSpec::parse(&grid_text) {
+        Ok(mut grid) => {
+            overrides.apply(&mut grid);
             grid
         }
-        None if args.stress => built_in_grid(STRESS_GRID, args),
-        None => built_in_grid(DEFAULT_GRID, args),
-    };
-    let batch = match grid.expand() {
-        Ok(batch) => batch,
         Err(why) => {
-            let source = args.grid.as_deref().unwrap_or("built-in grid");
             eprintln!("fleet_sweep: {source}: {why}");
             return ExitCode::FAILURE;
         }
     };
+    let batch = match grid.expand() {
+        Ok(batch) => batch,
+        Err(why) => {
+            eprintln!("fleet_sweep: {source}: {why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let shards = args.shards.unwrap_or(1);
+    let cache_dir = args.cache_dir();
 
     if !args.json {
         quanto_bench::header(
@@ -521,61 +675,110 @@ fn run_mode(args: &Args) -> ExitCode {
             batch.len(),
             args.threads
         );
+        if shards >= 2 {
+            println!(
+                "Distributed across {shards} shard processes × {} thread(s) each",
+                args.threads
+            );
+        }
+        match &cache_dir {
+            Some(dir) => println!("Result cache: {}", dir.display()),
+            None => println!("Result cache: disabled"),
+        }
     }
 
-    // Partial results stream over a channel while the sweep runs; a printer
-    // thread drains it so progress appears as scenarios merge, not at the
-    // end.
+    // Progress prints on the merge thread, in submission order, as
+    // scenarios complete — whichever shard or cache entry produced them.
     let json = args.json;
-    let (tx, rx) = mpsc::channel::<FleetProgress>();
-    let printer = std::thread::spawn(move || {
-        for p in rx {
-            if json {
-                println!("{}", p.to_json());
-            } else {
-                let summary = p
-                    .summaries
-                    .iter()
-                    .map(|s| {
-                        format!(
-                            "node {}: {:.3} mW, {} entries",
-                            s.node,
-                            s.average_power.as_milli_watts(),
-                            s.log_entries
-                        )
-                    })
-                    .collect::<Vec<_>>()
-                    .join("; ");
-                let delivery = match p.medium_counters {
-                    Some(c) => format!(" — delivered {}, lost {}", c.delivered, c.lost()),
-                    None => String::new(),
-                };
-                let eta = match p.eta_ms {
-                    Some(ms) => format!(", eta {:.1} s", ms as f64 / 1e3),
-                    None => String::new(),
-                };
-                println!(
-                    "[{}/{}] {} ({}) — {summary}{delivery} [{:.1} s{eta}]",
-                    p.completed,
-                    p.total,
-                    p.name,
-                    p.medium_kind,
-                    p.elapsed_ms as f64 / 1e3
-                );
+    let progress = |p: FleetProgress| {
+        if json {
+            println!("{}", p.to_json());
+        } else {
+            let summary = p
+                .summaries
+                .iter()
+                .map(|s| {
+                    format!(
+                        "node {}: {:.3} mW, {} entries",
+                        s.node,
+                        s.average_power.as_milli_watts(),
+                        s.log_entries
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("; ");
+            let delivery = match p.medium_counters {
+                Some(c) => format!(" — delivered {}, lost {}", c.delivered, c.lost()),
+                None => String::new(),
+            };
+            let eta = match p.eta_ms {
+                Some(ms) => format!(", eta {:.1} s", ms as f64 / 1e3),
+                None => String::new(),
+            };
+            let origin = match (p.cache_hit, p.shard) {
+                (true, _) => " [cache]".to_string(),
+                (false, Some(shard)) => format!(" [shard {shard}]"),
+                (false, None) => String::new(),
+            };
+            println!(
+                "[{}/{}] {} ({}) — {summary}{delivery} [{:.1} s{eta}]{origin}",
+                p.completed,
+                p.total,
+                p.name,
+                p.medium_kind,
+                p.elapsed_ms as f64 / 1e3
+            );
+        }
+    };
+
+    let report = if shards >= 2 {
+        let exe = match std::env::current_exe() {
+            Ok(exe) => exe,
+            Err(why) => {
+                eprintln!("fleet_sweep: cannot locate own binary for shard spawning: {why}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let options = DistOptions {
+            shards,
+            threads: args.threads,
+            cache_dir: cache_dir.clone(),
+        };
+        match dist::run_sweep_spawned(&exe, &grid_text, overrides, &options, progress) {
+            Ok(report) => report,
+            Err(why) => {
+                eprintln!("fleet_sweep: distributed sweep failed: {why}");
+                return ExitCode::FAILURE;
             }
         }
-    });
-    let report = FleetRunner::new(args.threads).run_to_channel(batch, tx);
-    printer.join().expect("progress printer thread");
+    } else {
+        let cache = match &cache_dir {
+            Some(dir) => match ResultCache::open(dir) {
+                Ok(cache) => Some(cache),
+                Err(why) => {
+                    eprintln!("fleet_sweep: cannot open cache {}: {why}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        FleetRunner::new(args.threads).run_with_progress_cached(batch, cache.as_ref(), progress)
+    };
 
     if args.json {
         println!("{}", report.summary_json());
     } else {
         println!("{}", report.summary_table());
         println!(
-            "Batch digest {:#018x} — identical for any --threads value.",
+            "Batch digest {:#018x} — identical for any --threads or --shards value.",
             report.digest()
         );
+        if let Some(stats) = report.cache_stats() {
+            println!(
+                "Cache: {} hits, {} misses, {} writes.",
+                stats.hits, stats.misses, stats.writes
+            );
+        }
         println!(
             "Raw entries: {} total, peak held {} (the zero-materialization path never \
              holds a log).",
@@ -672,6 +875,22 @@ mod tests {
             &["--stress-nodes", "abc"][..],
             &["--smoke", "--stress"][..],
             &["extra"][..],
+            // Shard and cache flags are strictly validated too.
+            &["--shards"][..],
+            &["--shards", "0"][..],
+            &["--shards", "999"][..],
+            &["--shards", "abc"][..],
+            &["--cache"][..],
+            &["--cache", "dir", "--no-cache"][..],
+            &["--smoke", "--shards", "2"][..],
+            &["--smoke", "--cache", "dir"][..],
+            &["--smoke", "--no-cache"][..],
+            &["--stress-nodes", "254", "--shards", "2"][..],
+            &["--stress-nodes", "254", "--no-cache"][..],
+            // The internal shard spelling must stand alone.
+            &["--shard"][..],
+            &["--shard", "127.0.0.1:1", "--json"][..],
+            &["--json", "--shard", "127.0.0.1:1"][..],
         ] {
             let err = args(bad).expect_err(&format!("{bad:?} must be rejected"));
             assert!(err.contains("usage:"), "{err}");
@@ -707,6 +926,26 @@ mod tests {
         assert_eq!(a.stress_nodes, Some(1024));
         let a = args(&["--stress-nodes", "10000"]).unwrap();
         assert_eq!(a.stress_nodes, Some(10000));
+    }
+
+    /// The shard and cache flags: defaults, overrides, and the internal
+    /// `--shard` spelling.
+    #[test]
+    fn shard_and_cache_flags_parse() {
+        let a = args(&[]).unwrap();
+        assert_eq!(a.shards, None);
+        assert_eq!(a.cache_dir(), Some(PathBuf::from(DEFAULT_CACHE_DIR)));
+        let a = args(&["--shards", "4", "--cache", "/tmp/c"]).unwrap();
+        assert_eq!(a.shards, Some(4));
+        assert_eq!(a.cache_dir(), Some(PathBuf::from("/tmp/c")));
+        let a = args(&["--no-cache", "--grid", "g.grid"]).unwrap();
+        assert!(a.no_cache);
+        assert_eq!(a.cache_dir(), None);
+        let a = args(&["--stress", "--shards", "2"]).unwrap();
+        assert!(a.stress);
+        assert_eq!(a.shards, Some(2));
+        let a = args(&["--shard", "127.0.0.1:9"]).unwrap();
+        assert_eq!(a.shard_addr.as_deref(), Some("127.0.0.1:9"));
     }
 
     /// The obs flags compose with every mode instead of counting toward the

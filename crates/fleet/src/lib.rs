@@ -43,13 +43,19 @@
 //! assert_eq!(FleetRunner::sequential().run(again).digest(), report.digest());
 //! ```
 
+pub mod cache;
+pub mod dist;
 pub mod grid;
+mod record;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+mod wire;
 
 pub use grid::{GridError, GridSpec};
 
+pub use cache::{CacheStats, ResultCache, CACHE_FORMAT_VERSION};
+pub use dist::{Coordinator, DistError, DistOptions, GridOverrides};
 pub use net_sim::DeliveryCounters;
 pub use report::{
     CounterAccessError, FleetReport, NodeStreamMeta, NodeSummary, RawAccessError,
@@ -58,6 +64,7 @@ pub use report::{
 pub use runner::{FleetProgress, FleetRunner, Retention};
 pub use scenario::{
     AppSpec, GeometrySpec, MediumSpec, PathLossSpec, Scenario, TopologySpec, TraceSpec,
+    SPEC_DIGEST_VERSION,
 };
 
 /// The paper's experiment grids as scenario batches, and adapters from

@@ -1,0 +1,292 @@
+//! The serializable residue of an executed scenario.
+//!
+//! A [`ScenarioRecord`] carries exactly what [`crate::ScenarioResult`] needs
+//! to fold the fleet digest and render reports — the per-node summaries, the
+//! per-node stream residues and the medium's delivery counters — in a form
+//! that survives a trip through a shard connection or the on-disk result
+//! cache.  Every `f64` travels as its IEEE-754 bit pattern (`to_bits`),
+//! never as decimal text: the digest folds those exact bits, so a lossy
+//! round-trip would silently change `FleetReport::digest()`.
+//!
+//! Decoding is total: any structural mismatch returns `None`, which callers
+//! treat as a corrupt cache entry (→ miss) or a broken shard (→ requeue).
+//! The conversions to and from [`crate::ScenarioResult`] live in
+//! `report.rs`, next to the private fields they touch.
+
+use crate::wire::Value;
+
+/// Serialized [`crate::NodeSummary`] — floats as bit patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SummaryRecord {
+    pub(crate) node: u32,
+    pub(crate) log_entries: u64,
+    pub(crate) log_dropped: u64,
+    /// `Power::as_micro_watts().to_bits()`.
+    pub(crate) average_power_bits: u64,
+    /// `Energy::as_micro_joules().to_bits()`.
+    pub(crate) total_energy_bits: u64,
+    /// `f64::to_bits` of the RX duty cycle.
+    pub(crate) radio_duty_bits: u64,
+    pub(crate) packets_sent: u64,
+    pub(crate) packets_received: u64,
+    pub(crate) false_wakeups: u64,
+    /// `f64::to_bits` of the regression error, when solvable.
+    pub(crate) regression_error_bits: Option<u64>,
+    pub(crate) cpu_segments: u64,
+}
+
+/// Serialized [`crate::NodeStreamMeta`] — the digest-bearing residue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct StreamRecord {
+    pub(crate) node: u32,
+    pub(crate) entries: u64,
+    pub(crate) entry_digest: u64,
+    pub(crate) final_time_us: u64,
+    pub(crate) final_icount: u32,
+    pub(crate) log_dropped: u64,
+    /// The six [`os_sim::drivers::RadioStats`] counters, in declaration
+    /// order: sent, received, clean wakeups, false wakeups, rx wakeups,
+    /// busy backoffs.
+    pub(crate) radio_stats: [u64; 6],
+    /// `Energy::as_micro_joules().to_bits()` of the ground-truth total.
+    pub(crate) ground_truth_bits: u64,
+}
+
+/// Serialized [`net_sim::DeliveryCounters`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CountersRecord {
+    pub(crate) delivered: u64,
+    pub(crate) lost_out_of_range: u64,
+    pub(crate) lost_below_sensitivity: u64,
+    pub(crate) lost_captured: u64,
+    pub(crate) candidates_examined: u64,
+    pub(crate) pruned_by_cutoff: u64,
+}
+
+/// Everything digest-relevant about one executed scenario, decoupled from
+/// the `Scenario` that produced it (the reader re-derives names, medium
+/// kinds and node-id sets from its own copy of the spec).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ScenarioRecord {
+    pub(crate) summaries: Vec<SummaryRecord>,
+    pub(crate) stream: Vec<StreamRecord>,
+    pub(crate) medium: Option<CountersRecord>,
+}
+
+impl ScenarioRecord {
+    /// Encodes as one compact JSON object (no newlines — the dist protocol
+    /// is line-delimited).
+    pub(crate) fn encode(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"s\":[");
+        for (i, s) in self.summaries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let regression = match s.regression_error_bits {
+                Some(bits) => bits.to_string(),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"n\":{},\"e\":{},\"d\":{},\"p\":{},\"te\":{},\"dc\":{},\
+                 \"ps\":{},\"pr\":{},\"fw\":{},\"re\":{},\"cs\":{}}}",
+                s.node,
+                s.log_entries,
+                s.log_dropped,
+                s.average_power_bits,
+                s.total_energy_bits,
+                s.radio_duty_bits,
+                s.packets_sent,
+                s.packets_received,
+                s.false_wakeups,
+                regression,
+                s.cpu_segments,
+            ));
+        }
+        out.push_str("],\"m\":[");
+        for (i, m) in self.stream.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"n\":{},\"e\":{},\"g\":{},\"t\":{},\"i\":{},\"d\":{},\
+                 \"rs\":[{},{},{},{},{},{}],\"gt\":{}}}",
+                m.node,
+                m.entries,
+                m.entry_digest,
+                m.final_time_us,
+                m.final_icount,
+                m.log_dropped,
+                m.radio_stats[0],
+                m.radio_stats[1],
+                m.radio_stats[2],
+                m.radio_stats[3],
+                m.radio_stats[4],
+                m.radio_stats[5],
+                m.ground_truth_bits,
+            ));
+        }
+        out.push_str("],\"c\":");
+        match &self.medium {
+            Some(c) => out.push_str(&format!(
+                "{{\"dl\":{},\"lr\":{},\"ls\":{},\"lc\":{},\"ce\":{},\"pc\":{}}}",
+                c.delivered,
+                c.lost_out_of_range,
+                c.lost_below_sensitivity,
+                c.lost_captured,
+                c.candidates_examined,
+                c.pruned_by_cutoff,
+            )),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decodes from a parsed wire value; `None` on any structural mismatch.
+    pub(crate) fn from_value(value: &Value) -> Option<ScenarioRecord> {
+        let summaries = value
+            .get("s")?
+            .as_arr()?
+            .iter()
+            .map(decode_summary)
+            .collect::<Option<Vec<_>>>()?;
+        let stream = value
+            .get("m")?
+            .as_arr()?
+            .iter()
+            .map(decode_stream)
+            .collect::<Option<Vec<_>>>()?;
+        let medium = match value.get("c")? {
+            Value::Null => None,
+            c => Some(CountersRecord {
+                delivered: c.get_u64("dl")?,
+                lost_out_of_range: c.get_u64("lr")?,
+                lost_below_sensitivity: c.get_u64("ls")?,
+                lost_captured: c.get_u64("lc")?,
+                candidates_examined: c.get_u64("ce")?,
+                pruned_by_cutoff: c.get_u64("pc")?,
+            }),
+        };
+        Some(ScenarioRecord {
+            summaries,
+            stream,
+            medium,
+        })
+    }
+}
+
+fn decode_summary(v: &Value) -> Option<SummaryRecord> {
+    Some(SummaryRecord {
+        node: u32::try_from(v.get_u64("n")?).ok()?,
+        log_entries: v.get_u64("e")?,
+        log_dropped: v.get_u64("d")?,
+        average_power_bits: v.get_u64("p")?,
+        total_energy_bits: v.get_u64("te")?,
+        radio_duty_bits: v.get_u64("dc")?,
+        packets_sent: v.get_u64("ps")?,
+        packets_received: v.get_u64("pr")?,
+        false_wakeups: v.get_u64("fw")?,
+        regression_error_bits: v.get_opt_u64("re")?,
+        cpu_segments: v.get_u64("cs")?,
+    })
+}
+
+fn decode_stream(v: &Value) -> Option<StreamRecord> {
+    let rs = v.get("rs")?.as_arr()?;
+    if rs.len() != 6 {
+        return None;
+    }
+    let mut radio_stats = [0u64; 6];
+    for (slot, item) in radio_stats.iter_mut().zip(rs) {
+        *slot = item.as_u64()?;
+    }
+    Some(StreamRecord {
+        node: u32::try_from(v.get_u64("n")?).ok()?,
+        entries: v.get_u64("e")?,
+        entry_digest: v.get_u64("g")?,
+        final_time_us: v.get_u64("t")?,
+        final_icount: u32::try_from(v.get_u64("i")?).ok()?,
+        log_dropped: v.get_u64("d")?,
+        radio_stats,
+        ground_truth_bits: v.get_u64("gt")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioRecord {
+        ScenarioRecord {
+            summaries: vec![SummaryRecord {
+                node: 1,
+                log_entries: 42,
+                log_dropped: 0,
+                average_power_bits: (1.5f64).to_bits(),
+                total_energy_bits: (0.25f64).to_bits(),
+                radio_duty_bits: (0.0625f64).to_bits(),
+                packets_sent: 7,
+                packets_received: 6,
+                false_wakeups: 1,
+                regression_error_bits: Some((0.001f64).to_bits()),
+                cpu_segments: 13,
+            }],
+            stream: vec![StreamRecord {
+                node: 1,
+                entries: 42,
+                entry_digest: 0xdead_beef_cafe_f00d,
+                final_time_us: 2_000_000,
+                final_icount: 31337,
+                log_dropped: 0,
+                radio_stats: [7, 6, 5, 1, 2, 3],
+                ground_truth_bits: (123.456f64).to_bits(),
+            }],
+            medium: Some(CountersRecord {
+                delivered: 10,
+                lost_out_of_range: 1,
+                lost_below_sensitivity: 2,
+                lost_captured: 3,
+                candidates_examined: 16,
+                pruned_by_cutoff: 4,
+            }),
+        }
+    }
+
+    #[test]
+    fn record_round_trips_bit_exactly() {
+        for record in [
+            sample(),
+            ScenarioRecord {
+                summaries: vec![SummaryRecord {
+                    regression_error_bits: None,
+                    node: u32::MAX,
+                    ..sample().summaries[0].clone()
+                }],
+                stream: vec![],
+                medium: None,
+            },
+        ] {
+            let encoded = record.encode();
+            assert!(!encoded.contains('\n'), "line protocol: {encoded}");
+            let value = Value::parse(&encoded).expect("encoded record parses");
+            assert_eq!(ScenarioRecord::from_value(&value), Some(record));
+        }
+    }
+
+    #[test]
+    fn structural_mismatch_decodes_to_none() {
+        let good = sample().encode();
+        for bad in [
+            good.replace("\"gt\"", "\"xx\""), // missing field
+            good.replace("\"rs\":[7,6,5,1,2,3]", "\"rs\":[7,6,5,1,2]"), // short array
+            good.replace("\"s\":[", "\"s\":{"), // wrong shape (also unbalanced)
+            "{\"s\":[],\"m\":[]}".to_string(), // counters field absent
+        ] {
+            let decoded = Value::parse(&bad)
+                .as_ref()
+                .and_then(ScenarioRecord::from_value);
+            assert_eq!(decoded, None, "{bad} must not decode");
+        }
+    }
+}

@@ -25,6 +25,8 @@
 //! identical at any thread count; the streamed entry digests are proven
 //! byte-identical to the materialized logs by the digest-pin tests.
 
+use crate::cache::CacheStats;
+use crate::record::{CountersRecord, ScenarioRecord, StreamRecord, SummaryRecord};
 use crate::runner::Retention;
 use crate::scenario::Scenario;
 use analysis::{pct, PowerInterval, SegmentBuilder};
@@ -194,6 +196,9 @@ pub struct ScenarioResult {
     /// Raw outputs; `None` on the zero-materialization path, and `None`
     /// once the merge has summarized-and-dropped them on the batch path.
     raw: Option<RawScenarioOutputs>,
+    /// Whether this result was rebuilt from the result cache instead of
+    /// simulated ([`ScenarioResult::from_record`]).
+    cache_hit: bool,
 }
 
 /// The live per-node analysis state a streaming scenario's sink drives:
@@ -290,6 +295,7 @@ impl ScenarioResult {
             medium_counters,
             stream,
             raw: Some(RawScenarioOutputs { outputs, contexts }),
+            cache_hit: false,
         }
     }
 
@@ -392,6 +398,7 @@ impl ScenarioResult {
             medium_counters,
             stream,
             raw: None,
+            cache_hit: false,
         }
     }
 
@@ -409,6 +416,156 @@ impl ScenarioResult {
     /// available in every retention mode, and byte-comparable across them.
     pub fn stream_meta(&self) -> &[NodeStreamMeta] {
         &self.stream
+    }
+
+    /// Whether this result was rebuilt from the result cache rather than
+    /// simulated.
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// The serializable residue of this result: everything
+    /// [`ScenarioResult::fold_stream_digest`] folds and the reports render,
+    /// with floats as bit patterns.  Raw outputs are *not* captured — a
+    /// record can only rebuild a stream-retention result.
+    pub(crate) fn to_record(&self) -> ScenarioRecord {
+        ScenarioRecord {
+            summaries: self
+                .summaries
+                .iter()
+                .map(|s| SummaryRecord {
+                    node: s.node.as_u32(),
+                    log_entries: s.log_entries as u64,
+                    log_dropped: s.log_dropped,
+                    average_power_bits: s.average_power.as_micro_watts().to_bits(),
+                    total_energy_bits: s.total_energy.as_micro_joules().to_bits(),
+                    radio_duty_bits: s.radio_duty_cycle.to_bits(),
+                    packets_sent: s.packets_sent,
+                    packets_received: s.packets_received,
+                    false_wakeups: s.false_wakeups,
+                    regression_error_bits: s.regression_error.map(f64::to_bits),
+                    cpu_segments: s.cpu_segments,
+                })
+                .collect(),
+            stream: self
+                .stream
+                .iter()
+                .map(|m| StreamRecord {
+                    node: m.node.as_u32(),
+                    entries: m.entries,
+                    entry_digest: m.entry_digest,
+                    final_time_us: m.final_stamp.time.as_micros(),
+                    final_icount: m.final_stamp.icount,
+                    log_dropped: m.log_dropped,
+                    radio_stats: [
+                        m.radio_stats.packets_sent,
+                        m.radio_stats.packets_received,
+                        m.radio_stats.clean_wakeups,
+                        m.radio_stats.false_wakeups,
+                        m.radio_stats.rx_wakeups,
+                        m.radio_stats.busy_backoffs,
+                    ],
+                    ground_truth_bits: m.ground_truth_total.as_micro_joules().to_bits(),
+                })
+                .collect(),
+            medium: self.medium_counters.as_ref().map(|c| CountersRecord {
+                delivered: c.delivered,
+                lost_out_of_range: c.lost_out_of_range,
+                lost_below_sensitivity: c.lost_below_sensitivity,
+                lost_captured: c.lost_captured,
+                candidates_examined: c.candidates_examined,
+                pruned_by_cutoff: c.pruned_by_cutoff,
+            }),
+        }
+    }
+
+    /// Rebuilds a result from a record without running anything, restoring
+    /// every float from its bit pattern so the digest fold is byte-identical
+    /// to the original execution.  Returns `None` when the record does not
+    /// actually describe `scenario` — its node-id sets must match the
+    /// scenario's, and it must carry delivery counters exactly when the
+    /// scenario's medium tracks them — which downgrades a stale or aliased
+    /// cache entry to a miss instead of corrupting the report.
+    pub(crate) fn from_record(
+        index: usize,
+        scenario: Scenario,
+        record: &ScenarioRecord,
+        cache_hit: bool,
+    ) -> Option<ScenarioResult> {
+        let node_ids = scenario.node_ids();
+        let ids_match = |nodes: &[u32]| {
+            nodes.len() == node_ids.len()
+                && nodes
+                    .iter()
+                    .zip(&node_ids)
+                    .all(|(raw, id)| NodeId(*raw) == *id)
+        };
+        let summary_ids: Vec<u32> = record.summaries.iter().map(|s| s.node).collect();
+        let stream_ids: Vec<u32> = record.stream.iter().map(|m| m.node).collect();
+        if !ids_match(&summary_ids) || !ids_match(&stream_ids) {
+            return None;
+        }
+        let medium_kind = scenario.medium.kind();
+        if record.medium.is_some() != (medium_kind != "ideal") {
+            return None;
+        }
+        let summaries = record
+            .summaries
+            .iter()
+            .map(|s| {
+                Some(NodeSummary {
+                    node: NodeId(s.node),
+                    log_entries: usize::try_from(s.log_entries).ok()?,
+                    log_dropped: s.log_dropped,
+                    average_power: Power::from_micro_watts(f64::from_bits(s.average_power_bits)),
+                    total_energy: Energy::from_micro_joules(f64::from_bits(s.total_energy_bits)),
+                    radio_duty_cycle: f64::from_bits(s.radio_duty_bits),
+                    packets_sent: s.packets_sent,
+                    packets_received: s.packets_received,
+                    false_wakeups: s.false_wakeups,
+                    regression_error: s.regression_error_bits.map(f64::from_bits),
+                    cpu_segments: s.cpu_segments,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let stream = record
+            .stream
+            .iter()
+            .map(|m| NodeStreamMeta {
+                node: NodeId(m.node),
+                entries: m.entries,
+                entry_digest: m.entry_digest,
+                final_stamp: Stamp::new(SimTime::from_micros(m.final_time_us), m.final_icount),
+                log_dropped: m.log_dropped,
+                radio_stats: RadioStats {
+                    packets_sent: m.radio_stats[0],
+                    packets_received: m.radio_stats[1],
+                    clean_wakeups: m.radio_stats[2],
+                    false_wakeups: m.radio_stats[3],
+                    rx_wakeups: m.radio_stats[4],
+                    busy_backoffs: m.radio_stats[5],
+                },
+                ground_truth_total: Energy::from_micro_joules(f64::from_bits(m.ground_truth_bits)),
+            })
+            .collect();
+        let medium_counters = record.medium.as_ref().map(|c| DeliveryCounters {
+            delivered: c.delivered,
+            lost_out_of_range: c.lost_out_of_range,
+            lost_below_sensitivity: c.lost_below_sensitivity,
+            lost_captured: c.lost_captured,
+            candidates_examined: c.candidates_examined,
+            pruned_by_cutoff: c.pruned_by_cutoff,
+        });
+        Some(ScenarioResult {
+            index,
+            scenario,
+            summaries,
+            medium_kind,
+            medium_counters,
+            stream,
+            raw: None,
+            cache_hit,
+        })
     }
 
     /// The medium's delivery/loss/capture counters, or a descriptive error
@@ -814,6 +971,9 @@ pub struct FleetReport {
     peak_entries_held: u64,
     /// Total raw log entries across every scenario of the batch.
     total_log_entries: u64,
+    /// Result-cache traffic for the batch; `None` when no cache was in
+    /// play.
+    cache: Option<CacheStats>,
 }
 
 impl FleetReport {
@@ -881,6 +1041,19 @@ impl FleetReport {
     /// they streamed through sinks or were materialized.
     pub fn total_log_entries(&self) -> u64 {
         self.total_log_entries
+    }
+
+    /// Result-cache traffic for the batch (`None` when no cache was in
+    /// play).  `hits` of them skipped simulation entirely; on a fully warm
+    /// re-run `misses` is zero.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache
+    }
+
+    /// Stamps the report with its result-cache traffic (set by the sweep
+    /// drivers that own the cache handle).
+    pub fn set_cache_stats(&mut self, stats: CacheStats) {
+        self.cache = Some(stats);
     }
 
     /// Renders the per-scenario summary table the sweep binaries print.
@@ -953,6 +1126,13 @@ impl FleetReport {
             "\"peak_entries_held\":{},",
             self.peak_entries_held
         ));
+        match &self.cache {
+            Some(c) => out.push_str(&format!(
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"writes\":{}}},",
+                c.hits, c.misses, c.writes
+            )),
+            None => out.push_str("\"cache\":null,"),
+        }
         out.push_str("\"results\":[");
         for (i, r) in self.results.iter().enumerate() {
             if i > 0 {
@@ -964,6 +1144,7 @@ impl FleetReport {
                 r.medium_kind,
                 r.medium_counters.as_ref(),
                 &r.summaries,
+                r.cache_hit,
             ));
         }
         out.push_str("]}");
@@ -980,11 +1161,13 @@ pub(crate) fn scenario_json(
     medium_kind: &str,
     counters: Option<&DeliveryCounters>,
     summaries: &[NodeSummary],
+    cache_hit: bool,
 ) -> String {
     let mut out = String::from("{");
     out.push_str(&format!("\"index\":{index},"));
     out.push_str(&format!("\"scenario\":\"{}\",", json_escape(name)));
     out.push_str(&format!("\"medium\":\"{}\",", json_escape(medium_kind)));
+    out.push_str(&format!("\"cache_hit\":{cache_hit},"));
     match counters {
         Some(c) => out.push_str(&format!(
             "\"delivery\":{{\"delivered\":{},\"lost_out_of_range\":{},\
@@ -1033,7 +1216,7 @@ fn node_summary_json(s: &NodeSummary) -> String {
     )
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -1124,6 +1307,7 @@ impl ReportAccumulator {
             by_name: self.by_name,
             peak_entries_held,
             total_log_entries: self.total_log_entries,
+            cache: None,
         }
     }
 }
@@ -1226,9 +1410,11 @@ mod tests {
             result.medium_kind,
             None,
             &result.summaries,
+            false,
         );
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"scenario\":\"idle_1s\""));
+        assert!(json.contains("\"cache_hit\":false"));
         assert!(json.contains("\"medium\":\"ideal\""));
         assert!(json.contains("\"delivery\":null"));
         assert!(json.contains("\"node\":1"));
@@ -1263,6 +1449,53 @@ mod tests {
         );
         let c = disk.medium_counters().expect("unit disk tracks counters");
         assert!(c.delivered > 0, "bounce packets must flow in range");
+    }
+
+    /// A result rebuilt from its own record must fold the exact same bytes
+    /// into the stream digest — this is the bit-exactness the cache and the
+    /// shard protocol both stand on.
+    #[test]
+    fn record_round_trip_preserves_the_stream_digest_fold() {
+        use crate::scenario::MediumSpec;
+        let d = SimDuration::from_secs(2);
+        for scenario in [
+            Scenario::lpl(17, 0.18, d),
+            Scenario::bounce(d).with_medium(MediumSpec::UnitDisk {
+                range_m: 100.0,
+                positions: vec![(1, 0.0, 0.0), (4, 5.0, 0.0)],
+            }),
+        ] {
+            let original = ScenarioResult::execute_streaming(3, scenario.clone());
+            let record = original.to_record();
+            let rebuilt = ScenarioResult::from_record(3, scenario, &record, true)
+                .expect("own record matches own scenario");
+            assert!(rebuilt.cache_hit());
+            assert!(!original.cache_hit());
+            let mut a = Fnv::new();
+            original.fold_stream_digest(&mut a);
+            let mut b = Fnv::new();
+            rebuilt.fold_stream_digest(&mut b);
+            assert_eq!(a.finish(), b.finish(), "fold must be byte-identical");
+            assert_eq!(rebuilt.stream_meta(), original.stream_meta());
+        }
+    }
+
+    /// A record that does not describe the scenario it is paired with must
+    /// be rejected, not folded.
+    #[test]
+    fn from_record_rejects_mismatched_scenarios() {
+        let d = SimDuration::from_secs(1);
+        let idle = ScenarioResult::execute_streaming(0, Scenario::idle(d));
+        let record = idle.to_record();
+        // Bounce runs nodes {1, 4}; an idle record has only node 1.
+        assert!(ScenarioResult::from_record(0, Scenario::bounce(d), &record, true).is_none());
+        // A unit-disk scenario expects delivery counters; idle has none.
+        use crate::scenario::MediumSpec;
+        let disk = Scenario::idle(d).with_medium(MediumSpec::UnitDisk {
+            range_m: 1.0,
+            positions: vec![],
+        });
+        assert!(ScenarioResult::from_record(0, disk, &record, true).is_none());
     }
 
     #[test]

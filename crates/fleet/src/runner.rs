@@ -18,6 +18,7 @@
 //! fully-seeded scenarios makes a fleet run bit-reproducible at any thread
 //! count.
 
+use crate::cache::{CacheStats, ResultCache};
 use crate::report::{scenario_json, FleetReport, NodeSummary, ReportAccumulator, ScenarioResult};
 use crate::scenario::Scenario;
 use net_sim::DeliveryCounters;
@@ -50,6 +51,11 @@ pub struct FleetProgress {
     /// rate: `elapsed / completed × (total − completed)`.  `None` until at
     /// least two scenarios have merged (one sample is no trend).
     pub eta_ms: Option<u64>,
+    /// Which shard process executed the scenario; `None` on in-process runs.
+    pub shard: Option<u32>,
+    /// Whether the scenario was answered from the result cache instead of
+    /// simulated.
+    pub cache_hit: bool,
 }
 
 impl FleetProgress {
@@ -61,18 +67,26 @@ impl FleetProgress {
             Some(ms) => ms.to_string(),
             None => "null".to_string(),
         };
+        let shard = match self.shard {
+            Some(s) => s.to_string(),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\"completed\":{},\"total\":{},\"elapsed_ms\":{},\"eta_ms\":{},\"result\":{}}}",
+            "{{\"completed\":{},\"total\":{},\"elapsed_ms\":{},\"eta_ms\":{},\
+             \"shard\":{},\"cache_hit\":{},\"result\":{}}}",
             self.completed,
             self.total,
             self.elapsed_ms,
             eta,
+            shard,
+            self.cache_hit,
             scenario_json(
                 self.index,
                 &self.name,
                 self.medium_kind,
                 self.medium_counters.as_ref(),
-                &self.summaries
+                &self.summaries,
+                self.cache_hit,
             )
         )
     }
@@ -197,8 +211,36 @@ impl FleetRunner {
     pub fn run_with_progress(
         &self,
         scenarios: Vec<Scenario>,
+        progress: impl FnMut(FleetProgress),
+    ) -> FleetReport {
+        self.run_with_progress_cached(scenarios, None, progress)
+    }
+
+    /// Like [`FleetRunner::run`] with a result cache consulted before and
+    /// populated after each simulation.
+    pub fn run_cached(&self, scenarios: Vec<Scenario>, cache: Option<&ResultCache>) -> FleetReport {
+        self.run_with_progress_cached(scenarios, cache, |_| {})
+    }
+
+    /// Like [`FleetRunner::run_with_progress`], with an optional result
+    /// cache.  Every scenario whose canonical spec digest has a valid cache
+    /// entry is rebuilt from disk instead of simulated (its progress event
+    /// carries `cache_hit`); every freshly-simulated scenario is written
+    /// back.  The cache only engages under [`Retention::Stream`] — the
+    /// batch modes exist to fold the pinned digest from raw entry bytes,
+    /// which no cache record can reproduce — and the report is stamped with
+    /// this run's hit/miss/write deltas.
+    pub fn run_with_progress_cached(
+        &self,
+        scenarios: Vec<Scenario>,
+        cache: Option<&ResultCache>,
         mut progress: impl FnMut(FleetProgress),
     ) -> FleetReport {
+        let cache = match self.retention {
+            Retention::Stream => cache,
+            Retention::Batch | Retention::Raw => None,
+        };
+        let stats_before = cache.map(ResultCache::stats);
         let started = Instant::now();
         let total = scenarios.len();
         let workers = self.threads.min(total.max(1));
@@ -228,6 +270,8 @@ impl FleetRunner {
                 summaries: result.summaries.clone(),
                 elapsed_ms,
                 eta_ms,
+                shard: None,
+                cache_hit: result.cache_hit(),
             };
             *held -= acc.absorb(result);
             progress(event);
@@ -237,7 +281,7 @@ impl FleetRunner {
             quanto_obs::set_thread_label("worker-0");
             let worker_span = quanto_obs::span("worker");
             for (i, s) in scenarios.into_iter().enumerate() {
-                let result = ScenarioResult::execute_with(i, s, retention);
+                let result = execute_or_cached(i, s, retention, cache);
                 held += result.log_entries_held();
                 peak = peak.max(held);
                 let _merge_span = quanto_obs::span("merge");
@@ -298,11 +342,8 @@ impl FleetRunner {
                                         break;
                                     }
                                 }
-                                let result = ScenarioResult::execute_with(
-                                    i,
-                                    scenarios[i].clone(),
-                                    retention,
-                                );
+                                let result =
+                                    execute_or_cached(i, scenarios[i].clone(), retention, cache);
                                 // The send wakes a parked receiver, which is
                                 // where the scheduler preempts oversubscribed
                                 // workers — span it so worker wall-clock
@@ -353,7 +394,41 @@ impl FleetRunner {
                 );
             });
         }
-        acc.finish(workers, started.elapsed(), peak)
+        let mut report = acc.finish(workers, started.elapsed(), peak);
+        if let (Some(cache), Some(before)) = (cache, stats_before) {
+            let after = cache.stats();
+            report.set_cache_stats(CacheStats {
+                hits: after.hits - before.hits,
+                misses: after.misses - before.misses,
+                writes: after.writes - before.writes,
+            });
+        }
+        report
+    }
+}
+
+/// One scenario through the cache fast path: a valid entry skips the
+/// simulation entirely; a miss simulates on the zero-materialization path
+/// and writes the entry back for next time.  With no cache (or a
+/// materializing retention, which the caller already stripped the cache
+/// for), this is plain [`ScenarioResult::execute_with`].
+fn execute_or_cached(
+    index: usize,
+    scenario: Scenario,
+    retention: Retention,
+    cache: Option<&ResultCache>,
+) -> ScenarioResult {
+    match cache {
+        Some(cache) => {
+            debug_assert_eq!(retention, Retention::Stream, "cache is stream-only");
+            if let Some(result) = cache.load_result(index, &scenario) {
+                return result;
+            }
+            let result = ScenarioResult::execute_streaming(index, scenario);
+            cache.store_record(&result.scenario, &result.to_record());
+            result
+        }
+        None => ScenarioResult::execute_with(index, scenario, retention),
     }
 }
 
@@ -573,6 +648,48 @@ mod tests {
             FleetRunner::new(4).run_with_progress(batch, |_| panic!("progress consumer failed"));
         }));
         assert!(outcome.is_err(), "the callback panic must propagate");
+    }
+
+    /// The cache contract end to end: a cold run populates, a warm run
+    /// answers every cell from disk (zero simulations) and still folds the
+    /// exact digest of an uncached run.
+    #[test]
+    fn warm_cache_run_simulates_nothing_and_keeps_the_digest() {
+        let dir =
+            std::env::temp_dir().join(format!("quanto-runner-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).expect("open cache");
+        let total = small_batch().len() as u64;
+        let plain = FleetRunner::new(2).run(small_batch());
+        assert!(plain.cache_stats().is_none(), "no cache, no stats");
+
+        let cold = FleetRunner::new(2).run_cached(small_batch(), Some(&cache));
+        assert_eq!(cold.digest(), plain.digest());
+        let stats = cold.cache_stats().expect("cached run is stamped");
+        assert_eq!((stats.hits, stats.misses, stats.writes), (0, total, total));
+        assert!(cold.results.iter().all(|r| !r.cache_hit()));
+
+        let mut hits_seen = 0;
+        let warm = FleetRunner::new(4).run_with_progress_cached(small_batch(), Some(&cache), |p| {
+            assert!(p.cache_hit, "warm run must hit on every cell");
+            assert!(p.to_json().contains("\"cache_hit\":true"));
+            hits_seen += 1;
+        });
+        assert_eq!(hits_seen, total as usize);
+        assert_eq!(warm.digest(), plain.digest(), "warm digest byte-identical");
+        let stats = warm.cache_stats().expect("cached run is stamped");
+        assert_eq!((stats.hits, stats.misses, stats.writes), (total, 0, 0));
+        assert!(warm.results.iter().all(|r| r.cache_hit()));
+
+        // Materializing retentions must bypass the cache entirely: the
+        // pinned digest folds raw entry bytes no record carries.
+        let batch = FleetRunner::new(2)
+            .batch_digest()
+            .run_cached(small_batch(), Some(&cache));
+        assert!(batch.cache_stats().is_none());
+        assert!(batch.pinned_digest().is_some());
+        assert_eq!(batch.digest(), plain.digest());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

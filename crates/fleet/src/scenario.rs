@@ -425,6 +425,56 @@ impl Scenario {
         LogEncoding::required_for(max)
     }
 
+    /// FNV-1a digest over the scenario's *canonical spec*: every field that
+    /// influences what the simulation computes or reports — app, channel,
+    /// seed, duration, topology, medium, spatial-index choice — plus the
+    /// log-encoding version and [`SPEC_DIGEST_VERSION`], folded as raw
+    /// little-endian bytes with floats as IEEE-754 bit patterns.  The
+    /// display [`Scenario::name`] is deliberately *excluded*: renaming a
+    /// cell does not change what it simulates, so two cells differing only
+    /// in name share one result-cache entry.
+    ///
+    /// This is the content address of the result cache: equal digests mean
+    /// "this exact simulation has run before".
+    pub fn spec_digest(&self) -> u64 {
+        let mut h = crate::report::Fnv::new();
+        h.write(&[SPEC_DIGEST_VERSION]);
+        h.write(&[match self.log_encoding() {
+            LogEncoding::V1 => 1,
+            LogEncoding::V2 => 2,
+        }]);
+        match &self.app {
+            AppSpec::Blink => h.write(b"blink"),
+            AppSpec::LplListener { interference_duty } => {
+                h.write(b"lpl");
+                h.write(&interference_duty.to_bits().to_le_bytes());
+            }
+            AppSpec::Bounce => h.write(b"bounce"),
+            AppSpec::BouncePairs { pairs } => {
+                h.write(b"bounce_pairs");
+                h.write(&pairs.to_le_bytes());
+            }
+            AppSpec::Idle => h.write(b"idle"),
+        }
+        h.write(&[self.channel]);
+        h.write(&self.seed.to_le_bytes());
+        h.write(&[self.seed_nodes as u8, self.brute_force_medium as u8]);
+        h.write(&self.duration.as_micros().to_le_bytes());
+        match &self.topology {
+            TopologySpec::Full => h.write(b"full"),
+            TopologySpec::Links(links) => {
+                h.write(b"links");
+                h.write(&(links.len() as u64).to_le_bytes());
+                for (a, b) in links {
+                    h.write(&a.to_le_bytes());
+                    h.write(&b.to_le_bytes());
+                }
+            }
+        }
+        fold_medium(&mut h, &self.medium);
+        h.finish()
+    }
+
     /// Applies the scenario's channel and (optionally) seed to a node
     /// configuration.
     fn tweak(&self, mut config: NodeConfig) -> NodeConfig {
@@ -497,6 +547,86 @@ impl Scenario {
     }
 }
 
+/// Version byte folded first into every [`Scenario::spec_digest`].  Bump it
+/// whenever the simulation's observable behavior changes for an unchanged
+/// spec (a physics fix, a new digest-relevant counter, a changed default):
+/// every existing cache entry then self-invalidates, because no new digest
+/// can collide with one folded under the old version.
+pub const SPEC_DIGEST_VERSION: u8 = 1;
+
+/// Folds a medium spec (tag, parameters, positions, traces) into a spec
+/// digest.
+fn fold_medium(h: &mut crate::report::Fnv, medium: &MediumSpec) {
+    let fold_positions = |h: &mut crate::report::Fnv, positions: &[(u32, f64, f64)]| {
+        h.write(&(positions.len() as u64).to_le_bytes());
+        for (id, x, y) in positions {
+            h.write(&id.to_le_bytes());
+            h.write(&x.to_bits().to_le_bytes());
+            h.write(&y.to_bits().to_le_bytes());
+        }
+    };
+    let fold_path_loss = |h: &mut crate::report::Fnv, spec: &PathLossSpec| {
+        for f in [
+            spec.tx_power_dbm,
+            spec.ref_loss_db,
+            spec.exponent,
+            spec.shadowing_sigma_db,
+            spec.sensitivity_dbm,
+            spec.capture_margin_db,
+        ] {
+            h.write(&f.to_bits().to_le_bytes());
+        }
+        match spec.cca_threshold_dbm {
+            Some(t) => {
+                h.write(&[1]);
+                h.write(&t.to_bits().to_le_bytes());
+            }
+            None => h.write(&[0]),
+        }
+    };
+    match medium {
+        MediumSpec::Ideal => h.write(b"ideal"),
+        MediumSpec::UnitDisk { range_m, positions } => {
+            h.write(b"unit_disk");
+            h.write(&range_m.to_bits().to_le_bytes());
+            fold_positions(h, positions);
+        }
+        MediumSpec::PathLoss { model, positions } => {
+            h.write(b"path_loss");
+            fold_path_loss(h, model);
+            fold_positions(h, positions);
+        }
+        MediumSpec::Mobility {
+            base,
+            positions,
+            traces,
+        } => {
+            h.write(b"mobility");
+            match base {
+                GeometrySpec::UnitDisk { range_m } => {
+                    h.write(b"disk");
+                    h.write(&range_m.to_bits().to_le_bytes());
+                }
+                GeometrySpec::PathLoss(spec) => {
+                    h.write(b"loss");
+                    fold_path_loss(h, spec);
+                }
+            }
+            fold_positions(h, positions);
+            h.write(&(traces.len() as u64).to_le_bytes());
+            for (id, waypoints) in traces {
+                h.write(&id.to_le_bytes());
+                h.write(&(waypoints.len() as u64).to_le_bytes());
+                for (us, x, y) in waypoints {
+                    h.write(&us.to_le_bytes());
+                    h.write(&x.to_bits().to_le_bytes());
+                    h.write(&y.to_bits().to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +694,57 @@ mod tests {
             })
             .build();
         assert_eq!(mobility.medium().model().kind(), "mobility");
+    }
+
+    #[test]
+    fn spec_digest_ignores_names_and_tracks_every_axis() {
+        let d = SimDuration::from_secs(2);
+        let base = Scenario::lpl(17, 0.18, d);
+        // Renaming does not change what runs: same content address.
+        assert_eq!(
+            base.spec_digest(),
+            base.clone().named("anything_else").spec_digest()
+        );
+        // Every simulation-relevant axis moves the digest.
+        let variants = [
+            Scenario::lpl(26, 0.18, d),
+            Scenario::lpl(17, 0.25, d),
+            Scenario::lpl(17, 0.18, SimDuration::from_secs(3)),
+            Scenario::lpl(17, 0.18, d).with_seed(99),
+            Scenario::lpl(17, 0.18, d).with_topology(TopologySpec::Links(vec![(1, 2)])),
+            Scenario::lpl(17, 0.18, d).with_medium(MediumSpec::UnitDisk {
+                range_m: 10.0,
+                positions: vec![(1, 0.0, 0.0)],
+            }),
+            Scenario::lpl(17, 0.18, d)
+                .with_medium(MediumSpec::UnitDisk {
+                    range_m: 10.0,
+                    positions: vec![(1, 0.0, 0.0)],
+                })
+                .without_spatial_index(),
+            Scenario::blink(d).named("lpl_ch17"),
+        ];
+        let mut digests: Vec<u64> = variants.iter().map(Scenario::spec_digest).collect();
+        digests.push(base.spec_digest());
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(
+            digests.len(),
+            variants.len() + 1,
+            "all spec digests distinct"
+        );
+    }
+
+    #[test]
+    fn spec_digest_is_stable_across_calls() {
+        let s = Scenario::bounce_pairs(200, SimDuration::from_secs(1)).with_medium(
+            MediumSpec::Mobility {
+                base: GeometrySpec::PathLoss(PathLossSpec::default()),
+                positions: vec![(1, 0.0, 0.0)],
+                traces: vec![(4, vec![(0, 0.0, 0.0), (1_000_000, 9.0, 0.0)])],
+            },
+        );
+        assert_eq!(s.spec_digest(), s.clone().spec_digest());
     }
 
     #[test]

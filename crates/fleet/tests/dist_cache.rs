@@ -1,0 +1,237 @@
+//! End-to-end contracts of the fleet-of-fleets layer (`quanto_fleet::dist`)
+//! and the result cache, pinned against the same digest constants as
+//! `digest_pin.rs`:
+//!
+//! * sharded sweeps fold the byte-identical stream digest at any shard
+//!   count × thread count;
+//! * a warm cache answers the whole sweep with zero simulations (the
+//!   coordinator never serves a chunk) and the digest still matches;
+//! * a shard dying mid-sweep only requeues its chunk — a surviving shard
+//!   finishes the sweep with the same digest;
+//! * losing *every* shard is a prompt `ShardsDied` error, not a hang.
+//!
+//! Shards here are in-process threads driving [`dist::run_shard`] over real
+//! loopback TCP — the identical code path `fleet_sweep --shard ADDR` runs,
+//! minus the process spawn (which `crates/bench/tests/fleet_sweep_cli.rs`
+//! covers).
+
+use quanto_fleet::{dist, Coordinator, DistError, DistOptions, GridOverrides};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+/// `digest_pin.rs`'s `pin_batch()` as grid text, with its recorded stream
+/// digest — the constant every execution topology below must reproduce.
+const PIN_BATCH_STREAM_DIGEST: u64 = 0xf73f_b2e3_9f24_1280;
+const PIN_BATCH_GRID: &str = "
+[grid]
+name = pin_batch
+seconds = 2
+
+[cell.lpl]
+app = lpl
+interference = 0.18
+seeds = 1..2
+channels = 17, 26
+name = lpl_ch{channel}_seed{seed}
+
+[cell.blink]
+app = blink
+
+[cell.bounce]
+app = bounce
+
+[cell.idle]
+app = idle
+seconds = 1
+";
+const PIN_BATCH_LEN: usize = 7;
+
+fn options(shards: u32, threads: usize, cache_dir: Option<PathBuf>) -> DistOptions {
+    DistOptions {
+        shards,
+        threads,
+        cache_dir,
+    }
+}
+
+/// Binds a coordinator, drives it with `shards` in-thread `run_shard`
+/// workers, and returns (digest, progress events).
+fn run_sharded(
+    shards: u32,
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+) -> (u64, Vec<quanto_fleet::FleetProgress>) {
+    let coordinator = Coordinator::bind(
+        PIN_BATCH_GRID,
+        GridOverrides::default(),
+        &options(shards, threads, cache_dir),
+    )
+    .expect("bind");
+    assert_eq!(coordinator.total(), PIN_BATCH_LEN);
+    let addr = coordinator.addr().expect("addr").to_string();
+    let workers: Vec<_> = (0..shards)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || dist::run_shard(&addr))
+        })
+        .collect();
+    let mut events = Vec::new();
+    let report = coordinator
+        .run(|p| events.push(p))
+        .expect("sweep completes");
+    for worker in workers {
+        worker.join().expect("shard thread").expect("shard ok");
+    }
+    (report.digest(), events)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("quanto-dist-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The tentpole invariance: 2 and 4 shard processes' worth of workers, on 1
+/// and 4 threads each, all fold the exact stream digest the in-process
+/// pin recorded — sharding is invisible in the output bytes.
+#[test]
+fn sharded_sweeps_reproduce_the_stream_digest_pin() {
+    for shards in [2u32, 4] {
+        for threads in [1usize, 4] {
+            let (digest, events) = run_sharded(shards, threads, None);
+            assert_eq!(
+                digest, PIN_BATCH_STREAM_DIGEST,
+                "digest drifted at {shards} shards × {threads} threads"
+            );
+            assert_eq!(events.len(), PIN_BATCH_LEN);
+            for (i, p) in events.iter().enumerate() {
+                assert_eq!(p.index, i, "submission order preserved");
+                assert_eq!(p.completed, i + 1);
+                assert!(p.shard.is_some(), "every cell names its executing shard");
+                assert!(!p.cache_hit, "no cache configured");
+            }
+        }
+    }
+}
+
+/// The cache contract across processes-worth of topology: a cold sharded
+/// sweep populates the cache (every cell a miss + write), and the warm
+/// re-run merges entirely from the bind-time probe — zero chunks served,
+/// zero shards needed, zero simulations run — with the identical digest.
+#[test]
+fn warm_cache_sweep_runs_zero_simulations_and_keeps_the_digest() {
+    let dir = tmp_dir("warm");
+
+    let (digest, events) = run_sharded(2, 2, Some(dir.clone()));
+    assert_eq!(digest, PIN_BATCH_STREAM_DIGEST);
+    assert!(events.iter().all(|p| !p.cache_hit), "cold run simulates");
+
+    // Warm: the bind-time probe answers everything, so `pending()` is zero
+    // and the run completes without a single shard existing.
+    let coordinator = Coordinator::bind(
+        PIN_BATCH_GRID,
+        GridOverrides::default(),
+        &options(2, 2, Some(dir.clone())),
+    )
+    .expect("bind warm");
+    assert_eq!(coordinator.pending(), 0, "warm probe answers every cell");
+    let mut events = Vec::new();
+    let report = coordinator.run(|p| events.push(p)).expect("warm run");
+    assert_eq!(
+        report.digest(),
+        PIN_BATCH_STREAM_DIGEST,
+        "warm digest byte-identical"
+    );
+    assert_eq!(events.len(), PIN_BATCH_LEN);
+    assert!(
+        events.iter().all(|p| p.cache_hit),
+        "warm run hits everywhere"
+    );
+    assert!(report.results.iter().all(|r| r.cache_hit()));
+    let stats = report.cache_stats().expect("cached run is stamped");
+    assert_eq!(
+        (stats.hits, stats.misses, stats.writes),
+        (PIN_BATCH_LEN as u64, 0, 0)
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// A hand-rolled broken shard: completes the handshake, claims one chunk,
+/// then drops the connection without returning a result.
+fn claim_a_chunk_and_die(addr: &str) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writer.write_all(b"{\"t\":\"hello\"}\n").expect("hello");
+    let mut job = String::new();
+    reader.read_line(&mut job).expect("job");
+    // Echo the expected count back without bothering to parse the grid.
+    let expected: usize = job
+        .split("\"expected\":")
+        .nth(1)
+        .and_then(|tail| tail.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|digits| digits.parse().ok())
+        .expect("job carries expected count");
+    writer
+        .write_all(format!("{{\"t\":\"ready\",\"count\":{expected}}}\n").as_bytes())
+        .expect("ready");
+    writer.write_all(b"{\"t\":\"next\"}\n").expect("next");
+    let mut chunk = String::new();
+    reader.read_line(&mut chunk).expect("chunk");
+    assert!(chunk.contains("\"indices\""), "got a chunk: {chunk}");
+    // …and die with the chunk unreturned.
+}
+
+/// Fault tolerance: a shard that dies holding a chunk costs nothing but a
+/// requeue — the surviving shard drains the queue and the digest is still
+/// byte-identical to the pin.
+#[test]
+fn dying_shard_requeues_its_chunk_and_the_sweep_completes() {
+    let coordinator = Coordinator::bind(
+        PIN_BATCH_GRID,
+        GridOverrides::default(),
+        &options(2, 1, None),
+    )
+    .expect("bind");
+    let addr = coordinator.addr().expect("addr").to_string();
+    let shards = std::thread::spawn(move || {
+        claim_a_chunk_and_die(&addr);
+        dist::run_shard(&addr)
+    });
+    let mut merged = 0usize;
+    let report = coordinator
+        .run(|_| merged += 1)
+        .expect("sweep survives the death");
+    shards.join().expect("shard thread").expect("survivor ok");
+    assert_eq!(merged, PIN_BATCH_LEN, "every scenario merged exactly once");
+    assert_eq!(report.digest(), PIN_BATCH_STREAM_DIGEST);
+}
+
+/// Losing every shard with work still queued must fail promptly with
+/// `ShardsDied` — not block forever waiting for a chunk nobody will serve.
+#[test]
+fn losing_every_shard_is_an_error_not_a_hang() {
+    let coordinator = Coordinator::bind(
+        PIN_BATCH_GRID,
+        GridOverrides::default(),
+        &options(1, 1, None),
+    )
+    .expect("bind");
+    let addr = coordinator.addr().expect("addr").to_string();
+    let killer = std::thread::spawn(move || claim_a_chunk_and_die(&addr));
+    let started = std::time::Instant::now();
+    let outcome = coordinator.run(|_| {});
+    killer.join().expect("killer thread");
+    match outcome {
+        Err(DistError::ShardsDied { merged, total }) => {
+            assert_eq!(total, PIN_BATCH_LEN);
+            assert!(merged < total);
+        }
+        other => panic!("expected ShardsDied, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "death detection must be prompt"
+    );
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Gates the fleet-of-fleets result cache: a cold 2-shard sweep of the smoke
+# grid populates a fresh cache, and the warm re-run must (a) fold the
+# byte-identical digest, (b) answer every cell from the cache (zero misses,
+# zero writes — i.e. zero simulations ran), and (c) finish at least 5×
+# faster than the cold run.
+#
+#   scripts/check_cache.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p quanto-bench --bin fleet_sweep
+sweep=target/release/fleet_sweep
+
+cache="$(mktemp -d)"
+cold_out="$(mktemp)"
+warm_out="$(mktemp)"
+trap 'rm -rf "$cache" "$cold_out" "$warm_out"' EXIT
+
+run() {
+  "$sweep" --grid crates/bench/grids/smoke.grid --seconds 2 \
+    --shards 2 --threads 2 --cache "$cache" --json >"$1"
+}
+
+start=$(date +%s%N); run "$cold_out"; cold_ns=$(( $(date +%s%N) - start ))
+start=$(date +%s%N); run "$warm_out"; warm_ns=$(( $(date +%s%N) - start ))
+
+summary_field() { # FILE KEY — first numeric/hex value of KEY in the summary line
+  tail -n 1 "$1" | grep -o "\"$2\":\"\?[0-9a-fx]*" | head -n 1 | sed 's/.*://; s/"//'
+}
+
+cold_digest=$(summary_field "$cold_out" digest)
+warm_digest=$(summary_field "$warm_out" digest)
+warm_misses=$(summary_field "$warm_out" misses)
+warm_writes=$(summary_field "$warm_out" writes)
+
+echo "cache gate: cold ${cold_ns}ns ($cold_digest) vs warm ${warm_ns}ns ($warm_digest," \
+     "misses=$warm_misses writes=$warm_writes)"
+
+if [[ -z "$cold_digest" || "$cold_digest" != "$warm_digest" ]]; then
+  echo "FAIL: warm digest $warm_digest != cold digest $cold_digest" >&2
+  exit 1
+fi
+if [[ "$warm_misses" != 0 || "$warm_writes" != 0 ]]; then
+  echo "FAIL: warm run simulated ($warm_misses misses, $warm_writes writes) — cache did not engage" >&2
+  exit 1
+fi
+if (( warm_ns * 5 > cold_ns )); then
+  echo "FAIL: warm run ${warm_ns}ns not ≥5× faster than cold ${cold_ns}ns" >&2
+  exit 1
+fi
+echo "cache gate: OK ($(( cold_ns / warm_ns ))× speedup, digest byte-identical, zero simulations)"
