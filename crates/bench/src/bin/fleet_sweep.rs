@@ -16,6 +16,7 @@
 //!             [--grid FILE] [--smoke] [--min-speedup X]
 //!             [--stress [PAIRS]] [--stress-nodes N]
 //!             [--shards N] [--cache DIR] [--no-cache]
+//!             [--server ADDR]
 //!             [--obs] [--obs-json FILE]
 //! ```
 //!
@@ -39,6 +40,15 @@
 //! re-run of an unchanged grid executes zero simulations and folds the
 //! byte-identical digest.  `--smoke` and `--stress-nodes` are gates, not
 //! sweeps — the shard and cache flags are rejected there.
+//!
+//! `--server ADDR` runs the grid on a `quanto_serve` daemon instead of in
+//! this process: the grid text ships over the JSON-lines client protocol
+//! (`docs/PROTOCOL.md`), progress events stream back live, and the final
+//! summary — digest included — is byte-identical to the daemon's
+//! accumulator output (`--json` prints the streamed documents verbatim).
+//! Execution policy belongs to the daemon, so the local execution flags
+//! (`--threads`, `--shards`, `--cache`/`--no-cache`) and the gate modes
+//! are rejected with it.
 //!
 //! `--obs` turns the `quanto-obs` tracing/metrics layer on for the run
 //! (off by default — spans and counters record nothing otherwise) and
@@ -101,7 +111,7 @@ const USAGE: &str = "usage: fleet_sweep [--seconds N] [--threads N] [--seeds N] 
                      \x20                 [--grid FILE] [--smoke] [--min-speedup X]\n\
                      \x20                 [--stress [PAIRS]] [--stress-nodes N]\n\
                      \x20                 [--shards N] [--cache DIR] [--no-cache]\n\
-                     \x20                 [--obs] [--obs-json FILE]";
+                     \x20                 [--server ADDR] [--obs] [--obs-json FILE]";
 
 /// Where grid sweeps cache results unless `--cache DIR` / `--no-cache`
 /// says otherwise.
@@ -125,6 +135,12 @@ struct Args {
     no_cache: bool,
     /// Internal: run as a shard worker against this coordinator address.
     shard_addr: Option<String>,
+    /// Client mode: run the grid on the `quanto_serve` daemon at this
+    /// address instead of in-process.
+    server: Option<String>,
+    /// Whether `--threads` was given explicitly (server mode rejects it —
+    /// the pool size is daemon policy).
+    threads_set: bool,
     obs: bool,
     obs_json: Option<String>,
 }
@@ -163,6 +179,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cache: None,
         no_cache: false,
         shard_addr: None,
+        server: None,
+        threads_set: false,
         obs: false,
         obs_json: None,
     };
@@ -190,7 +208,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--threads" => {
                 let v = value(&mut i, "--threads")?;
                 match v.parse::<usize>() {
-                    Ok(t) if t > 0 => args.threads = t,
+                    Ok(t) if t > 0 => {
+                        args.threads = t;
+                        args.threads_set = true;
+                    }
                     _ => {
                         return usage_error(format!(
                             "fleet_sweep: --threads expects a positive integer, got {v:?}"
@@ -235,6 +256,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--cache" => args.cache = Some(value(&mut i, "--cache")?),
             "--no-cache" => args.no_cache = true,
             "--shard" => args.shard_addr = Some(value(&mut i, "--shard")?),
+            "--server" => args.server = Some(value(&mut i, "--server")?),
             "--json" => args.json = true,
             "--smoke" => args.smoke = true,
             // Observability composes with every mode (including --smoke and
@@ -307,6 +329,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         return usage_error(
             "fleet_sweep: --shards/--cache/--no-cache apply to grid sweeps; --smoke and \
              --stress-nodes are gates with their own fixed execution"
+                .to_string(),
+        );
+    }
+    if args.server.is_some()
+        && (args.smoke
+            || args.stress_nodes.is_some()
+            || args.shards.is_some()
+            || args.cache.is_some()
+            || args.no_cache
+            || args.threads_set)
+    {
+        return usage_error(
+            "fleet_sweep: --server runs the grid on the daemon — execution flags \
+             (--threads/--shards/--cache/--no-cache) and the gate modes stay local"
                 .to_string(),
         );
     }
@@ -661,6 +697,13 @@ fn run_mode(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Client mode: the daemon executes; this process streams and prints.
+    // The local parse/expand above already validated the grid, so a
+    // daemon-side rejection can only be version skew or a daemon problem.
+    if let Some(addr) = &args.server {
+        return run_served(addr, &grid_text, overrides, &grid.name, batch.len(), args);
+    }
+
     let shards = args.shards.unwrap_or(1);
     let cache_dir = args.cache_dir();
 
@@ -787,6 +830,73 @@ fn run_mode(args: &Args) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// Scans the decimal run right after `marker` out of a JSON document the
+/// wire reader cannot parse (served documents carry decimal floats).
+fn scan_field<'a>(doc: &'a str, marker: &str, until: char) -> Option<&'a str> {
+    let start = doc.find(marker)? + marker.len();
+    let end = doc[start..].find(until)?;
+    Some(&doc[start..start + end])
+}
+
+/// `--server ADDR`: ship the grid to the daemon, stream its progress, and
+/// print the served summary.  With `--json` every document prints
+/// verbatim, so the output is byte-compatible with an in-process
+/// `--json` sweep's progress and summary lines.
+fn run_served(
+    addr: &str,
+    grid_text: &str,
+    overrides: GridOverrides,
+    grid_name: &str,
+    total: usize,
+    args: &Args,
+) -> ExitCode {
+    if !args.json {
+        quanto_bench::header(
+            "Fleet sweep — served",
+            "quanto-serve daemon: shared worker pool, live multi-tenant sweeps",
+        );
+        println!("Grid {grid_name:?}: {total} scenarios via the daemon at {addr}");
+    }
+    let json = args.json;
+    let progress = |event: &str| {
+        if json {
+            println!("{event}");
+        } else {
+            let completed = scan_field(event, "\"completed\":", ',').unwrap_or("?");
+            let total = scan_field(event, "\"total\":", ',').unwrap_or("?");
+            let name = scan_field(event, "\"scenario\":\"", '"').unwrap_or("?");
+            let medium = scan_field(event, "\"medium\":\"", '"').unwrap_or("?");
+            let origin = if event.contains("\"cache_hit\":true") {
+                " [cache]"
+            } else {
+                ""
+            };
+            println!("[{completed}/{total}] {name} ({medium}){origin}");
+        }
+    };
+    match quanto_serve::client::run_sweep(addr, grid_text, &overrides, progress) {
+        Ok(outcome) => {
+            if args.json {
+                println!("{}", outcome.summary);
+            } else {
+                let digest =
+                    quanto_serve::client::digest_of(&outcome.summary).unwrap_or("<missing>");
+                println!(
+                    "Served sweep complete: job {} — {} scenarios ({} answered warm from \
+                     the daemon's cache), digest {digest}.",
+                    outcome.job, outcome.total, outcome.warm
+                );
+                println!("The digest is byte-identical to the same grid run in-process.");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(why) => {
+            eprintln!("fleet_sweep: served sweep failed: {why}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 #[cfg(test)]
@@ -946,6 +1056,41 @@ mod tests {
         assert_eq!(a.shards, Some(2));
         let a = args(&["--shard", "127.0.0.1:9"]).unwrap();
         assert_eq!(a.shard_addr.as_deref(), Some("127.0.0.1:9"));
+    }
+
+    /// `--server` hands execution to the daemon: the grid and axis
+    /// overrides travel, the local execution flags and gates are rejected.
+    #[test]
+    fn server_flag_parses_and_rejects_local_execution_flags() {
+        let a = args(&["--server", "127.0.0.1:7645"]).unwrap();
+        assert_eq!(a.server.as_deref(), Some("127.0.0.1:7645"));
+        let a = args(&[
+            "--server",
+            "h:1",
+            "--grid",
+            "g.grid",
+            "--seconds",
+            "2",
+            "--json",
+        ])
+        .unwrap();
+        assert!(a.server.is_some() && a.grid.is_some() && a.json);
+        assert_eq!(a.seconds, Some(2.0));
+        let a = args(&["--server", "h:1", "--stress", "4", "--seeds", "2"]).unwrap();
+        assert!(a.stress);
+        assert_eq!(a.stress_pairs, Some(4));
+        for bad in [
+            &["--server"][..],
+            &["--server", "h:1", "--threads", "2"][..],
+            &["--server", "h:1", "--shards", "2"][..],
+            &["--server", "h:1", "--cache", "dir"][..],
+            &["--server", "h:1", "--no-cache"][..],
+            &["--server", "h:1", "--smoke"][..],
+            &["--server", "h:1", "--stress-nodes", "4"][..],
+        ] {
+            let err = args(bad).expect_err(&format!("{bad:?} must be rejected"));
+            assert!(err.contains("usage:"), "{err}");
+        }
     }
 
     /// The obs flags compose with every mode instead of counting toward the

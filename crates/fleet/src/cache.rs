@@ -22,6 +22,21 @@
 //! Only the zero-materialization retention mode ([`crate::Retention::Stream`])
 //! consults the cache: the batch modes exist to fold the legacy pinned
 //! digest from raw entry bytes, which no summary record can reproduce.
+//!
+//! # Example
+//!
+//! ```
+//! use hw_model::SimDuration;
+//! use quanto_fleet::{ResultCache, Scenario};
+//!
+//! let dir = std::env::temp_dir().join(format!("quanto-cache-doc-{}", std::process::id()));
+//! let cache = ResultCache::open(&dir).unwrap();
+//! // A cold cache misses; the schedulers then simulate and write back.
+//! let scenario = Scenario::idle(SimDuration::from_secs(1));
+//! assert!(cache.probe(0, &scenario).is_none());
+//! assert_eq!(cache.stats().misses, 1);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
 
 use crate::record::ScenarioRecord;
 use crate::report::ScenarioResult;
@@ -99,11 +114,20 @@ impl ResultCache {
             .and_then(|v| decode_entry(&v, key))
     }
 
-    /// Looks the scenario up by content address and rebuilds its result
-    /// (with [`ScenarioResult::cache_hit`] set).  Any failure along the way
-    /// — no file, unreadable, unparsable, wrong version, wrong spec echo,
-    /// structurally invalid record, or a record that does not describe this
-    /// scenario — is a counted **miss**, so the caller simply simulates.
+    /// Looks the scenario up by content address and rebuilds its result at
+    /// submission index `index` (with [`ScenarioResult::cache_hit`] set).
+    /// Any failure along the way — no file, unreadable, unparsable, wrong
+    /// version, wrong spec echo, structurally invalid record, or a record
+    /// that does not describe this scenario — is a counted **miss**, so the
+    /// caller simply simulates.  This is the probe the sweep schedulers
+    /// (the [`crate::dist`] coordinator and the `quanto-serve` daemon) run
+    /// for every cell before queueing work: a hit never enters the queue.
+    pub fn probe(&self, index: usize, scenario: &Scenario) -> Option<ScenarioResult> {
+        self.load_result(index, scenario)
+    }
+
+    /// [`ResultCache::probe`], under the crate-internal name the runner and
+    /// coordinator predate the public seam with.
     pub(crate) fn load_result(&self, index: usize, scenario: &Scenario) -> Option<ScenarioResult> {
         let result = self
             .read_record(scenario.spec_digest())

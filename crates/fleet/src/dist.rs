@@ -50,6 +50,24 @@
 //! spawns no work at all) — and shards write fresh entries as they
 //! simulate, so the next sweep over an edited grid re-executes only the
 //! changed cells.
+//!
+//! # Example
+//!
+//! Shards are normally spawned processes, but [`run_shard`] is plain
+//! library code — a thread over loopback TCP drives the identical path:
+//!
+//! ```
+//! use quanto_fleet::{dist, Coordinator, DistOptions, GridOverrides};
+//!
+//! let grid = "[grid]\nname = doc\n[cell.idle]\napp = idle\nseconds = 1\n";
+//! let options = DistOptions { shards: 1, threads: 1, cache_dir: None };
+//! let coordinator = Coordinator::bind(grid, GridOverrides::default(), &options).unwrap();
+//! let addr = coordinator.addr().unwrap().to_string();
+//! let shard = std::thread::spawn(move || dist::run_shard(&addr));
+//! let report = coordinator.run(|_progress| {}).unwrap();
+//! shard.join().unwrap().unwrap();
+//! assert_eq!(report.results.len(), 1);
+//! ```
 
 use crate::cache::{CacheStats, ResultCache};
 use crate::grid::{GridError, GridSpec};
@@ -565,7 +583,13 @@ impl Coordinator {
 /// grab takes `1/(2 × shards)` of what remains (never less than one).  Big
 /// early chunks amortize protocol round-trips; the tail degenerates to
 /// single scenarios so no shard can hoard work it is too slow to finish.
-fn take_chunk(queue: &Mutex<VecDeque<usize>>, shards: u32) -> Vec<usize> {
+///
+/// Public because the chunk queue is a shared seam: the coordinator serves
+/// shard processes from one of these, and the `quanto-serve` daemon's fair
+/// scheduler serves its worker pool from one per job — the same adaptive
+/// shrink in both topologies.  `shards` is the claimant count the chunk
+/// size divides by (worker threads, for an in-process pool).
+pub fn take_chunk(queue: &Mutex<VecDeque<usize>>, shards: u32) -> Vec<usize> {
     let mut q = queue.lock().unwrap_or_else(|p| p.into_inner());
     if q.is_empty() {
         return Vec::new();

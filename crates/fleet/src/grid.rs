@@ -53,6 +53,31 @@
 //!
 //! Errors carry the offending line number and name the expected input — a
 //! typo'd key or a malformed value fails loudly, never silently.
+//!
+//! # Example
+//!
+//! ```
+//! use quanto_fleet::GridSpec;
+//!
+//! let text = "
+//! [grid]
+//! name = doc
+//! seconds = 2
+//!
+//! [cell.lpl]
+//! app = lpl
+//! interference = 0.18
+//! seeds = 1..2
+//! channels = 17, 26
+//! name = lpl_ch{channel}_seed{seed}
+//! ";
+//! let mut grid = GridSpec::parse(text).unwrap();
+//! assert_eq!(grid.expand().unwrap().len(), 4); // 2 seeds × 2 channels
+//! grid.override_seed_count(1); // what `fleet_sweep --seeds 1` applies
+//! let batch = grid.expand().unwrap();
+//! assert_eq!(batch.len(), 2);
+//! assert_eq!(batch[0].name, "lpl_ch17_seed1");
+//! ```
 
 use crate::scenario::{GeometrySpec, MediumSpec, PathLossSpec, Scenario, TraceSpec};
 use hw_model::SimDuration;

@@ -50,7 +50,7 @@ mod record;
 pub mod report;
 pub mod runner;
 pub mod scenario;
-mod wire;
+pub mod wire;
 
 pub use grid::{GridError, GridSpec};
 
@@ -59,9 +59,9 @@ pub use dist::{Coordinator, DistError, DistOptions, GridOverrides};
 pub use net_sim::DeliveryCounters;
 pub use report::{
     CounterAccessError, FleetReport, NodeStreamMeta, NodeSummary, RawAccessError,
-    RawScenarioOutputs, ScenarioResult,
+    RawScenarioOutputs, ReportAccumulator, ScenarioResult,
 };
-pub use runner::{FleetProgress, FleetRunner, Retention};
+pub use runner::{execute_or_cached, FleetProgress, FleetRunner, Retention};
 pub use scenario::{
     AppSpec, GeometrySpec, MediumSpec, PathLossSpec, Scenario, TopologySpec, TraceSpec,
     SPEC_DIGEST_VERSION,

@@ -1234,8 +1234,17 @@ pub(crate) fn json_escape(s: &str) -> String {
 
 /// Accumulates merged results in submission order, folding the digest(s)
 /// and (in [`Retention::Batch`]) dropping raw outputs as each scenario
-/// lands.  Owned by the runner's merge loop.
-pub(crate) struct ReportAccumulator {
+/// lands.
+///
+/// This is *the* determinism seam of the sweep subsystem: every execution
+/// topology — the in-process [`crate::FleetRunner`], the multi-process
+/// [`crate::dist`] coordinator, and the `quanto-serve` daemon — folds its
+/// results through one of these, in submission order, so
+/// [`FleetReport::digest`] is byte-identical however the scenarios were
+/// scheduled.  Feed it with [`ReportAccumulator::absorb`] strictly in
+/// submission-index order (a reorder buffer is the caller's job) and close
+/// it with [`ReportAccumulator::finish`].
+pub struct ReportAccumulator {
     retention: Retention,
     /// The stream digest — folded in every mode.
     hasher: Fnv,
@@ -1248,7 +1257,7 @@ pub(crate) struct ReportAccumulator {
 
 impl ReportAccumulator {
     /// Starts a report over `expected` scenarios.
-    pub(crate) fn new(expected: usize, retention: Retention) -> Self {
+    pub fn new(expected: usize, retention: Retention) -> Self {
         let mut hasher = Fnv::new();
         hasher.write(&(expected as u64).to_le_bytes());
         let pinned = match retention {
@@ -1271,7 +1280,7 @@ impl ReportAccumulator {
 
     /// Merges the next result in submission order.  Returns how many raw log
     /// entries were released (zero when retaining or streaming).
-    pub(crate) fn absorb(&mut self, mut result: ScenarioResult) -> u64 {
+    pub fn absorb(&mut self, mut result: ScenarioResult) -> u64 {
         debug_assert_eq!(result.index, self.results.len(), "merge order violated");
         result.fold_stream_digest(&mut self.hasher);
         if let Some(pinned) = self.pinned.as_mut() {
@@ -1291,8 +1300,9 @@ impl ReportAccumulator {
         released
     }
 
-    /// Finalizes the report.
-    pub(crate) fn finish(
+    /// Finalizes the report.  `threads` and `wall_clock` are display
+    /// metadata only — neither folds into the digest.
+    pub fn finish(
         self,
         threads: usize,
         wall_clock: std::time::Duration,

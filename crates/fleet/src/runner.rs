@@ -80,14 +80,23 @@ impl FleetProgress {
             eta,
             shard,
             self.cache_hit,
-            scenario_json(
-                self.index,
-                &self.name,
-                self.medium_kind,
-                self.medium_counters.as_ref(),
-                &self.summaries,
-                self.cache_hit,
-            )
+            self.result_json()
+        )
+    }
+
+    /// Just this scenario's result object — the exact string
+    /// [`crate::FleetReport::summary_json`] places in its `results` array
+    /// for the same scenario.  The serve daemon's partial-result store
+    /// keeps these, so a mid-sweep partial query returns a byte-exact
+    /// prefix of the final summary document's `results`.
+    pub fn result_json(&self) -> String {
+        scenario_json(
+            self.index,
+            &self.name,
+            self.medium_kind,
+            self.medium_counters.as_ref(),
+            &self.summaries,
+            self.cache_hit,
         )
     }
 }
@@ -412,7 +421,15 @@ impl FleetRunner {
 /// and writes the entry back for next time.  With no cache (or a
 /// materializing retention, which the caller already stripped the cache
 /// for), this is plain [`ScenarioResult::execute_with`].
-fn execute_or_cached(
+///
+/// Public because it is the execution seam every sweep scheduler shares:
+/// the in-process runner's workers, the dist shards (via their own
+/// `FleetRunner`) and the `quanto-serve` daemon's pool all produce their
+/// per-scenario results through exactly this call, which is what makes
+/// their digests byte-identical.  A cache may only be supplied with
+/// [`Retention::Stream`] — no cache record can reproduce the raw entry
+/// bytes the batch digests fold.
+pub fn execute_or_cached(
     index: usize,
     scenario: Scenario,
     retention: Retention,

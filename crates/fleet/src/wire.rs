@@ -1,8 +1,10 @@
-//! A minimal JSON reader for the dist protocol and the result cache.
+//! A minimal JSON reader for every Quanto wire format.
 //!
-//! Both the work-queue protocol ([`crate::dist`]) and the on-disk cache
-//! ([`crate::cache`]) speak single-line JSON documents that this crate also
-//! *writes*, so the reader only has to cover the subset the writers emit:
+//! The work-queue protocol ([`crate::dist`]), the on-disk cache
+//! ([`crate::cache`]) and the `quanto-serve` client protocol all speak
+//! single-line JSON documents that this workspace also *writes* (see
+//! `docs/PROTOCOL.md` for the contracts), so the reader only has to cover
+//! the subset the writers emit:
 //! objects, arrays, strings (with the standard escapes), unsigned decimal
 //! integers, booleans and `null`.  Floats never appear on the wire — every
 //! `f64` travels as its IEEE-754 bit pattern in a `u64`, because digests
@@ -17,7 +19,7 @@ use std::fmt::Write as _;
 
 /// One parsed JSON value from the wire subset.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Value {
+pub enum Value {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -34,7 +36,7 @@ pub(crate) enum Value {
 
 impl Value {
     /// Parses one complete document; trailing non-whitespace is an error.
-    pub(crate) fn parse(text: &str) -> Option<Value> {
+    pub fn parse(text: &str) -> Option<Value> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
         let value = parse_value(bytes, &mut pos)?;
@@ -46,7 +48,7 @@ impl Value {
     }
 
     /// Object field lookup (first match).
-    pub(crate) fn get(&self, key: &str) -> Option<&Value> {
+    pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
             Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -54,7 +56,7 @@ impl Value {
     }
 
     /// This value as a `u64`, if it is one.
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Value::UInt(n) => Some(*n),
             _ => None,
@@ -62,7 +64,7 @@ impl Value {
     }
 
     /// This value as a string slice, if it is one.
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
             _ => None,
@@ -70,7 +72,7 @@ impl Value {
     }
 
     /// This value as an array slice, if it is one.
-    pub(crate) fn as_arr(&self) -> Option<&[Value]> {
+    pub fn as_arr(&self) -> Option<&[Value]> {
         match self {
             Value::Arr(items) => Some(items),
             _ => None,
@@ -78,7 +80,7 @@ impl Value {
     }
 
     /// This value as a bool, if it is one.
-    pub(crate) fn as_bool(&self) -> Option<bool> {
+    pub fn as_bool(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),
             _ => None,
@@ -86,12 +88,12 @@ impl Value {
     }
 
     /// `get(key)` then [`Value::as_u64`].
-    pub(crate) fn get_u64(&self, key: &str) -> Option<u64> {
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
         self.get(key)?.as_u64()
     }
 
     /// `get(key)` then [`Value::as_str`].
-    pub(crate) fn get_str(&self, key: &str) -> Option<&str> {
+    pub fn get_str(&self, key: &str) -> Option<&str> {
         self.get(key)?.as_str()
     }
 
@@ -99,7 +101,7 @@ impl Value {
     /// be present) maps to `None` inside `Some`: `Some(None)` for an
     /// explicit `null`, `Some(Some(n))` for a number, `None` for anything
     /// else or a missing field.
-    pub(crate) fn get_opt_u64(&self, key: &str) -> Option<Option<u64>> {
+    pub fn get_opt_u64(&self, key: &str) -> Option<Option<u64>> {
         match self.get(key)? {
             Value::Null => Some(None),
             Value::UInt(n) => Some(Some(*n)),
@@ -260,7 +262,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Option<Value> {
 }
 
 /// Appends `value` as a JSON string literal (quotes included) to `out`.
-pub(crate) fn push_json_str(out: &mut String, value: &str) {
+pub fn push_json_str(out: &mut String, value: &str) {
     out.push('"');
     for c in value.chars() {
         match c {

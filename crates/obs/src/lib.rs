@@ -289,6 +289,19 @@ pub struct HarvestResult {
     pub merged: Registry,
 }
 
+impl HarvestResult {
+    /// Renders the harvest as deterministic metrics text: the merged
+    /// registry in [`Registry::to_text`] format, with an `obs.threads`
+    /// gauge recording how many threads contributed.  This is the body
+    /// the `quanto-serve` metrics endpoint builds on, and a convenient
+    /// one-call dump for CLI `--obs` summaries.
+    pub fn to_text(&self) -> String {
+        let mut registry = self.merged.clone();
+        registry.gauge_set("obs.threads", self.threads.len() as u64);
+        registry.to_text()
+    }
+}
+
 /// Drains and returns everything recorded so far: dumps parked in the
 /// global sink by flushed or exited threads, plus the calling thread's own
 /// state. Threads that recorded data must have called [`flush_thread`] (or

@@ -1,0 +1,146 @@
+//! The `quanto-serve` daemon binary.
+//!
+//! Binds, prints one `quanto-serve listening on ADDR` line (scripts
+//! capture it — with `--addr 127.0.0.1:0` it is the only way to learn
+//! the port), then serves forever.  `fleet_sweep --server ADDR` is the
+//! matching client; `docs/PROTOCOL.md` documents the wire format.
+
+use quanto_serve::{ServeConfig, Server};
+use std::io::Write;
+
+const USAGE: &str = "usage: quanto_serve [--addr HOST:PORT] [--workers N] \
+[--cache DIR | --no-cache] [--obs]
+
+  --addr HOST:PORT   listen address (default 127.0.0.1:7645; port 0 = ephemeral)
+  --workers N        shared worker-pool size (default: available cores)
+  --cache DIR        result-cache directory (default .quanto-cache)
+  --no-cache         disable the result cache
+  --obs              enable quanto-obs tracing (spans/counters feed /metrics)
+";
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7645";
+const DEFAULT_CACHE_DIR: &str = ".quanto-cache";
+
+struct Args {
+    addr: String,
+    config: ServeConfig,
+    obs: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut workers: Option<usize> = None;
+    let mut cache: Option<String> = None;
+    let mut no_cache = false;
+    let mut obs = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--workers" => {
+                workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers needs a positive integer".to_string())?,
+                )
+            }
+            "--cache" => cache = Some(value("--cache")?),
+            "--no-cache" => no_cache = true,
+            "--obs" => obs = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if no_cache && cache.is_some() {
+        return Err("--cache and --no-cache are mutually exclusive".to_string());
+    }
+    let cache_dir = if no_cache {
+        None
+    } else {
+        Some(
+            cache
+                .unwrap_or_else(|| DEFAULT_CACHE_DIR.to_string())
+                .into(),
+        )
+    };
+    let mut config = ServeConfig {
+        cache_dir,
+        ..ServeConfig::default()
+    };
+    if let Some(w) = workers {
+        if w == 0 {
+            return Err("--workers needs a positive integer".to_string());
+        }
+        config.workers = w;
+    }
+    Ok(Args { addr, config, obs })
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(why) => {
+            eprintln!("error: {why}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if args.obs {
+        quanto_obs::set_enabled(true);
+    }
+    let server = match Server::bind(&args.addr, args.config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    println!("quanto-serve listening on {addr}");
+    let _ = std::io::stdout().flush();
+    server.start().join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Result<Args, String> {
+        parse_args(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_listen_on_the_fixed_port_with_a_cache() {
+        let parsed = args(&[]).expect("defaults parse");
+        assert_eq!(parsed.addr, DEFAULT_ADDR);
+        assert_eq!(
+            parsed.config.cache_dir.as_deref(),
+            Some(std::path::Path::new(DEFAULT_CACHE_DIR))
+        );
+        assert!(!parsed.obs);
+    }
+
+    #[test]
+    fn flags_parse_and_conflict() {
+        let parsed = args(&[
+            "--addr",
+            "0.0.0.0:0",
+            "--workers",
+            "3",
+            "--no-cache",
+            "--obs",
+        ])
+        .expect("flags parse");
+        assert_eq!(parsed.addr, "0.0.0.0:0");
+        assert_eq!(parsed.config.workers, 3);
+        assert!(parsed.config.cache_dir.is_none());
+        assert!(parsed.obs);
+        assert!(args(&["--cache", "d", "--no-cache"]).is_err());
+        assert!(args(&["--workers", "0"]).is_err());
+        assert!(args(&["--bogus"]).is_err());
+    }
+}

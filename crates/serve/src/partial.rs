@@ -1,0 +1,37 @@
+//! The per-job partial-summary store.
+//!
+//! Every merged cell's per-scenario summary line
+//! ([`quanto_fleet::FleetProgress::result_json`] — the exact string
+//! `FleetReport::summary_json` places in its `results` array) is appended
+//! here in merge order.  A mid-sweep `partial` query therefore answers
+//! with a **byte-exact prefix** of the final summary's `results` array,
+//! without touching the accumulator or blocking the sweep.
+
+/// Merged per-scenario summary lines, in submission order.
+#[derive(Debug, Default)]
+pub(crate) struct PartialStore {
+    entries: Vec<String>,
+}
+
+impl PartialStore {
+    /// Appends the next merged cell's summary line.
+    pub(crate) fn push(&mut self, scenario_json: String) {
+        self.entries.push(scenario_json);
+    }
+
+    /// Renders the prefix as a JSON array — byte-identical to the first
+    /// `len()` elements of the final summary's `results` array.
+    pub(crate) fn render_array(&self) -> String {
+        let mut out =
+            String::with_capacity(2 + self.entries.iter().map(|e| e.len() + 1).sum::<usize>());
+        out.push('[');
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(entry);
+        }
+        out.push(']');
+        out
+    }
+}

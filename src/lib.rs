@@ -18,7 +18,10 @@
 //!   and
 //! * [`quanto_obs`] — the sweep engine's own tracing & metrics layer,
 //!   attributing wall-clock to scenarios and phases the way Quanto
-//!   attributes energy to activities.
+//!   attributes energy to activities, and
+//! * [`quanto_serve`] — the sweep-as-a-service daemon: multi-tenant grid
+//!   sweeps over one shared worker pool, streamed live over the JSON-lines
+//!   protocol documented in `docs/PROTOCOL.md`.
 //!
 //! # Quickstart
 //!
@@ -53,6 +56,7 @@ pub use quanto_apps;
 pub use quanto_core;
 pub use quanto_fleet;
 pub use quanto_obs;
+pub use quanto_serve;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
