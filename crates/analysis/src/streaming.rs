@@ -291,6 +291,14 @@ impl SegmentBuilder {
         self.retained.clear();
     }
 
+    /// Like [`SegmentBuilder::reset`], but also retargets the builder to
+    /// `device` — so one pooled builder can serve nodes whose device ids
+    /// differ across scenarios.
+    pub fn reset_for(&mut self, device: DeviceId) {
+        self.device = device;
+        self.reset();
+    }
+
     /// Closes the stream, optionally closing the last segment at
     /// `final_stamp`.  Returns the undrained segments.
     pub fn finish(mut self, final_stamp: Option<Stamp>) -> Vec<ActivitySegment> {

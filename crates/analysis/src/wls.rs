@@ -71,6 +71,11 @@ impl ObservationPool {
         slot.1 += interval.counts as u64;
     }
 
+    /// Empties the pool for reuse across runs.
+    pub fn clear(&mut self) {
+        self.grouped.clear();
+    }
+
     /// Number of distinct state combinations seen.
     pub fn len(&self) -> usize {
         self.grouped.len()

@@ -82,7 +82,12 @@
 //! per thread count as bench-compatible summary lines for `bench_check`, on
 //! hosts with more than one CPU fails unless the 4-thread run shows at
 //! least the required speedup (default 1.5×, `--min-speedup X` to
-//! override), and finally runs the retention gates: a 64-scenario batch
+//! override), on single-CPU hosts fails instead if the 4-thread wall
+//! exceeds 1.15× the 1-thread wall (the merge-loop health gate: workers
+//! must not park on the reorder-window backpressure gate when in window —
+//! `--obs` attributes any stall via the `runner.backpressure_stalls` and
+//! `runner.merge_wakeups` counters), and finally runs the retention
+//! gates: a 64-scenario batch
 //! must hold *zero* raw entries on the default streaming path, and must
 //! stay under a quarter of its entries on the materializing batch-digest
 //! path (the reorder-window bound).
@@ -482,8 +487,27 @@ fn smoke(args: &Args) -> ExitCode {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // Merge-loop health gate.  On a single CPU no speedup is possible, but
+    // the 4-thread run must still track the 1-thread run closely: with the
+    // lock-free merge watermark, workers only park on the reorder-window
+    // gate when genuinely out of window, so a t4/t1 blowout means the
+    // backpressure handoff regressed.  The stall instrumentation
+    // (`runner.backpressure_stalls`, `runner.merge_wakeups`) lands in the
+    // `--obs` profile's merged counters for attribution.
+    let ratio = wall4.as_secs_f64() / wall1.as_secs_f64().max(1e-9);
     if cores < 2 {
-        println!("(single-CPU host: speedup threshold not enforced, determinism was)");
+        println!(
+            "(single-CPU host: speedup threshold not enforced; t4/t1 ratio {ratio:.3} \
+             gated at 1.15)"
+        );
+        if ratio > 1.15 {
+            eprintln!(
+                "fleet_sweep: MERGE-STALL FAILURE — 4-thread wall {wall4:.1?} is {ratio:.2}x \
+                 the 1-thread wall {wall1:.1?} on a single-CPU host (budget 1.15x); rerun \
+                 with --obs and check runner.backpressure_stalls / runner.merge_wakeups"
+            );
+            return ExitCode::FAILURE;
+        }
     } else if speedup < args.min_speedup {
         eprintln!(
             "fleet_sweep: SPEEDUP FAILURE — {speedup:.2}x < required {:.2}x on a {cores}-CPU host",

@@ -138,13 +138,24 @@ impl RamLogger {
     /// Appends an entry, applying the overflow policy if the buffer is full.
     ///
     /// Returns `true` if the entry was stored (possibly evicting another),
-    /// `false` if it was dropped.
+    /// `false` if it was dropped.  The not-full case is the steady-state hot
+    /// path: one bounds check and a push into pre-reserved capacity, with the
+    /// policy `match` hoisted into the cold overflow handler.
+    #[inline]
     pub fn record(&mut self, entry: LogEntry) -> bool {
         self.offered += 1;
         if self.buffer.len() < self.capacity {
             self.buffer.push(entry);
             return true;
         }
+        self.record_overflow(entry)
+    }
+
+    /// The buffer-full slow path — at most once per `capacity` records under
+    /// `Flush`, so it stays out of the inlined fast path.
+    #[cold]
+    #[inline(never)]
+    fn record_overflow(&mut self, entry: LogEntry) -> bool {
         self.overflows += 1;
         match self.policy {
             OverflowPolicy::Stop => {
@@ -256,11 +267,55 @@ impl RamLogger {
     }
 
     /// Simulates the host pulling the whole log off the node: returns every
-    /// surviving held entry and clears the logger.
+    /// surviving held entry and clears the logger.  Moves the `drained`
+    /// backlog out wholesale instead of copying it — only the buffered tail
+    /// (at most `capacity` entries) is appended.
     pub fn take(&mut self) -> Vec<LogEntry> {
-        let mut all = Vec::with_capacity(self.len());
-        self.drain_to(&mut |chunk: &[LogEntry]| all.extend_from_slice(chunk));
+        let n = self.len() as u64;
+        let mut all = std::mem::take(&mut self.drained);
+        all.append(&mut self.buffer);
+        self.flushed += n;
         all
+    }
+
+    /// Returns the logger to its just-constructed state — empty, zeroed
+    /// statistics, no sink — keeping the RAM buffer's allocation so a pooled
+    /// logger records without reallocating.  Capacity and policy are
+    /// unchanged.
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+        self.drained.clear();
+        self.sink = None;
+        self.flushed = 0;
+        self.dropped = 0;
+        self.offered = 0;
+        self.overflows = 0;
+    }
+
+    /// Adopts a recycled entry buffer as the RAM buffer, keeping its
+    /// allocation.  Only valid on an empty logger (a pool hands buffers to
+    /// freshly built or [`RamLogger::reset`] loggers); the buffer is cleared
+    /// and grown to at least `capacity` entries.
+    pub fn adopt_buffer(&mut self, mut buf: Vec<LogEntry>) {
+        debug_assert!(
+            self.buffer.is_empty(),
+            "adopt_buffer requires an empty logger"
+        );
+        buf.clear();
+        if buf.capacity() < self.capacity {
+            buf.reserve(self.capacity - buf.len());
+        }
+        self.buffer = buf;
+    }
+
+    /// Surrenders the RAM buffer's allocation to a pool, clearing any held
+    /// entries without accounting them (the run is over; the replacement
+    /// buffer is empty).  The logger is left with an unallocated buffer and
+    /// must be rebuilt or re-adopted before further use.
+    pub fn recycle_buffer(&mut self) -> Vec<LogEntry> {
+        let mut buf = std::mem::take(&mut self.buffer);
+        buf.clear();
+        buf
     }
 }
 
@@ -413,6 +468,82 @@ mod tests {
         assert!(l.is_empty());
         assert_eq!(l.ram_bytes_used(), 0);
         assert_eq!(l.flushed(), 2, "take is sink-based draining");
+    }
+
+    #[test]
+    fn take_moves_the_drained_backlog_without_copying() {
+        let mut l = RamLogger::new(2, OverflowPolicy::Flush);
+        for i in 0..7 {
+            l.record(entry(i));
+        }
+        let backlog_ptr = l.drained().as_ptr();
+        let taken = l.take();
+        assert_eq!(taken.len(), 7);
+        assert_eq!(
+            taken.as_ptr(),
+            backlog_ptr,
+            "backlog must be moved, not copied"
+        );
+        for (i, e) in taken.iter().enumerate() {
+            assert_eq!(*e, entry(i as u32));
+        }
+        assert!(l.is_empty());
+        assert_eq!(l.flushed(), 7);
+        assert_eq!(l.offered(), 7);
+    }
+
+    #[test]
+    fn reset_returns_logger_to_boot_state_keeping_capacity() {
+        let mut l = RamLogger::new(3, OverflowPolicy::Flush);
+        l.set_sink(Box::new(CountingSink::new()));
+        for i in 0..10 {
+            l.record(entry(i));
+        }
+        let buf_ptr = l.buffered().as_ptr();
+        l.reset();
+        assert!(l.is_empty());
+        assert!(!l.has_sink());
+        assert_eq!(l.offered(), 0);
+        assert_eq!(l.flushed(), 0);
+        assert_eq!(l.dropped(), 0);
+        assert_eq!(l.overflows(), 0);
+        assert_eq!(l.capacity(), 3);
+        assert_eq!(l.policy(), OverflowPolicy::Flush);
+        l.record(entry(0));
+        assert_eq!(
+            l.buffered().as_ptr(),
+            buf_ptr,
+            "reset keeps the buffer allocation"
+        );
+    }
+
+    #[test]
+    fn recycled_buffer_round_trips_through_adoption() {
+        let mut a = RamLogger::new(4, OverflowPolicy::Stop);
+        a.record(entry(0));
+        a.record(entry(1));
+        let mut recycled = a.recycle_buffer();
+        assert!(recycled.is_empty());
+        assert!(recycled.capacity() >= 4);
+        recycled.push(entry(9)); // stale garbage a pool might carry
+        let ptr = recycled.as_ptr();
+        let mut b = RamLogger::new(4, OverflowPolicy::Wrap);
+        b.adopt_buffer(recycled);
+        assert!(b.is_empty(), "adopted buffer arrives cleared");
+        b.record(entry(5));
+        assert_eq!(b.buffered(), &[entry(5)][..]);
+        assert_eq!(b.buffered().as_ptr(), ptr, "allocation is reused");
+    }
+
+    #[test]
+    fn adopting_an_undersized_buffer_grows_it_to_capacity() {
+        let mut l = RamLogger::new(16, OverflowPolicy::Stop);
+        l.adopt_buffer(Vec::new());
+        assert!(l.buffered().is_empty());
+        for i in 0..16 {
+            assert!(l.record(entry(i)));
+        }
+        assert_eq!(l.overflows(), 0);
     }
 
     #[test]

@@ -464,6 +464,19 @@ impl QuantoRuntime {
         self.logger.take()
     }
 
+    /// Adopts a recycled entry buffer as the RAM log buffer (see
+    /// [`RamLogger::adopt_buffer`]) — the workspace-pool seam that lets a
+    /// freshly built node record into a previous run's allocation.
+    pub fn adopt_log_buffer(&mut self, buf: Vec<LogEntry>) {
+        self.logger.adopt_buffer(buf);
+    }
+
+    /// Surrenders the RAM log buffer's allocation to a pool (see
+    /// [`RamLogger::recycle_buffer`]).
+    pub fn recycle_log_buffer(&mut self) -> Vec<LogEntry> {
+        self.logger.recycle_buffer()
+    }
+
     /// The online accumulators (meaningful in `Counters`/`Both` mode).
     pub fn counters(&self) -> &OnlineCounters {
         &self.counters

@@ -51,6 +51,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod wire;
+pub mod workspace;
 
 pub use grid::{GridError, GridSpec};
 
@@ -61,11 +62,12 @@ pub use report::{
     CounterAccessError, FleetReport, NodeStreamMeta, NodeSummary, RawAccessError,
     RawScenarioOutputs, ReportAccumulator, ScenarioResult,
 };
-pub use runner::{execute_or_cached, FleetProgress, FleetRunner, Retention};
+pub use runner::{execute_or_cached, execute_or_cached_in, FleetProgress, FleetRunner, Retention};
 pub use scenario::{
     AppSpec, GeometrySpec, MediumSpec, PathLossSpec, Scenario, TopologySpec, TraceSpec,
     SPEC_DIGEST_VERSION,
 };
+pub use workspace::SimWorkspace;
 
 /// The paper's experiment grids as scenario batches, and adapters from
 /// scenario results back into the `quanto-apps` result types.

@@ -204,7 +204,12 @@ pub struct ScenarioResult {
 /// The live per-node analysis state a streaming scenario's sink drives:
 /// everything is folded chunk-by-chunk as the logger drains, so memory is
 /// bounded by the builders' *open* state, never by the log length.
-struct LiveNode {
+///
+/// Pooled by [`crate::workspace::SimWorkspace`]: between scenarios
+/// [`LiveNode::reset`] returns the builders to boot state while keeping
+/// every allocation (per-sink state vectors, segment buffers, the encode
+/// scratch), so the steady-state sweep path builds no per-node state.
+pub(crate) struct LiveNode {
     catalog: Arc<Catalog>,
     radio_rx: SinkId,
     energy_per_count: Energy,
@@ -216,13 +221,61 @@ struct LiveNode {
     /// Log-drain chunks this sink consumed (a plain count the obs layer
     /// reads after the run; never branches on the hot path).
     chunks: u64,
+    /// Reusable encode buffer for the chunked digest fold — warm after the
+    /// first full chunk, so folding allocates nothing at steady state.
+    scratch: Vec<u8>,
 }
 
 impl LiveNode {
+    /// Fresh analysis state for one node (first use of a workspace slot).
+    fn new(
+        catalog: Arc<Catalog>,
+        radio_rx: SinkId,
+        energy_per_count: Energy,
+        cpu_dev: quanto_core::DeviceId,
+        encoding: LogEncoding,
+    ) -> Self {
+        LiveNode {
+            radio_rx,
+            energy_per_count,
+            digest: StreamDigest::with_encoding(encoding),
+            builder: IntervalBuilder::new(&catalog),
+            segments: SegmentBuilder::new(cpu_dev, false),
+            stats: IntervalStats::new(),
+            cpu_segments: 0,
+            chunks: 0,
+            scratch: Vec::new(),
+            catalog,
+        }
+    }
+
+    /// Returns the slot to the state [`LiveNode::new`] would build for the
+    /// given node, keeping every allocation.  Behaviour-identical to a fresh
+    /// slot: the builders' reset seams restore boot state exactly, and the
+    /// digest/stats are plain `Copy` re-initializations.
+    fn reset(
+        &mut self,
+        catalog: Arc<Catalog>,
+        radio_rx: SinkId,
+        energy_per_count: Energy,
+        cpu_dev: quanto_core::DeviceId,
+        encoding: LogEncoding,
+    ) {
+        self.radio_rx = radio_rx;
+        self.energy_per_count = energy_per_count;
+        self.digest = StreamDigest::with_encoding(encoding);
+        self.builder.reset(&catalog);
+        self.segments.reset_for(cpu_dev);
+        self.stats.reset();
+        self.cpu_segments = 0;
+        self.chunks = 0;
+        self.catalog = catalog;
+    }
+
     /// Consumes one chunk: entry digest, power intervals, CPU segments.
     fn accept(&mut self, chunk: &[LogEntry]) {
         self.chunks += 1;
-        self.digest.accept(chunk);
+        self.digest.fold_chunk(chunk, &mut self.scratch);
         self.builder.push_chunk(chunk);
         for iv in self.builder.drain_completed() {
             self.stats.absorb(&iv, self.radio_rx, self.energy_per_count);
@@ -307,28 +360,60 @@ impl ScenarioResult {
     /// bit-identical to [`ScenarioResult::execute`] (the builders are
     /// chunking-independent); raw access is unavailable by construction.
     pub fn execute_streaming(index: usize, scenario: Scenario) -> ScenarioResult {
+        let mut ws = crate::workspace::SimWorkspace::new();
+        ScenarioResult::execute_streaming_in(index, scenario, &mut ws)
+    }
+
+    /// [`ScenarioResult::execute_streaming`] through a pooled
+    /// [`crate::workspace::SimWorkspace`]: the simulation is built from the
+    /// workspace's recycled allocations (engine containers, per-node log
+    /// buffers, the spatial-index grid) and its per-node analysis slots are
+    /// reset-and-reused instead of rebuilt.  Behaviour-identical to a fresh
+    /// execution — every reset seam restores boot state exactly, which the
+    /// digest pins prove — so the only observable difference is allocator
+    /// traffic.
+    pub fn execute_streaming_in(
+        index: usize,
+        scenario: Scenario,
+        ws: &mut crate::workspace::SimWorkspace,
+    ) -> ScenarioResult {
         let kind = scenario.app.kind();
         let _scenario_span = quanto_obs::span_with("scenario", &scenario.name);
         let build_span = quanto_obs::span_with("build", kind);
-        let mut net = scenario.build();
+        let mut net = scenario.build_in(&mut ws.net);
         net.set_trace_recording(false);
         let node_ids = scenario.node_ids();
+        let encoding = scenario.log_encoding();
         let mut live: Vec<(NodeId, Rc<RefCell<LiveNode>>)> = Vec::with_capacity(node_ids.len());
+        let mut reuses = 0u64;
+        let mut rebuilds = 0u64;
         for id in node_ids {
             let kernel = net.node(id).expect("scenario node exists").kernel();
             let catalog = kernel.catalog().clone();
             let (cpu_dev, ..) = kernel.device_ids();
-            let node = Rc::new(RefCell::new(LiveNode {
-                radio_rx: kernel.sink_ids().radio_rx,
-                energy_per_count: kernel.config().icount.nominal_energy_per_pulse,
-                digest: StreamDigest::with_encoding(scenario.log_encoding()),
-                builder: IntervalBuilder::new(&catalog),
-                segments: SegmentBuilder::new(cpu_dev, false),
-                stats: IntervalStats::new(),
-                cpu_segments: 0,
-                chunks: 0,
-                catalog,
-            }));
+            let radio_rx = kernel.sink_ids().radio_rx;
+            let energy_per_count = kernel.config().icount.nominal_energy_per_pulse;
+            // A pooled slot is reusable only once its previous sink closure
+            // is gone (strong count back to 1); anything else — e.g. a slot
+            // checked out when a build panicked mid-scenario — is discarded.
+            let node = match ws.slots.pop() {
+                Some(slot) if Rc::strong_count(&slot) == 1 => {
+                    slot.borrow_mut()
+                        .reset(catalog, radio_rx, energy_per_count, cpu_dev, encoding);
+                    reuses += 1;
+                    slot
+                }
+                _ => {
+                    rebuilds += 1;
+                    Rc::new(RefCell::new(LiveNode::new(
+                        catalog,
+                        radio_rx,
+                        energy_per_count,
+                        cpu_dev,
+                        encoding,
+                    )))
+                }
+            };
             let tap = node.clone();
             net.set_node_log_sink(
                 id,
@@ -336,6 +421,8 @@ impl ScenarioResult {
             );
             live.push((id, node));
         }
+        quanto_obs::counter_add("workspace.reuses", reuses);
+        quanto_obs::counter_add("workspace.rebuilds", rebuilds);
         drop(build_span);
         let run_span = quanto_obs::span_with("run", kind);
         let end = SimTime::ZERO + scenario.duration;
@@ -348,8 +435,11 @@ impl ScenarioResult {
         let outputs = net.finish(end);
         flush_obs_metrics(&net);
         // Tear the simulation down (sinks included) while the analyze span
-        // is still open, for the same attribution reason as in `execute`.
-        drop(net);
+        // is still open, for the same attribution reason as in `execute` —
+        // except the allocations land in the workspace instead of the
+        // allocator, ready for the next scenario.
+        net.reset_into(&mut ws.net);
+        quanto_obs::counter_add("alloc.log_buffers_pooled", ws.net.log_buffers() as u64);
         let mut summaries = Vec::with_capacity(outputs.len());
         let mut stream = Vec::with_capacity(outputs.len());
         for ((id, out), (live_id, node)) in outputs.iter().zip(live.iter()) {
@@ -389,6 +479,11 @@ impl ScenarioResult {
                 ground_truth_total: out.ground_truth.total,
             });
         }
+        // Hand every slot back for the next scenario through this workspace
+        // (the sinks died with the net, so each is reusable again).
+        for (_, node) in live {
+            ws.slots.push(node);
+        }
         let medium_kind = scenario.medium.kind();
         ScenarioResult {
             index,
@@ -408,6 +503,21 @@ impl ScenarioResult {
     pub fn execute_with(index: usize, scenario: Scenario, retention: Retention) -> ScenarioResult {
         match retention {
             Retention::Stream => ScenarioResult::execute_streaming(index, scenario),
+            Retention::Batch | Retention::Raw => ScenarioResult::execute(index, scenario),
+        }
+    }
+
+    /// [`ScenarioResult::execute_with`] through a pooled workspace: the
+    /// streaming path reuses the workspace's allocations, the batch paths
+    /// (which must materialize fresh logs anyway) are unchanged.
+    pub fn execute_with_in(
+        index: usize,
+        scenario: Scenario,
+        retention: Retention,
+        ws: &mut crate::workspace::SimWorkspace,
+    ) -> ScenarioResult {
+        match retention {
+            Retention::Stream => ScenarioResult::execute_streaming_in(index, scenario, ws),
             Retention::Batch | Retention::Raw => ScenarioResult::execute(index, scenario),
         }
     }
@@ -703,15 +813,19 @@ impl ScenarioResult {
         let encoding = self.scenario.log_encoding();
         h.write(self.scenario.name.as_bytes());
         h.write(&(self.index as u64).to_le_bytes());
+        // Whole-log chunked fold: encode every entry into one scratch buffer
+        // and hash it in a single pass.  FNV-1a folds byte by byte, so the
+        // concatenation hashes identically to the historical entry-at-a-time
+        // writes — the pinned digests prove it.
+        let mut bytes = Vec::new();
         for (id, out) in &raw.outputs {
             fold_node_id(h, *id);
             h.write(&(out.log.len() as u64).to_le_bytes());
-            let mut bytes = Vec::new();
+            bytes.clear();
             for entry in &out.log {
-                bytes.clear();
                 encoding.encode_entry(entry, &mut bytes);
-                h.write(&bytes);
             }
+            h.write(&bytes);
             h.write(&out.final_stamp.time.as_micros().to_le_bytes());
             h.write(&out.final_stamp.icount.to_le_bytes());
             h.write(&out.log_dropped.to_le_bytes());
@@ -870,6 +984,17 @@ impl IntervalStats {
             energy: Energy::ZERO,
             pool: ObservationPool::new(),
         }
+    }
+
+    /// Zeroes every accumulator and empties the observation pool — the
+    /// workspace-reset counterpart of [`IntervalStats::new`].
+    fn reset(&mut self) {
+        self.counts = 0;
+        self.time = SimDuration::ZERO;
+        self.duty_active_us = 0;
+        self.duty_total_us = 0;
+        self.energy = Energy::ZERO;
+        self.pool.clear();
     }
 
     fn absorb(&mut self, iv: &PowerInterval, radio_rx: SinkId, energy_per_count: Energy) {

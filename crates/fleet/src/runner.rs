@@ -21,6 +21,7 @@
 use crate::cache::{CacheStats, ResultCache};
 use crate::report::{scenario_json, FleetReport, NodeSummary, ReportAccumulator, ScenarioResult};
 use crate::scenario::Scenario;
+use crate::workspace::SimWorkspace;
 use net_sim::DeliveryCounters;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -289,8 +290,9 @@ impl FleetRunner {
         if workers <= 1 {
             quanto_obs::set_thread_label("worker-0");
             let worker_span = quanto_obs::span("worker");
+            let mut ws = SimWorkspace::new();
             for (i, s) in scenarios.into_iter().enumerate() {
-                let result = execute_or_cached(i, s, retention, cache);
+                let result = execute_or_cached_in(i, s, retention, cache, &mut ws);
                 held += result.log_entries_held();
                 peak = peak.max(held);
                 let _merge_span = quanto_obs::span("merge");
@@ -313,8 +315,14 @@ impl FleetRunner {
             // out of `thread::scope` instead of hanging the run.
             let window = (2 * workers).max(8);
             let cursor = AtomicUsize::new(0);
+            // Lock-free mirror of `MergeGate::merged`: workers comfortably
+            // inside the window check this and never touch the gate mutex —
+            // the common case on balanced sweeps, and the handoff that used
+            // to serialize workers against the merge loop on small hosts.
+            let watermark = AtomicUsize::new(0);
             let gate = Mutex::new(MergeGate {
                 merged: 0,
+                waiters: 0,
                 abort: false,
             });
             let advanced = Condvar::new();
@@ -326,9 +334,11 @@ impl FleetRunner {
                     let scenarios = &scenarios;
                     let gate = &gate;
                     let advanced = &advanced;
+                    let watermark = &watermark;
                     scope.spawn(move || {
                         quanto_obs::set_thread_label(&format!("worker-{w}"));
                         let _wake = WakeOnUnwind { gate, advanced };
+                        let mut ws = SimWorkspace::new();
                         {
                             let _worker_span = quanto_obs::span("worker");
                             loop {
@@ -336,23 +346,34 @@ impl FleetRunner {
                                 if i >= total {
                                     break;
                                 }
-                                {
+                                // Fast path: inside the window per the
+                                // atomic watermark — no lock.  (A stale read
+                                // only under-approximates `merged`, so it
+                                // can never admit an out-of-window start.)
+                                if i >= watermark.load(Ordering::Acquire) + window {
                                     let mut g = gate.lock().unwrap_or_else(|p| p.into_inner());
                                     if i >= g.merged + window && !g.abort {
                                         // Only an actual wait opens a stall
                                         // span — an open gate costs nothing.
                                         let _stall_span = quanto_obs::span("stall");
                                         quanto_obs::counter_add("runner.backpressure_stalls", 1);
+                                        g.waiters += 1;
                                         while i >= g.merged + window && !g.abort {
                                             g = advanced.wait(g).unwrap_or_else(|p| p.into_inner());
                                         }
+                                        g.waiters -= 1;
                                     }
                                     if g.abort {
                                         break;
                                     }
                                 }
-                                let result =
-                                    execute_or_cached(i, scenarios[i].clone(), retention, cache);
+                                let result = execute_or_cached_in(
+                                    i,
+                                    scenarios[i].clone(),
+                                    retention,
+                                    cache,
+                                    &mut ws,
+                                );
                                 // The send wakes a parked receiver, which is
                                 // where the scheduler preempts oversubscribed
                                 // workers — span it so worker wall-clock
@@ -392,8 +413,20 @@ impl FleetRunner {
                         next += 1;
                     }
                     if next != before {
-                        gate.lock().unwrap_or_else(|p| p.into_inner()).merged = next;
-                        advanced.notify_all();
+                        // Publish the watermark lock-free first (workers'
+                        // fast path), then update the gate — and only pay
+                        // the notify syscall when someone is actually
+                        // parked on the window.
+                        watermark.store(next, Ordering::Release);
+                        let wake = {
+                            let mut g = gate.lock().unwrap_or_else(|p| p.into_inner());
+                            g.merged = next;
+                            g.waiters > 0
+                        };
+                        if wake {
+                            quanto_obs::counter_add("runner.merge_wakeups", 1);
+                            advanced.notify_all();
+                        }
                     }
                 }
                 let aborted = gate.lock().unwrap_or_else(|p| p.into_inner()).abort;
@@ -435,17 +468,33 @@ pub fn execute_or_cached(
     retention: Retention,
     cache: Option<&ResultCache>,
 ) -> ScenarioResult {
+    let mut ws = SimWorkspace::new();
+    execute_or_cached_in(index, scenario, retention, cache, &mut ws)
+}
+
+/// [`execute_or_cached`] through a pooled [`SimWorkspace`]: the streaming
+/// simulation path draws its allocations from (and returns them to) the
+/// workspace, so a worker looping over scenarios allocates like it ran one.
+/// Results are byte-identical to [`execute_or_cached`] — pooling recycles
+/// capacity, never state.
+pub fn execute_or_cached_in(
+    index: usize,
+    scenario: Scenario,
+    retention: Retention,
+    cache: Option<&ResultCache>,
+    ws: &mut SimWorkspace,
+) -> ScenarioResult {
     match cache {
         Some(cache) => {
             debug_assert_eq!(retention, Retention::Stream, "cache is stream-only");
             if let Some(result) = cache.load_result(index, &scenario) {
                 return result;
             }
-            let result = ScenarioResult::execute_streaming(index, scenario);
+            let result = ScenarioResult::execute_streaming_in(index, scenario, ws);
             cache.store_record(&result.scenario, &result.to_record());
             result
         }
-        None => ScenarioResult::execute_with(index, scenario, retention),
+        None => ScenarioResult::execute_with_in(index, scenario, retention, ws),
     }
 }
 
@@ -459,6 +508,9 @@ impl Default for FleetRunner {
 struct MergeGate {
     /// Scenarios merged so far (the next index to merge).
     merged: usize,
+    /// Workers currently parked on the window — lets the merge loop skip
+    /// the notify syscall entirely when nobody is waiting (the common case).
+    waiters: usize,
     /// Raised when any thread unwinds, so parked waiters exit instead of
     /// waiting for a watermark advance that will never come.
     abort: bool,
@@ -707,6 +759,51 @@ mod tests {
         assert!(batch.pinned_digest().is_some());
         assert_eq!(batch.digest(), plain.digest());
         std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// Workspace pooling is capacity-only: running the same grid twice
+    /// through one pooled workspace — including geometric mediums, whose
+    /// spatial-index grid is recycled — must fold byte-identical stream
+    /// digests to cold, workspace-free executions, while actually reusing
+    /// the pooled per-node slots.
+    #[test]
+    fn pooled_workspace_reuse_is_digest_identical_to_fresh_execution() {
+        use crate::report::Fnv;
+        let grid = || {
+            let mut batch = small_batch();
+            batch.extend(scenarios::medium_grid(SimDuration::from_secs(1)));
+            batch
+        };
+        let fold = |results: &[ScenarioResult]| {
+            let mut h = Fnv::new();
+            for r in results {
+                r.fold_stream_digest(&mut h);
+            }
+            h.finish()
+        };
+        let fresh: Vec<ScenarioResult> = grid()
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| ScenarioResult::execute_streaming(i, s))
+            .collect();
+        let mut ws = SimWorkspace::new();
+        for pass in 0..2 {
+            let pooled: Vec<ScenarioResult> = grid()
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| ScenarioResult::execute_streaming_in(i, s, &mut ws))
+                .collect();
+            assert_eq!(
+                fold(&pooled),
+                fold(&fresh),
+                "pass {pass} through the pooled workspace diverged"
+            );
+            for (a, b) in pooled.iter().zip(fresh.iter()) {
+                assert_eq!(a.stream_meta(), b.stream_meta(), "{}", a.scenario.name);
+            }
+        }
+        assert!(ws.pooled_slots() > 0, "slots must be parked between runs");
+        assert!(ws.pooled_log_buffers() > 0, "log buffers must be recycled");
     }
 
     #[test]

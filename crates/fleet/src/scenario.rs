@@ -9,8 +9,8 @@
 
 use hw_model::{SimDuration, SimTime};
 use net_sim::{
-    Mobility, MobilityTrace, NetSim, PathLoss, PathLossParams, Position, PositionedMedium,
-    RadioMedium, Topology, UnitDisk,
+    Mobility, MobilityTrace, NetScratch, NetSim, PathLoss, PathLossParams, Position,
+    PositionedMedium, RadioMedium, SpatialIndex, Topology, UnitDisk,
 };
 use os_sim::{NodeConfig, NullApp};
 use quanto_apps::{
@@ -156,12 +156,18 @@ impl GeometrySpec {
         seed: u64,
         positions: &[(u32, f64, f64)],
         brute_force: bool,
+        spare_index: Option<SpatialIndex>,
     ) -> Box<dyn PositionedMedium> {
         match self {
             GeometrySpec::UnitDisk { range_m } => {
                 let mut disk = UnitDisk::new(*range_m);
                 if brute_force {
                     disk = disk.without_spatial_index();
+                } else if let Some(spare) = spare_index {
+                    // Recycled cell grid from a torn-down medium; adopted
+                    // (and reset) before any placement, so the built state
+                    // is identical to a fresh index.
+                    disk.adopt_spatial_index(spare);
                 }
                 for (id, x, y) in positions {
                     disk.set_position(NodeId(*id), Position::new(*x, *y));
@@ -172,6 +178,8 @@ impl GeometrySpec {
                 let mut model = PathLoss::new(spec.to_params(seed));
                 if brute_force {
                     model = model.without_spatial_index();
+                } else if let Some(spare) = spare_index {
+                    model.adopt_spatial_index(spare);
                 }
                 for (id, x, y) in positions {
                     model.set_position(NodeId(*id), Position::new(*x, *y));
@@ -235,21 +243,37 @@ impl MediumSpec {
 
     /// Builds the propagation model; `None` for [`MediumSpec::Ideal`], which
     /// keeps the scenario's topology-driven default.
-    fn build(&self, seed: u64, brute_force: bool) -> Option<Box<dyn RadioMedium>> {
+    fn build(
+        &self,
+        seed: u64,
+        brute_force: bool,
+        spare_index: Option<SpatialIndex>,
+    ) -> Option<Box<dyn RadioMedium>> {
         match self {
             MediumSpec::Ideal => None,
-            MediumSpec::UnitDisk { range_m, positions } => Some(
-                GeometrySpec::UnitDisk { range_m: *range_m }.build(seed, positions, brute_force),
-            ),
+            MediumSpec::UnitDisk { range_m, positions } => {
+                Some(GeometrySpec::UnitDisk { range_m: *range_m }.build(
+                    seed,
+                    positions,
+                    brute_force,
+                    spare_index,
+                ))
+            }
             MediumSpec::PathLoss { model, positions } => {
-                Some(GeometrySpec::PathLoss(model.clone()).build(seed, positions, brute_force))
+                Some(GeometrySpec::PathLoss(model.clone()).build(
+                    seed,
+                    positions,
+                    brute_force,
+                    spare_index,
+                ))
             }
             MediumSpec::Mobility {
                 base,
                 positions,
                 traces,
             } => {
-                let mut mobility = Mobility::new(base.build(seed, positions, brute_force));
+                let mut mobility =
+                    Mobility::new(base.build(seed, positions, brute_force, spare_index));
                 for (id, waypoints) in traces {
                     let waypoints = waypoints
                         .iter()
@@ -490,7 +514,15 @@ impl Scenario {
 
     /// Builds a ready-to-run simulation of this scenario.
     pub fn build(&self) -> NetSim {
-        let mut net = NetSim::new();
+        self.build_in(&mut NetScratch::new())
+    }
+
+    /// [`Scenario::build`] reusing the allocations a previous simulation
+    /// left in `scratch` (engine containers, per-node log buffers, the
+    /// spatial-index grid).  Behaviour-identical to a cold build: every
+    /// recycled structure is reset before use, which the digest pins prove.
+    pub fn build_in(&self, scratch: &mut NetScratch) -> NetSim {
+        let mut net = NetSim::new_in(scratch);
         let quiet = |id: u32| NodeConfig {
             dco_calibration: false,
             ..NodeConfig::new(NodeId(id))
@@ -540,7 +572,17 @@ impl Scenario {
             }
         }
         net.set_topology(self.topology.to_topology());
-        if let Some(model) = self.medium.build(self.seed, self.brute_force_medium) {
+        // The recycled spatial index is only pulled out of the scratch for
+        // mediums that can actually adopt one — the ideal medium leaves it
+        // pooled for a later geometric scenario.
+        let spare_index = match &self.medium {
+            MediumSpec::Ideal => None,
+            _ => scratch.take_spatial_index(),
+        };
+        if let Some(model) = self
+            .medium
+            .build(self.seed, self.brute_force_medium, spare_index)
+        {
             net.set_medium(model);
         }
         net

@@ -137,19 +137,22 @@ pub struct EnergyAccumulator {
     state: StateVector,
     now: SimTime,
     total: Energy,
-    per_sink: HashMap<SinkId, Energy>,
+    /// Per-sink attribution, dense-indexed by `SinkId` — `advance` runs on
+    /// every instrumentation stamp, so this must not hash.
+    per_sink: Vec<Energy>,
 }
 
 impl EnergyAccumulator {
     /// Creates an accumulator starting at time zero in the boot state.
     pub fn new(model: Arc<PowerModel>) -> Self {
         let state = StateVector::boot(model.catalog());
+        let per_sink = vec![Energy::ZERO; state.len()];
         EnergyAccumulator {
             model,
             state,
             now: SimTime::ZERO,
             total: Energy::ZERO,
-            per_sink: HashMap::new(),
+            per_sink,
         }
     }
 
@@ -191,7 +194,7 @@ impl EnergyAccumulator {
         for (sink, state) in self.state.iter() {
             let e = (self.model.true_state_current(sink, state) * self.model.supply()) * dur;
             if e != Energy::ZERO {
-                *self.per_sink.entry(sink).or_insert(Energy::ZERO) += e;
+                self.per_sink[sink.as_usize()] += e;
             }
         }
         self.total += self.model.energy_over(&self.state, dur);
@@ -222,9 +225,16 @@ impl EnergyAccumulator {
 
     /// Returns the ground-truth energy breakdown accumulated so far.
     pub fn breakdown(&self) -> EnergyBreakdown {
+        let per_sink = self
+            .per_sink
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| **e != Energy::ZERO)
+            .map(|(i, e)| (SinkId(i as u16), *e))
+            .collect();
         EnergyBreakdown {
             total: self.total,
-            per_sink: self.per_sink.clone(),
+            per_sink,
         }
     }
 }

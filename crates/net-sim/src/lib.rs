@@ -25,8 +25,9 @@ pub mod radio;
 pub use channel::{ieee802154_center_mhz, overlaps, wifi_center_mhz};
 pub use interference::WifiInterferer;
 pub use medium::{Medium, Topology};
-pub use netsim::NetSim;
+pub use netsim::{NetScratch, NetSim};
 pub use radio::{
     DeliveryCounters, Ideal, MediumEffort, Mobility, MobilityTrace, OnAir, PathLoss,
-    PathLossParams, Position, PositionedMedium, Positions, RadioMedium, Reception, UnitDisk,
+    PathLossParams, Position, PositionedMedium, Positions, RadioMedium, Reception, SpatialIndex,
+    UnitDisk,
 };

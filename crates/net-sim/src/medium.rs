@@ -93,6 +93,13 @@ impl Medium {
         self.model.as_ref()
     }
 
+    /// Surrenders the model's spatial-index allocations to a workspace pool
+    /// at teardown, if the model holds one (see
+    /// [`RadioMedium::reclaim_spatial_index`]).
+    pub fn reclaim_spatial_index(&mut self) -> Option<crate::radio::SpatialIndex> {
+        self.model.reclaim_spatial_index()
+    }
+
     /// Replaces the connectivity topology by installing an [`Ideal`] model
     /// over it (the pre-medium-subsystem API, kept for the explicit-topology
     /// scenarios).

@@ -9,14 +9,43 @@
 
 use crate::interference::WifiInterferer;
 use crate::medium::{Medium, Topology};
-use crate::radio::{DeliveryCounters, RadioMedium};
+use crate::radio::{DeliveryCounters, RadioMedium, SpatialIndex};
 use hw_model::{SimDuration, SimTime};
-use os_sim::{Application, Engine, Node, NodeConfig, NodeRunOutput};
+use os_sim::{Application, Engine, EngineScratch, Node, NodeConfig, NodeRunOutput};
 use quanto_core::NodeId;
 
 /// A multi-node simulation: the shared engine over a [`Medium`] world.
 pub struct NetSim {
     engine: Engine<Medium>,
+}
+
+/// The reusable allocations of a torn-down [`NetSim`]: the engine's scratch
+/// (node storage, scheduling heap, per-node log buffers — see
+/// [`EngineScratch`]) plus the medium's spatial-index cell grid.  Opaque:
+/// holds capacity, never state, so reuse cannot change what a run computes.
+#[derive(Debug, Default)]
+pub struct NetScratch {
+    engine: EngineScratch,
+    spatial: Option<SpatialIndex>,
+}
+
+impl NetScratch {
+    /// An empty scratch pool (the first run through it allocates normally).
+    pub fn new() -> Self {
+        NetScratch::default()
+    }
+
+    /// Takes the recycled spatial index, if a previous run surrendered one —
+    /// hand it to [`crate::radio::UnitDisk::adopt_spatial_index`] /
+    /// [`crate::radio::PathLoss::adopt_spatial_index`] before placements.
+    pub fn take_spatial_index(&mut self) -> Option<SpatialIndex> {
+        self.spatial.take()
+    }
+
+    /// How many recycled log-buffer allocations the pool currently holds.
+    pub fn log_buffers(&self) -> usize {
+        self.engine.log_buffers()
+    }
 }
 
 impl std::fmt::Debug for NetSim {
@@ -39,6 +68,25 @@ impl NetSim {
         NetSim {
             engine: Engine::new(Medium::new()),
         }
+    }
+
+    /// Creates an empty network reusing the allocations a previous network
+    /// left in `scratch` (see [`NetSim::reset_into`]).  Behaviour-identical
+    /// to [`NetSim::new`].
+    pub fn new_in(scratch: &mut NetScratch) -> Self {
+        NetSim {
+            engine: Engine::new_in(Medium::new(), &mut scratch.engine),
+        }
+    }
+
+    /// Tears the network down, returning its reusable allocations (engine
+    /// containers, per-node log buffers, the medium's spatial index) to
+    /// `scratch` for the next [`NetSim::new_in`].
+    pub fn reset_into(mut self, scratch: &mut NetScratch) {
+        if let Some(index) = self.engine.world_mut().reclaim_spatial_index() {
+            scratch.spatial = Some(index);
+        }
+        self.engine.reset_into(&mut scratch.engine);
     }
 
     /// Adds a node running `app` under `config`.  Returns its id.

@@ -150,6 +150,10 @@ impl RadioMedium for Mobility {
         "mobility"
     }
 
+    fn reclaim_spatial_index(&mut self) -> Option<super::SpatialIndex> {
+        self.inner.reclaim_spatial_index()
+    }
+
     fn receive(&mut self, emission: &Emission, to: NodeId, competing: &[OnAir]) -> Reception {
         self.sync_positions(emission.start);
         self.inner.receive(emission, to, competing)

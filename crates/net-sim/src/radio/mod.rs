@@ -208,6 +208,13 @@ pub trait RadioMedium: std::fmt::Debug + Send {
     fn topology(&self) -> Option<&Topology> {
         None
     }
+
+    /// Surrenders the spatial index's allocations to a workspace pool at
+    /// teardown, if this medium holds one.  The medium must not deliver
+    /// afterwards; the default (no index) is `None`.
+    fn reclaim_spatial_index(&mut self) -> Option<SpatialIndex> {
+        None
+    }
 }
 
 /// The reference delivery: query every node.  Both the trait default and

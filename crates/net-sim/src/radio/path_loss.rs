@@ -170,6 +170,18 @@ impl PathLoss {
         self
     }
 
+    /// Replaces the spatial index with a recycled cell grid reset to this
+    /// medium's sensing cutoff (see [`SpatialIndex::reset`]) —
+    /// behaviour-identical to a fresh index, only the allocation is reused.
+    /// Must be called before any placements; a no-op when this medium runs
+    /// without an index.
+    pub fn adopt_spatial_index(&mut self, mut spare: SpatialIndex) {
+        if let (Some(_), Some(cutoff)) = (self.index.as_ref(), self.sense_cutoff_m) {
+            spare.reset(cutoff);
+            self.index = Some(spare);
+        }
+    }
+
     /// Places one node (builder form).
     pub fn with_position(mut self, node: NodeId, position: Position) -> Self {
         self.put(node, position);
@@ -243,6 +255,10 @@ impl PathLoss {
 impl RadioMedium for PathLoss {
     fn kind(&self) -> &'static str {
         "path_loss"
+    }
+
+    fn reclaim_spatial_index(&mut self) -> Option<SpatialIndex> {
+        self.index.take()
     }
 
     fn receive(&mut self, emission: &Emission, to: NodeId, competing: &[OnAir]) -> Reception {

@@ -62,6 +62,17 @@ impl SpatialIndex {
         self.cell_m
     }
 
+    /// Returns the index to the state of [`SpatialIndex::new`] with the given
+    /// cell size, keeping the map/set allocations — the workspace-pool seam
+    /// that lets one cell grid serve many scenarios without reallocating.
+    pub fn reset(&mut self, cell_m: f64) {
+        self.cell_m = cell_m.max(1.0);
+        self.cells.clear();
+        self.where_is.clear();
+        self.roster.clear();
+        self.roster_len = usize::MAX;
+    }
+
     fn cell_of(&self, position: Position) -> (i64, i64) {
         (
             (position.x / self.cell_m).floor() as i64,

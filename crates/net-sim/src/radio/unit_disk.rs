@@ -50,6 +50,17 @@ impl UnitDisk {
         self
     }
 
+    /// Replaces the spatial index with a recycled cell grid reset to this
+    /// medium's range (see [`SpatialIndex::reset`]) — behaviour-identical to
+    /// a fresh index, only the allocation is reused.  Must be called before
+    /// any placements; a no-op when this medium runs without an index.
+    pub fn adopt_spatial_index(&mut self, mut spare: SpatialIndex) {
+        if self.index.is_some() {
+            spare.reset(self.range_m);
+            self.index = Some(spare);
+        }
+    }
+
     /// Places one node (builder form).
     pub fn with_position(mut self, node: NodeId, position: Position) -> Self {
         self.put(node, position);
@@ -81,6 +92,10 @@ impl UnitDisk {
 impl RadioMedium for UnitDisk {
     fn kind(&self) -> &'static str {
         "unit_disk"
+    }
+
+    fn reclaim_spatial_index(&mut self) -> Option<SpatialIndex> {
+        self.index.take()
     }
 
     fn receive(&mut self, emission: &Emission, to: NodeId, _competing: &[OnAir]) -> Reception {

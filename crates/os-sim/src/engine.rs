@@ -101,8 +101,47 @@ pub struct Engine<W: World> {
     /// receivers hear thousands in a big fleet) would pile another copy of
     /// the same far-future entry onto the heap.
     queued: Vec<Option<SimTime>>,
+    /// Recycled log-buffer allocations handed out to nodes as they are added
+    /// (filled by [`Engine::new_in`] from a scratch pool).
+    spare_log_buffers: Vec<Vec<quanto_core::LogEntry>>,
     stats: EngineStats,
     world: W,
+}
+
+/// The reusable allocations of a torn-down [`Engine`], harvested by
+/// [`Engine::reset_into`] and re-seeded into the next run by
+/// [`Engine::new_in`] — node storage, the scheduling heap, the id maps, and
+/// every node's RAM log buffer.  The type is opaque: scratch holds capacity,
+/// never state, so reusing it cannot change what any run computes.
+#[derive(Default)]
+pub struct EngineScratch {
+    nodes: Vec<Node>,
+    ids: Vec<NodeId>,
+    index: HashMap<NodeId, usize>,
+    ready: BinaryHeap<Pending>,
+    queued: Vec<Option<SimTime>>,
+    log_buffers: Vec<Vec<quanto_core::LogEntry>>,
+}
+
+impl EngineScratch {
+    /// An empty scratch pool (the first run through it allocates normally).
+    pub fn new() -> Self {
+        EngineScratch::default()
+    }
+
+    /// How many recycled log-buffer allocations the pool currently holds.
+    pub fn log_buffers(&self) -> usize {
+        self.log_buffers.len()
+    }
+}
+
+impl std::fmt::Debug for EngineScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineScratch")
+            .field("node_capacity", &self.nodes.capacity())
+            .field("log_buffers", &self.log_buffers.len())
+            .finish()
+    }
 }
 
 impl<W: World> std::fmt::Debug for Engine<W> {
@@ -122,9 +161,51 @@ impl<W: World> Engine<W> {
             index: HashMap::new(),
             ready: BinaryHeap::new(),
             queued: Vec::new(),
+            spare_log_buffers: Vec::new(),
             stats: EngineStats::default(),
             world,
         }
+    }
+
+    /// Creates an engine with no nodes in the given world, reusing the
+    /// allocations a previous engine left in `scratch` (see
+    /// [`Engine::reset_into`]).  Behaviour is identical to [`Engine::new`];
+    /// only where the containers' memory comes from differs.
+    pub fn new_in(world: W, scratch: &mut EngineScratch) -> Self {
+        debug_assert!(scratch.nodes.is_empty() && scratch.ready.is_empty());
+        Engine {
+            nodes: std::mem::take(&mut scratch.nodes),
+            ids: std::mem::take(&mut scratch.ids),
+            index: std::mem::take(&mut scratch.index),
+            ready: std::mem::take(&mut scratch.ready),
+            queued: std::mem::take(&mut scratch.queued),
+            spare_log_buffers: std::mem::take(&mut scratch.log_buffers),
+            stats: EngineStats::default(),
+            world,
+        }
+    }
+
+    /// Tears the engine down, returning its reusable allocations to
+    /// `scratch`: container capacity, plus each node's RAM log buffer (the
+    /// largest per-node allocation).  The world is dropped.
+    pub fn reset_into(mut self, scratch: &mut EngineScratch) {
+        for node in &mut self.nodes {
+            let buf = node.kernel_mut().recycle_log_buffer();
+            if buf.capacity() > 0 {
+                self.spare_log_buffers.push(buf);
+            }
+        }
+        self.nodes.clear();
+        self.ids.clear();
+        self.index.clear();
+        self.ready.clear();
+        self.queued.clear();
+        scratch.nodes = self.nodes;
+        scratch.ids = self.ids;
+        scratch.index = self.index;
+        scratch.ready = self.ready;
+        scratch.queued = self.queued;
+        scratch.log_buffers = self.spare_log_buffers;
     }
 
     /// Adds a node running `app` under `config`.  Returns its id.
@@ -139,7 +220,7 @@ impl<W: World> Engine<W> {
             self.index.insert(id, idx).is_none(),
             "duplicate node id {id}"
         );
-        let kernel = Kernel::new(config);
+        let kernel = Kernel::new_with_recycled(config, self.spare_log_buffers.pop());
         self.nodes.push(Node::new(kernel, app));
         self.ids.push(id);
         self.queued.push(None);
@@ -570,6 +651,37 @@ mod tests {
         assert!(s.heap_pops >= s.events_dispatched + s.stale_pops);
         assert!(s.heap_pushes >= s.events_dispatched);
         assert!(s.dedup_hits > 0, "expected same-time dedup hits: {s:?}");
+    }
+
+    /// A recycled engine behaves exactly like a fresh one: same logs, and
+    /// the second run's nodes record into the first run's buffer
+    /// allocations.
+    #[test]
+    fn scratch_reuse_is_behaviour_identical_and_recycles_buffers() {
+        let run = |scratch: &mut EngineScratch| {
+            let mut e = Engine::new_in(QuietWorld, scratch);
+            e.add_node(NodeConfig::new(NodeId(1)), Box::new(NullApp));
+            e.add_node(NodeConfig::new(NodeId(2)), Box::new(NullApp));
+            let out = e.run_for(SimDuration::from_secs(1));
+            let logs: Vec<_> = out.into_iter().map(|(id, o)| (id, o.log)).collect();
+            e.reset_into(scratch);
+            logs
+        };
+        let mut fresh = Engine::new(QuietWorld);
+        fresh.add_node(NodeConfig::new(NodeId(1)), Box::new(NullApp));
+        fresh.add_node(NodeConfig::new(NodeId(2)), Box::new(NullApp));
+        let expected: Vec<_> = fresh
+            .run_for(SimDuration::from_secs(1))
+            .into_iter()
+            .map(|(id, o)| (id, o.log))
+            .collect();
+
+        let mut scratch = EngineScratch::new();
+        let first = run(&mut scratch);
+        assert_eq!(scratch.log_buffers(), 2, "both nodes' buffers harvested");
+        let second = run(&mut scratch);
+        assert_eq!(first, expected);
+        assert_eq!(second, expected, "reused scratch changed behaviour");
     }
 
     /// The heap never starves a node whose next event moved *earlier* after

@@ -146,11 +146,26 @@ impl std::fmt::Debug for Kernel {
     }
 }
 
+thread_local! {
+    /// The Hydrowatch catalog is configuration-independent (the builder takes
+    /// no arguments), so every kernel on a thread shares one immutable copy
+    /// instead of rebuilding the state/sink tables per node.
+    static HYDROWATCH: (Arc<Catalog>, HydrowatchIds) = {
+        let (cat, ids) = catalog::hydrowatch();
+        (Arc::new(cat), ids)
+    };
+}
+
 impl Kernel {
     /// Creates a kernel for the given configuration.
     pub fn new(config: NodeConfig) -> Self {
-        let (cat, ids) = catalog::hydrowatch();
-        let catalog = Arc::new(cat);
+        Kernel::new_with_recycled(config, None)
+    }
+
+    /// Creates a kernel, adopting a recycled log-buffer allocation from a
+    /// workspace pool (see [`quanto_core::RamLogger::adopt_buffer`]).
+    pub fn new_with_recycled(config: NodeConfig, recycled_log: Option<Vec<LogEntry>>) -> Self {
+        let (catalog, ids) = HYDROWATCH.with(|c| c.clone());
         let model = Arc::new(PowerModel::new(
             catalog.clone(),
             config.supply,
@@ -230,8 +245,17 @@ impl Kernel {
             rng,
             config,
         };
+        if let Some(buf) = recycled_log {
+            kernel.quanto.adopt_log_buffer(buf);
+        }
         kernel.boot();
         kernel
+    }
+
+    /// Surrenders the RAM log buffer's allocation to a workspace pool.  The
+    /// kernel must not record afterwards (the run is over).
+    pub fn recycle_log_buffer(&mut self) -> Vec<LogEntry> {
+        self.quanto.recycle_log_buffer()
     }
 
     fn boot(&mut self) {

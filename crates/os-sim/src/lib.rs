@@ -37,7 +37,7 @@ pub mod world;
 pub use app::{Application, NullApp};
 pub use arbiter::{Arbiter, BusClient, GrantOutcome};
 pub use config::{LplConfig, NodeConfig, SpiMode};
-pub use engine::{Engine, EngineStats};
+pub use engine::{Engine, EngineScratch, EngineStats};
 pub use event::{FlashOp, NodeEvent, SensorKind, TaskId, TimerId};
 pub use kernel::{IrqSource, Kernel, NodeRunOutput, OsHandle};
 pub use node::Node;

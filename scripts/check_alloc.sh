@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# The allocation gate: runs the counting-allocator test binary
+# (crates/core/tests/counting_alloc.rs), which wraps the global allocator
+# and proves the warm record → flush-drain → chunked-digest-fold pipeline
+# performs zero heap allocations per entry — the property the pooled
+# SimWorkspace sweep path stands on.
+#
+#   scripts/check_alloc.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo test --release -q -p quanto-core --test counting_alloc

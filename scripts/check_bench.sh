@@ -5,6 +5,10 @@
 #
 #   scripts/check_bench.sh            # compare against the baseline
 #   scripts/check_bench.sh --update   # re-record the baseline
+#
+# With BENCH_JSON_OUT=FILE in the environment, the measured medians are
+# additionally written to FILE in the baseline's JSON format (the checked-in
+# pin is untouched) — CI uploads that as the perf-trajectory artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,4 +17,39 @@ trap 'rm -f "$out"' EXIT
 
 cargo bench | tee "$out"
 cargo run --release -q -p quanto-bench --bin fleet_sweep -- --smoke | tee -a "$out"
+
+# Workspace-pooling pin: the pooled-workspace run must beat the
+# cold-workspace run outright.  Both medians come from the same bench
+# binary in the same process, so no calibration normalization applies —
+# a straight comparison is the whole point of the pair.
+awk '
+  $1 == "bench" && $2 ~ /^fleet\/workspace_(reuse|fresh)$/ && $3 == "median" {
+    t = $4; unit = $5
+    if (unit == "ns") ns = t
+    else if (unit == "µs") ns = t * 1e3
+    else if (unit == "ms") ns = t * 1e6
+    else if (unit == "s") ns = t * 1e9
+    else { printf "check_bench: unknown unit %s on %s\n", unit, $2; exit 1 }
+    if ($2 == "fleet/workspace_reuse") reuse = ns; else fresh = ns
+  }
+  END {
+    if (!reuse || !fresh) {
+      print "check_bench: fleet/workspace_reuse or _fresh bench line missing"
+      exit 1
+    }
+    printf "Workspace pooling: reuse %.0f ns vs fresh %.0f ns (%.1f%%)\n",
+      reuse, fresh, 100 * reuse / fresh
+    if (reuse >= fresh) {
+      print "check_bench: POOLING FAILURE — workspace_reuse is not faster than workspace_fresh"
+      exit 1
+    }
+  }
+' "$out"
+
+if [[ -n "${BENCH_JSON_OUT:-}" ]]; then
+  cp BENCH_BASELINE.json "$BENCH_JSON_OUT"
+  cargo run --release -q -p quanto-bench --bin bench_check -- \
+    "$BENCH_JSON_OUT" "$out" --update > /dev/null
+fi
+
 cargo run --release -q -p quanto-bench --bin bench_check -- BENCH_BASELINE.json "$out" "$@"
